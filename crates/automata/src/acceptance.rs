@@ -1,0 +1,371 @@
+//! Acceptance conditions for deterministic ω-automata.
+//!
+//! An [`Acceptance`] condition is a positive boolean combination of the atoms
+//! `Inf(S)` ("the run visits `S` infinitely often") and `Fin(S)` ("the run
+//! visits `S` only finitely often") — the Emerson–Lei style used by modern
+//! ω-automata libraries. Negation is available as [`Acceptance::negated`]
+//! through the dualities `¬Inf(S) = Fin(S)` and `¬Fin(S) = Inf(S)`, so the
+//! class of conditions is closed under all boolean operations.
+//!
+//! All of the paper's automaton types are instances:
+//!
+//! * Büchi (`R` set): `Inf(R)`
+//! * co-Büchi (`P` set): `Fin(Q − P)`
+//! * a Streett pair `(R, P)` — the paper's "either `inf(r) ∩ R ≠ ∅` or
+//!   `inf(r) ⊆ P`": `Inf(R) ∨ Fin(Q − P)`
+//! * a full Streett list: the conjunction of its pairs
+//! * Rabin: the disjunction of `Inf(Fᵢ) ∧ Fin(Eᵢ)` pairs.
+//!
+//! The truth of a condition depends only on the *infinity set* of a run, so
+//! it can be evaluated on any set of states, in particular on the cycles that
+//! drive the classification procedures.
+
+use crate::bitset::BitSet;
+use std::fmt;
+
+/// A positive boolean combination of `Inf`/`Fin` atoms over state sets.
+///
+/// # Examples
+///
+/// ```
+/// use hierarchy_automata::acceptance::Acceptance;
+/// use hierarchy_automata::bitset::BitSet;
+///
+/// // A Streett pair (R = {1}, P = {0,1}) over 3 states:
+/// let pair = Acceptance::inf([1]).or(Acceptance::fin([2]));
+/// let cycle = BitSet::from_iter([0, 1]);
+/// assert!(pair.accepts_infinity_set(&cycle));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Acceptance {
+    /// Accepts every run.
+    True,
+    /// Rejects every run.
+    False,
+    /// The run visits the set infinitely often.
+    Inf(BitSet),
+    /// The run visits the set only finitely often.
+    Fin(BitSet),
+    /// All sub-conditions hold.
+    And(Vec<Acceptance>),
+    /// At least one sub-condition holds.
+    Or(Vec<Acceptance>),
+}
+
+impl Acceptance {
+    /// Convenience constructor for `Inf` of a list of states.
+    pub fn inf<I: IntoIterator<Item = usize>>(states: I) -> Self {
+        Acceptance::Inf(states.into_iter().collect())
+    }
+
+    /// Convenience constructor for `Fin` of a list of states.
+    pub fn fin<I: IntoIterator<Item = usize>>(states: I) -> Self {
+        Acceptance::Fin(states.into_iter().collect())
+    }
+
+    /// Conjunction of two conditions.
+    pub fn and(self, other: Acceptance) -> Acceptance {
+        match (self, other) {
+            (Acceptance::True, x) | (x, Acceptance::True) => x,
+            (Acceptance::False, _) | (_, Acceptance::False) => Acceptance::False,
+            (Acceptance::And(mut a), Acceptance::And(b)) => {
+                a.extend(b);
+                Acceptance::And(a)
+            }
+            (Acceptance::And(mut a), x) => {
+                a.push(x);
+                Acceptance::And(a)
+            }
+            (x, Acceptance::And(mut b)) => {
+                b.insert(0, x);
+                Acceptance::And(b)
+            }
+            (a, b) => Acceptance::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two conditions.
+    pub fn or(self, other: Acceptance) -> Acceptance {
+        match (self, other) {
+            (Acceptance::False, x) | (x, Acceptance::False) => x,
+            (Acceptance::True, _) | (_, Acceptance::True) => Acceptance::True,
+            (Acceptance::Or(mut a), Acceptance::Or(b)) => {
+                a.extend(b);
+                Acceptance::Or(a)
+            }
+            (Acceptance::Or(mut a), x) => {
+                a.push(x);
+                Acceptance::Or(a)
+            }
+            (x, Acceptance::Or(mut b)) => {
+                b.insert(0, x);
+                Acceptance::Or(b)
+            }
+            (a, b) => Acceptance::Or(vec![a, b]),
+        }
+    }
+
+    /// The negated condition (dualized: `Inf ↔ Fin`, `And ↔ Or`).
+    pub fn negated(&self) -> Acceptance {
+        match self {
+            Acceptance::True => Acceptance::False,
+            Acceptance::False => Acceptance::True,
+            Acceptance::Inf(s) => Acceptance::Fin(s.clone()),
+            Acceptance::Fin(s) => Acceptance::Inf(s.clone()),
+            Acceptance::And(xs) => Acceptance::Or(xs.iter().map(Acceptance::negated).collect()),
+            Acceptance::Or(xs) => Acceptance::And(xs.iter().map(Acceptance::negated).collect()),
+        }
+    }
+
+    /// Evaluates the condition on a run's infinity set (equivalently, on a
+    /// cycle of the automaton).
+    pub fn accepts_infinity_set(&self, inf: &BitSet) -> bool {
+        match self {
+            Acceptance::True => true,
+            Acceptance::False => false,
+            Acceptance::Inf(s) => inf.intersects(s),
+            Acceptance::Fin(s) => inf.is_disjoint(s),
+            Acceptance::And(xs) => xs.iter().all(|x| x.accepts_infinity_set(inf)),
+            Acceptance::Or(xs) => xs.iter().any(|x| x.accepts_infinity_set(inf)),
+        }
+    }
+
+    /// All atom sets appearing in the condition, in syntactic order.
+    /// These are the "colors" used by the classification procedures.
+    pub fn atom_sets(&self) -> Vec<BitSet> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<BitSet>) {
+        match self {
+            Acceptance::True | Acceptance::False => {}
+            Acceptance::Inf(s) | Acceptance::Fin(s) => {
+                if !out.contains(s) {
+                    out.push(s.clone());
+                }
+            }
+            Acceptance::And(xs) | Acceptance::Or(xs) => {
+                for x in xs {
+                    x.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Rewrites every atom set through `f` (used when embedding an automaton
+    /// into a product or after a state renumbering).
+    pub fn map_sets<F: Fn(&BitSet) -> BitSet>(&self, f: &F) -> Acceptance {
+        match self {
+            Acceptance::True => Acceptance::True,
+            Acceptance::False => Acceptance::False,
+            Acceptance::Inf(s) => Acceptance::Inf(f(s)),
+            Acceptance::Fin(s) => Acceptance::Fin(f(s)),
+            Acceptance::And(xs) => Acceptance::And(xs.iter().map(|x| x.map_sets(f)).collect()),
+            Acceptance::Or(xs) => Acceptance::Or(xs.iter().map(|x| x.map_sets(f)).collect()),
+        }
+    }
+
+    /// Converts the condition to disjunctive normal form, where each
+    /// disjunct is a [`GeneralizedRabinPair`]: "avoid `fin` entirely and
+    /// visit every set of `infs` infinitely often".
+    ///
+    /// An empty result means the condition is unsatisfiable (`False`); a
+    /// single pair with empty `fin` and no `infs` means `True`.
+    pub fn dnf(&self) -> Vec<GeneralizedRabinPair> {
+        match self {
+            Acceptance::True => vec![GeneralizedRabinPair::trivial()],
+            Acceptance::False => vec![],
+            Acceptance::Inf(s) => vec![GeneralizedRabinPair {
+                fin: BitSet::new(),
+                infs: vec![s.clone()],
+            }],
+            Acceptance::Fin(s) => vec![GeneralizedRabinPair {
+                fin: s.clone(),
+                infs: vec![],
+            }],
+            Acceptance::Or(xs) => {
+                let mut out = Vec::new();
+                for x in xs {
+                    out.extend(x.dnf());
+                }
+                out
+            }
+            Acceptance::And(xs) => {
+                let mut acc = vec![GeneralizedRabinPair::trivial()];
+                for x in xs {
+                    let d = x.dnf();
+                    let mut next = Vec::new();
+                    for p in &acc {
+                        for q in &d {
+                            next.push(p.conjoin(q));
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+        }
+    }
+}
+
+impl fmt::Display for Acceptance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Acceptance::True => write!(f, "t"),
+            Acceptance::False => write!(f, "f"),
+            Acceptance::Inf(s) => write!(f, "Inf({s:?})"),
+            Acceptance::Fin(s) => write!(f, "Fin({s:?})"),
+            Acceptance::And(xs) => {
+                let parts: Vec<String> = xs.iter().map(|x| format!("({x})")).collect();
+                write!(f, "{}", parts.join(" & "))
+            }
+            Acceptance::Or(xs) => {
+                let parts: Vec<String> = xs.iter().map(|x| format!("({x})")).collect();
+                write!(f, "{}", parts.join(" | "))
+            }
+        }
+    }
+}
+
+/// One disjunct of an acceptance DNF: visit no state of `fin`, and visit
+/// every set in `infs` infinitely often.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneralizedRabinPair {
+    /// States the run must eventually avoid. (For cycle-based analysis: the
+    /// cycle must not intersect this set.)
+    pub fin: BitSet,
+    /// Sets the run must intersect infinitely often.
+    pub infs: Vec<BitSet>,
+}
+
+impl GeneralizedRabinPair {
+    /// The trivially true pair.
+    pub fn trivial() -> Self {
+        GeneralizedRabinPair {
+            fin: BitSet::new(),
+            infs: Vec::new(),
+        }
+    }
+
+    /// Conjunction of two pairs.
+    pub fn conjoin(&self, other: &GeneralizedRabinPair) -> GeneralizedRabinPair {
+        let mut infs = self.infs.clone();
+        for s in &other.infs {
+            if !infs.contains(s) {
+                infs.push(s.clone());
+            }
+        }
+        GeneralizedRabinPair {
+            fin: self.fin.union(&other.fin),
+            infs,
+        }
+    }
+
+    /// Whether a cycle (set of states) satisfies this pair.
+    pub fn accepts_cycle(&self, cycle: &BitSet) -> bool {
+        cycle.is_disjoint(&self.fin) && self.infs.iter().all(|s| cycle.intersects(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(xs: &[usize]) -> BitSet {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn eval_atoms() {
+        let inf = Acceptance::inf([1, 2]);
+        assert!(inf.accepts_infinity_set(&set(&[2, 5])));
+        assert!(!inf.accepts_infinity_set(&set(&[0, 5])));
+        let fin = Acceptance::fin([1, 2]);
+        assert!(fin.accepts_infinity_set(&set(&[0, 5])));
+        assert!(!fin.accepts_infinity_set(&set(&[2])));
+        assert!(Acceptance::True.accepts_infinity_set(&set(&[])));
+        assert!(!Acceptance::False.accepts_infinity_set(&set(&[0])));
+    }
+
+    #[test]
+    fn negation_is_complement() {
+        let c = Acceptance::inf([0])
+            .and(Acceptance::fin([1]))
+            .or(Acceptance::inf([2]));
+        let n = c.negated();
+        for bits in 0u8..8 {
+            let inf: BitSet = (0..3).filter(|i| bits & (1 << i) != 0).collect();
+            assert_ne!(
+                c.accepts_infinity_set(&inf),
+                n.accepts_infinity_set(&inf),
+                "negation failed on {inf:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_or_simplify_constants() {
+        assert_eq!(
+            Acceptance::True.and(Acceptance::inf([0])),
+            Acceptance::inf([0])
+        );
+        assert_eq!(Acceptance::False.and(Acceptance::inf([0])), Acceptance::False);
+        assert_eq!(
+            Acceptance::False.or(Acceptance::inf([0])),
+            Acceptance::inf([0])
+        );
+        assert_eq!(Acceptance::True.or(Acceptance::inf([0])), Acceptance::True);
+    }
+
+    #[test]
+    fn dnf_agrees_with_direct_eval() {
+        // Streett-like: (Inf{0} | Fin{1}) & (Inf{2} | Fin{0})
+        let c = Acceptance::inf([0])
+            .or(Acceptance::fin([1]))
+            .and(Acceptance::inf([2]).or(Acceptance::fin([0])));
+        let dnf = c.dnf();
+        for bits in 0u8..8 {
+            let inf: BitSet = (0..3).filter(|i| bits & (1 << i) != 0).collect();
+            if inf.is_empty() {
+                continue; // infinity sets are never empty for real runs
+            }
+            let direct = c.accepts_infinity_set(&inf);
+            let via_dnf = dnf.iter().any(|p| p.accepts_cycle(&inf));
+            assert_eq!(direct, via_dnf, "DNF mismatch on {inf:?}");
+        }
+    }
+
+    #[test]
+    fn dnf_of_constants() {
+        assert!(Acceptance::False.dnf().is_empty());
+        let t = Acceptance::True.dnf();
+        assert_eq!(t.len(), 1);
+        assert!(t[0].fin.is_empty() && t[0].infs.is_empty());
+    }
+
+    #[test]
+    fn atom_sets_deduplicated() {
+        let c = Acceptance::inf([0]).and(Acceptance::fin([0]).or(Acceptance::inf([1])));
+        let atoms = c.atom_sets();
+        assert_eq!(atoms.len(), 2);
+        assert!(atoms.contains(&set(&[0])) && atoms.contains(&set(&[1])));
+    }
+
+    #[test]
+    fn map_sets_renumbers() {
+        let c = Acceptance::inf([0, 1]).and(Acceptance::fin([2]));
+        let shifted = c.map_sets(&|s| s.iter().map(|i| i + 10).collect());
+        assert!(shifted.accepts_infinity_set(&set(&[11])));
+        assert!(!shifted.accepts_infinity_set(&set(&[1])));
+        assert!(!shifted.accepts_infinity_set(&set(&[11, 12])));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = Acceptance::inf([0]).or(Acceptance::fin([1]));
+        let s = c.to_string();
+        assert!(s.contains("Inf") && s.contains("Fin") && s.contains('|'));
+    }
+}

@@ -1,0 +1,347 @@
+//! A growable bit set used for state sets throughout the crate.
+//!
+//! Automaton state counts routinely exceed 64 (products, subset
+//! constructions), so state sets are backed by a `Vec<u64>` rather than a
+//! single machine word. The API is deliberately small and allocation-aware:
+//! all binary operations come in both owning and in-place flavors.
+
+use std::fmt;
+
+/// A set of small non-negative integers (automaton states), backed by a
+/// vector of 64-bit words.
+///
+/// Two `BitSet`s compare equal iff they contain the same elements, regardless
+/// of their internal capacities.
+///
+/// # Examples
+///
+/// ```
+/// use hierarchy_automata::bitset::BitSet;
+///
+/// let mut s = BitSet::new();
+/// s.insert(3);
+/// s.insert(70);
+/// assert!(s.contains(3) && s.contains(70) && !s.contains(4));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 70]);
+/// ```
+#[derive(Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BitSet { words: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for elements `< n` without
+    /// reallocation.
+    pub fn with_capacity(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Creates the set `{0, 1, ..., n-1}`.
+    pub fn all(n: usize) -> Self {
+        let mut s = BitSet::with_capacity(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of elements.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator; kept as an inherent convenience
+    pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Inserts `i`, growing the backing storage if needed. Returns `true` if
+    /// the element was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `i` if present. Returns `true` if the element was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Tests membership of `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Returns `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &a)| {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            a & !b == 0
+        })
+    }
+
+    /// Returns `true` if the two sets intersect.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            *a &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns the union of the two sets.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns the intersection of the two sets.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns `self \ other`.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// Returns the complement of `self` relative to `{0, ..., n-1}`.
+    pub fn complement(&self, n: usize) -> BitSet {
+        let mut s = BitSet::all(n);
+        s.difference_with(self);
+        s
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Returns the smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.words.len().max(other.words.len());
+        (0..n).all(|i| {
+            self.words.get(i).copied().unwrap_or(0) == other.words.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for BitSet {}
+
+impl std::hash::Hash for BitSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash only up to the last non-zero word so that equal sets hash
+        // equally regardless of capacity.
+        let last = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
+        self.words[..last].hash(state);
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        BitSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + b);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn large_elements_grow() {
+        let mut s = BitSet::new();
+        s.insert(1000);
+        assert!(s.contains(1000));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1000]);
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = BitSet::with_capacity(1000);
+        let mut b = BitSet::new();
+        a.insert(3);
+        b.insert(3);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter([1, 2, 3, 100]);
+        let b = BitSet::from_iter([2, 3, 4]);
+        assert_eq!(a.union(&b), BitSet::from_iter([1, 2, 3, 4, 100]));
+        assert_eq!(a.intersection(&b), BitSet::from_iter([2, 3]));
+        assert_eq!(a.difference(&b), BitSet::from_iter([1, 100]));
+        assert!(BitSet::from_iter([2, 3]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.intersects(&b));
+        assert!(a.is_disjoint(&BitSet::from_iter([7, 8])));
+    }
+
+    #[test]
+    fn complement_and_all() {
+        let a = BitSet::from_iter([0, 2]);
+        assert_eq!(a.complement(4), BitSet::from_iter([1, 3]));
+        assert_eq!(BitSet::all(3), BitSet::from_iter([0, 1, 2]));
+        assert_eq!(BitSet::all(0), BitSet::new());
+    }
+
+    #[test]
+    fn iter_order_and_first() {
+        let a = BitSet::from_iter([64, 1, 129]);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 64, 129]);
+        assert_eq!(a.first(), Some(1));
+        assert_eq!(BitSet::new().first(), None);
+    }
+
+    #[test]
+    fn subset_with_trailing_words() {
+        let mut big = BitSet::new();
+        big.insert(500);
+        let small = BitSet::new();
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+    }
+}

@@ -1,0 +1,287 @@
+//! Counter-freedom: the frontier of temporal-logic expressibility.
+//!
+//! A deterministic automaton is *counter-free* (\[MP71]) if there is no
+//! finite word `σ` and state `q` with `δ(q, σⁿ) = q` for some `n > 1` while
+//! `δ(q, σ) ≠ q` — such a pair would let the automaton count occurrences of
+//! `σ` modulo `n`. The paper (§5, after Prop 5.3, citing \[Zuc86]) states
+//! that an automaton specifies a temporal-logic-expressible property iff it
+//! is counter-free.
+//!
+//! The test works on the transition *monoid*: the set of state
+//! transformations induced by finite words, generated from the single-symbol
+//! transformations by composition. The automaton has a counter iff some
+//! transformation in the monoid has a periodic point of period `> 1`
+//! (equivalently, iff the monoid is not aperiodic).
+
+use crate::dfa::Dfa;
+use crate::omega::OmegaAutomaton;
+use crate::StateId;
+use std::collections::{HashMap, VecDeque};
+
+/// A state transformation `Q → Q` (row `q` gives the image of `q`).
+type Transform = Vec<StateId>;
+
+/// The outcome of a counter-freedom check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CounterFreedom {
+    /// No counter exists: the transition monoid is aperiodic, so the
+    /// automaton's properties are expressible in temporal logic.
+    CounterFree {
+        /// Size of the (explored) transition monoid.
+        monoid_size: usize,
+    },
+    /// A counter was found: word `word` cycles state `state` with period
+    /// `period > 1`.
+    Counter {
+        /// A word inducing the counting transformation.
+        word: Vec<crate::alphabet::Symbol>,
+        /// A state on the nontrivial cycle of that transformation.
+        state: StateId,
+        /// The period (`> 1`).
+        period: usize,
+    },
+}
+
+impl CounterFreedom {
+    /// Whether the automaton is counter-free.
+    pub fn is_counter_free(&self) -> bool {
+        matches!(self, CounterFreedom::CounterFree { .. })
+    }
+}
+
+/// Default cap on the number of monoid elements explored before giving up.
+pub const DEFAULT_MONOID_CAP: usize = 1_000_000;
+
+/// Checks counter-freedom of a deterministic ω-automaton's transition
+/// structure (acceptance is irrelevant).
+///
+/// # Panics
+///
+/// Panics if the transition monoid exceeds `monoid_cap` elements without a
+/// verdict; the monoid of an `n`-state automaton has at most `n^n` elements,
+/// so small automata always finish.
+pub fn check_omega(aut: &OmegaAutomaton, monoid_cap: usize) -> CounterFreedom {
+    let n = aut.num_states();
+    let generators: Vec<(crate::alphabet::Symbol, Transform)> = aut
+        .alphabet()
+        .symbols()
+        .map(|sym| {
+            (
+                sym,
+                (0..n as StateId).map(|q| aut.step(q, sym)).collect(),
+            )
+        })
+        .collect();
+    explore_monoid(n, &generators, monoid_cap)
+}
+
+/// Checks counter-freedom of a DFA's transition structure.
+///
+/// # Panics
+///
+/// Panics if the monoid exceeds `monoid_cap` elements (see [`check_omega`]).
+pub fn check_dfa(dfa: &Dfa, monoid_cap: usize) -> CounterFreedom {
+    let n = dfa.num_states();
+    let generators: Vec<(crate::alphabet::Symbol, Transform)> = dfa
+        .alphabet()
+        .symbols()
+        .map(|sym| {
+            (
+                sym,
+                (0..n as StateId).map(|q| dfa.step(q, sym)).collect(),
+            )
+        })
+        .collect();
+    explore_monoid(n, &generators, monoid_cap)
+}
+
+fn explore_monoid(
+    _n: usize,
+    generators: &[(crate::alphabet::Symbol, Transform)],
+    monoid_cap: usize,
+) -> CounterFreedom {
+    // BFS over the monoid; each element remembers the word that produced it.
+    let mut seen: HashMap<Transform, usize> = HashMap::new();
+    let mut queue: VecDeque<(Transform, Vec<crate::alphabet::Symbol>)> = VecDeque::new();
+    for (sym, t) in generators {
+        if let Some(found) = counting_cycle(t) {
+            return CounterFreedom::Counter {
+                word: vec![*sym],
+                state: found.0,
+                period: found.1,
+            };
+        }
+        if !seen.contains_key(t) {
+            seen.insert(t.clone(), seen.len());
+            queue.push_back((t.clone(), vec![*sym]));
+        }
+    }
+    while let Some((t, word)) = queue.pop_front() {
+        for (sym, g) in generators {
+            // Compose: first t (the word so far), then g.
+            let composed: Transform = t.iter().map(|&q| g[q as usize]).collect();
+            if seen.contains_key(&composed) {
+                continue;
+            }
+            let mut w = word.clone();
+            w.push(*sym);
+            if let Some(found) = counting_cycle(&composed) {
+                return CounterFreedom::Counter {
+                    word: w,
+                    state: found.0,
+                    period: found.1,
+                };
+            }
+            assert!(
+                seen.len() < monoid_cap,
+                "transition monoid exceeds cap of {monoid_cap} elements"
+            );
+            seen.insert(composed.clone(), seen.len());
+            queue.push_back((composed, w));
+        }
+    }
+    CounterFreedom::CounterFree {
+        monoid_size: seen.len(),
+    }
+}
+
+/// Finds a periodic point of period > 1: a state `q` with `f^k(q) = q` for
+/// some minimal `k > 1`.
+fn counting_cycle(f: &Transform) -> Option<(StateId, usize)> {
+    let n = f.len();
+    for q0 in 0..n as StateId {
+        // Follow the trajectory; it enters a cycle within n steps.
+        let mut slow = q0;
+        let mut seen_at = vec![usize::MAX; n];
+        let mut i = 0usize;
+        loop {
+            if seen_at[slow as usize] != usize::MAX {
+                let period = i - seen_at[slow as usize];
+                if period > 1 {
+                    return Some((slow, period));
+                }
+                break;
+            }
+            seen_at[slow as usize] = i;
+            slow = f[slow as usize];
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptance::Acceptance;
+    use crate::alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    /// Modulo-n counter on symbol a (the canonical non-counter-free
+    /// automaton).
+    fn mod_counter(sigma: &Alphabet, n: usize) -> OmegaAutomaton {
+        let a = sigma.symbol("a").unwrap();
+        OmegaAutomaton::build(
+            sigma,
+            n,
+            0,
+            move |q, s| {
+                if s == a {
+                    ((q as usize + 1) % n) as StateId
+                } else {
+                    q
+                }
+            },
+            Acceptance::inf([0]),
+        )
+    }
+
+    #[test]
+    fn mod2_counter_detected() {
+        let sigma = ab();
+        let m = mod_counter(&sigma, 2);
+        let v = check_omega(&m, DEFAULT_MONOID_CAP);
+        match v {
+            CounterFreedom::Counter { period, word, .. } => {
+                assert!(period > 1);
+                assert!(!word.is_empty());
+            }
+            _ => panic!("mod-2 counter not detected"),
+        }
+    }
+
+    #[test]
+    fn mod5_counter_detected() {
+        let sigma = ab();
+        let m = mod_counter(&sigma, 5);
+        assert!(!check_omega(&m, DEFAULT_MONOID_CAP).is_counter_free());
+    }
+
+    #[test]
+    fn last_symbol_tracker_is_counter_free() {
+        let sigma = ab();
+        let b = sigma.symbol("b").unwrap();
+        let m = OmegaAutomaton::build(
+            &sigma,
+            2,
+            0,
+            |_, s| if s == b { 1 } else { 0 },
+            Acceptance::inf([1]),
+        );
+        assert!(check_omega(&m, DEFAULT_MONOID_CAP).is_counter_free());
+    }
+
+    #[test]
+    fn trap_automaton_is_counter_free() {
+        let sigma = ab();
+        let b = sigma.symbol("b").unwrap();
+        let m = OmegaAutomaton::build(
+            &sigma,
+            2,
+            0,
+            |q, s| if q == 1 || s == b { 1 } else { 0 },
+            Acceptance::fin([1]),
+        );
+        let v = check_omega(&m, DEFAULT_MONOID_CAP);
+        assert!(v.is_counter_free());
+        if let CounterFreedom::CounterFree { monoid_size } = v {
+            assert!(monoid_size >= 2);
+        }
+    }
+
+    #[test]
+    fn dfa_check_counts_even_words() {
+        let sigma = ab();
+        // Even-length words: both symbols advance the parity.
+        let d = Dfa::build(&sigma, 2, 0, |q, _| 1 - q, [0]);
+        assert!(!check_dfa(&d, DEFAULT_MONOID_CAP).is_counter_free());
+        // "Contains b": counter-free.
+        let b = sigma.symbol("b").unwrap();
+        let d2 = Dfa::build(&sigma, 2, 0, |q, s| if q == 1 || s == b { 1 } else { 0 }, [1]);
+        assert!(check_dfa(&d2, DEFAULT_MONOID_CAP).is_counter_free());
+    }
+
+    #[test]
+    fn counter_word_actually_counts() {
+        let sigma = ab();
+        let m = mod_counter(&sigma, 3);
+        if let CounterFreedom::Counter { word, state, period } =
+            check_omega(&m, DEFAULT_MONOID_CAP)
+        {
+            // Applying the word `period` times returns to `state`, once
+            // does not.
+            let mut q = state;
+            for _ in 0..period {
+                q = word.iter().fold(q, |s, &sym| m.step(s, sym));
+            }
+            assert_eq!(q, state);
+            let once = word.iter().fold(state, |s, &sym| m.step(s, sym));
+            assert_ne!(once, state);
+        } else {
+            panic!("expected a counter");
+        }
+    }
+}

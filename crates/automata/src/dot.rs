@@ -1,0 +1,86 @@
+//! Graphviz (DOT) export for automata, used by the examples and docs.
+
+use crate::dfa::Dfa;
+use crate::omega::OmegaAutomaton;
+use crate::StateId;
+use std::fmt::Write as _;
+
+/// Renders a DFA as a Graphviz `digraph`. Accepting states are drawn with a
+/// double circle; parallel edges are merged and labeled with symbol lists.
+pub fn dfa_to_dot(dfa: &Dfa) -> String {
+    let mut out = String::from("digraph dfa {\n  rankdir=LR;\n  node [shape=circle];\n");
+    let _ = writeln!(out, "  init [shape=point];");
+    let _ = writeln!(out, "  init -> s{};", dfa.initial());
+    for q in 0..dfa.num_states() as StateId {
+        if dfa.is_accepting(q) {
+            let _ = writeln!(out, "  s{q} [shape=doublecircle];");
+        }
+        for (t, labels) in merged_edges(dfa.num_states(), |sym| dfa.step(q, sym), dfa.alphabet()) {
+            let _ = writeln!(out, "  s{q} -> s{t} [label=\"{labels}\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a deterministic ω-automaton as a Graphviz `digraph`; the
+/// acceptance condition is written in the graph label.
+pub fn omega_to_dot(aut: &OmegaAutomaton) -> String {
+    let mut out = String::from("digraph omega {\n  rankdir=LR;\n  node [shape=circle];\n");
+    let _ = writeln!(out, "  label=\"acceptance: {}\";", aut.acceptance());
+    let _ = writeln!(out, "  init [shape=point];");
+    let _ = writeln!(out, "  init -> s{};", aut.initial());
+    for q in 0..aut.num_states() as StateId {
+        for (t, labels) in merged_edges(aut.num_states(), |sym| aut.step(q, sym), aut.alphabet()) {
+            let _ = writeln!(out, "  s{q} -> s{t} [label=\"{labels}\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn merged_edges(
+    num_states: usize,
+    step: impl Fn(crate::alphabet::Symbol) -> StateId,
+    alphabet: &crate::alphabet::Alphabet,
+) -> Vec<(StateId, String)> {
+    let mut per_target: Vec<Vec<&str>> = vec![Vec::new(); num_states];
+    for sym in alphabet.symbols() {
+        per_target[step(sym) as usize].push(alphabet.name(sym));
+    }
+    per_target
+        .into_iter()
+        .enumerate()
+        .filter(|(_, syms)| !syms.is_empty())
+        .map(|(t, syms)| (t as StateId, syms.join(",")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptance::Acceptance;
+    use crate::alphabet::Alphabet;
+
+    #[test]
+    fn dfa_dot_contains_edges() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let d = Dfa::build(&sigma, 2, 0, |q, s| if q == 1 || s == b { 1 } else { 0 }, [1]);
+        let dot = dfa_to_dot(&d);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("label=\"a\""));
+    }
+
+    #[test]
+    fn omega_dot_contains_acceptance() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let m = OmegaAutomaton::build(&sigma, 1, 0, |_, _| 0, Acceptance::inf([0]));
+        let dot = omega_to_dot(&m);
+        assert!(dot.contains("acceptance"));
+        assert!(dot.contains("Inf"));
+        assert!(dot.contains("s0 -> s0 [label=\"a,b\"]"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Export to the HOA (Hanoi Omega-Automata) interchange format, so
+//! automata built here can be inspected with external tools (Spot's
+//! `autfilt`, owl, …).
+//!
+//! The encoding:
+//!
+//! * atomic propositions are the bits of the symbol index (for valuation
+//!   alphabets this is exactly the proposition list; for letter alphabets
+//!   it is a binary encoding of the letter);
+//! * each distinct acceptance atom set becomes one HOA acceptance set;
+//!   `Inf`/`Fin` atoms map to `Inf(i)`/`Fin(i)` and the boolean structure
+//!   is emitted verbatim;
+//! * transitions are labelled with the conjunction of proposition
+//!   literals describing their symbol.
+
+use crate::acceptance::Acceptance;
+use crate::alphabet::Symbol;
+use crate::bitset::BitSet;
+use crate::omega::OmegaAutomaton;
+use crate::StateId;
+use std::fmt::Write as _;
+
+/// Renders a deterministic ω-automaton in HOA v1 format.
+pub fn omega_to_hoa(aut: &OmegaAutomaton) -> String {
+    let n_sym = aut.alphabet().len();
+    let ap_count = bits_needed(n_sym);
+    let atoms = aut.acceptance().atom_sets();
+
+    let mut out = String::new();
+    out.push_str("HOA: v1\n");
+    let _ = writeln!(out, "States: {}", aut.num_states());
+    let _ = writeln!(out, "Start: {}", aut.initial());
+    // AP names: real proposition names when available, else bit names.
+    let props = aut.alphabet().propositions();
+    let _ = write!(out, "AP: {ap_count}");
+    for i in 0..ap_count {
+        if i < props.len() {
+            let _ = write!(out, " \"{}\"", props[i]);
+        } else {
+            let _ = write!(out, " \"bit{i}\"");
+        }
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "Acceptance: {} {}",
+        atoms.len(),
+        acceptance_formula(aut.acceptance(), &atoms)
+    );
+    out.push_str("properties: deterministic complete\n");
+    out.push_str("--BODY--\n");
+    for q in 0..aut.num_states() as StateId {
+        // Acceptance-set membership of the state.
+        let memberships: Vec<String> = atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.contains(q as usize))
+            .map(|(i, _)| i.to_string())
+            .collect();
+        if memberships.is_empty() {
+            let _ = writeln!(out, "State: {q}");
+        } else {
+            let _ = writeln!(out, "State: {q} {{{}}}", memberships.join(" "));
+        }
+        for sym in aut.alphabet().symbols() {
+            let _ = writeln!(
+                out,
+                "[{}] {}",
+                symbol_label(sym, ap_count),
+                aut.step(q, sym)
+            );
+        }
+    }
+    out.push_str("--END--\n");
+    out
+}
+
+fn bits_needed(n: usize) -> usize {
+    let mut bits = 0;
+    while (1usize << bits) < n {
+        bits += 1;
+    }
+    bits.max(1)
+}
+
+fn symbol_label(sym: Symbol, ap_count: usize) -> String {
+    (0..ap_count)
+        .map(|b| {
+            if sym.index() & (1 << b) != 0 {
+                b.to_string()
+            } else {
+                format!("!{b}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+fn acceptance_formula(acc: &Acceptance, atoms: &[BitSet]) -> String {
+    let idx = |s: &BitSet| atoms.iter().position(|a| a == s).expect("atom present");
+    match acc {
+        Acceptance::True => "t".to_string(),
+        Acceptance::False => "f".to_string(),
+        Acceptance::Inf(s) => format!("Inf({})", idx(s)),
+        Acceptance::Fin(s) => format!("Fin({})", idx(s)),
+        Acceptance::And(xs) => {
+            let parts: Vec<String> = xs
+                .iter()
+                .map(|x| format!("({})", acceptance_formula(x, atoms)))
+                .collect();
+            parts.join(" & ")
+        }
+        Acceptance::Or(xs) => {
+            let parts: Vec<String> = xs
+                .iter()
+                .map(|x| format!("({})", acceptance_formula(x, atoms)))
+                .collect();
+            parts.join(" | ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    #[test]
+    fn buchi_automaton_exports() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let m = OmegaAutomaton::build(
+            &sigma,
+            2,
+            0,
+            |_, s| if s == b { 1 } else { 0 },
+            Acceptance::inf([1]),
+        );
+        let hoa = omega_to_hoa(&m);
+        assert!(hoa.starts_with("HOA: v1\n"));
+        assert!(hoa.contains("States: 2"));
+        assert!(hoa.contains("Start: 0"));
+        assert!(hoa.contains("Acceptance: 1 Inf(0)"));
+        assert!(hoa.contains("State: 1 {0}"));
+        assert!(hoa.contains("--BODY--") && hoa.ends_with("--END--\n"));
+        // Letter b is index 1 → label "0" (bit set); a → "!0".
+        assert!(hoa.contains("[!0] 0"));
+        assert!(hoa.contains("[0] 1"));
+    }
+
+    #[test]
+    fn proposition_alphabet_uses_names() {
+        let sigma = Alphabet::of_propositions(["p", "q"]).unwrap();
+        let m = OmegaAutomaton::universal(&sigma);
+        let hoa = omega_to_hoa(&m);
+        assert!(hoa.contains("AP: 2 \"p\" \"q\""));
+        assert!(hoa.contains("Acceptance: 0 t"));
+    }
+
+    #[test]
+    fn streett_acceptance_structure() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let m = OmegaAutomaton::build(
+            &sigma,
+            2,
+            0,
+            |q, _| q,
+            Acceptance::inf([0]).or(Acceptance::fin([1])),
+        );
+        let hoa = omega_to_hoa(&m);
+        assert!(hoa.contains("Acceptance: 2 (Inf(0)) | (Fin(1))"));
+    }
+
+    #[test]
+    fn four_letter_alphabet_uses_two_bits() {
+        let sigma = Alphabet::new(["a", "b", "c", "d"]).unwrap();
+        let m = OmegaAutomaton::universal(&sigma);
+        let hoa = omega_to_hoa(&m);
+        assert!(hoa.contains("AP: 2 \"bit0\" \"bit1\""));
+        // Letter d = index 3 = both bits set.
+        assert!(hoa.contains("[0&1] 0"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Ultimately-periodic ω-words (`u · vω`), called *lassos*.
+//!
+//! Lassos are the computable stand-in for arbitrary infinite words: every
+//! non-empty ω-regular language contains one, membership in automata and
+//! formulas is decidable, and two ω-regular languages are equal iff they
+//! agree on all lassos. The crate-wide test strategy cross-validates the
+//! paper's four views on randomly sampled lassos.
+
+use crate::alphabet::{Alphabet, Symbol};
+use std::fmt;
+
+/// An ultimately periodic ω-word `u · vω` with finite spoke `u` and
+/// non-empty loop `v`.
+///
+/// # Examples
+///
+/// ```
+/// use hierarchy_automata::prelude::*;
+///
+/// let sigma = Alphabet::new(["a", "b"]).unwrap();
+/// let w = Lasso::parse(&sigma, "ab", "ba").unwrap();
+/// assert_eq!(w.at(0), sigma.symbol("a").unwrap());
+/// assert_eq!(w.at(2), sigma.symbol("b").unwrap()); // loop starts
+/// assert_eq!(w.at(4), sigma.symbol("b").unwrap()); // loop repeats
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lasso {
+    spoke: Vec<Symbol>,
+    cycle: Vec<Symbol>,
+}
+
+impl Lasso {
+    /// Creates a lasso from its spoke and loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is empty (an ω-word needs an infinite tail).
+    pub fn new(spoke: Vec<Symbol>, cycle: Vec<Symbol>) -> Self {
+        assert!(!cycle.is_empty(), "lasso loop must be non-empty");
+        Lasso { spoke, cycle }
+    }
+
+    /// Parses a lasso from two strings of single-character symbol names.
+    ///
+    /// Returns `None` if any character is not a symbol of `alphabet` or the
+    /// loop part is empty.
+    pub fn parse(alphabet: &Alphabet, spoke: &str, cycle: &str) -> Option<Self> {
+        let conv = |s: &str| -> Option<Vec<Symbol>> {
+            s.chars()
+                .map(|c| alphabet.symbol(&c.to_string()))
+                .collect()
+        };
+        let cycle = conv(cycle)?;
+        if cycle.is_empty() {
+            return None;
+        }
+        Some(Lasso {
+            spoke: conv(spoke)?,
+            cycle,
+        })
+    }
+
+    /// The finite spoke `u`.
+    pub fn spoke(&self) -> &[Symbol] {
+        &self.spoke
+    }
+
+    /// The repeated loop `v`.
+    pub fn cycle(&self) -> &[Symbol] {
+        &self.cycle
+    }
+
+    /// The symbol at position `i` (0-based) of the infinite word.
+    pub fn at(&self, i: usize) -> Symbol {
+        if i < self.spoke.len() {
+            self.spoke[i]
+        } else {
+            self.cycle[(i - self.spoke.len()) % self.cycle.len()]
+        }
+    }
+
+    /// Iterates over the first `n` symbols.
+    pub fn prefix(&self, n: usize) -> Vec<Symbol> {
+        (0..n).map(|i| self.at(i)).collect()
+    }
+
+    /// An iterator over the infinite word (never terminates on its own).
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..).map(|i| self.at(i))
+    }
+
+    /// A canonical form: the loop is rolled so no shorter equivalent spoke
+    /// exists, and the loop is primitive (not a proper power). Two lassos
+    /// denote the same ω-word iff their normalizations are equal.
+    pub fn normalize(&self) -> Lasso {
+        // Reduce the loop to its primitive root.
+        let mut cycle = self.cycle.clone();
+        'outer: for p in 1..=cycle.len() / 2 {
+            if !cycle.len().is_multiple_of(p) {
+                continue;
+            }
+            for i in p..cycle.len() {
+                if cycle[i] != cycle[i - p] {
+                    continue 'outer;
+                }
+            }
+            cycle.truncate(p);
+            break;
+        }
+        // Shrink the spoke: while its last symbol equals the loop's last
+        // symbol, rotate the loop backwards and shorten the spoke.
+        let mut spoke = self.spoke.clone();
+        while let Some(&last) = spoke.last() {
+            if last == *cycle.last().expect("loop is non-empty") {
+                spoke.pop();
+                cycle.rotate_right(1);
+            } else {
+                break;
+            }
+        }
+        Lasso { spoke, cycle }
+    }
+
+    /// Whether the two lassos denote the same ω-word.
+    pub fn same_word(&self, other: &Lasso) -> bool {
+        self.normalize() == other.normalize()
+    }
+
+    /// Renders the lasso with symbol names from `alphabet`, e.g. `ab(ba)^ω`.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Lasso, &'a Alphabet);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for &s in &self.0.spoke {
+                    write!(f, "{}", self.1.name(s))?;
+                }
+                write!(f, "(")?;
+                for &s in &self.0.cycle {
+                    write!(f, "{}", self.1.name(s))?;
+                }
+                write!(f, ")^ω")
+            }
+        }
+        D(self, alphabet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn indexing() {
+        let sigma = ab();
+        let w = Lasso::parse(&sigma, "a", "ab").unwrap();
+        let names: String = (0..6).map(|i| sigma.name(w.at(i)).to_string()).collect();
+        assert_eq!(names, "aababa");
+        assert_eq!(w.prefix(3).len(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        let sigma = ab();
+        assert!(Lasso::parse(&sigma, "a", "").is_none());
+        assert!(Lasso::parse(&sigma, "x", "a").is_none());
+        assert!(Lasso::parse(&sigma, "", "ab").is_some());
+    }
+
+    #[test]
+    fn normalize_primitive_root() {
+        let sigma = ab();
+        let w = Lasso::parse(&sigma, "", "abab").unwrap();
+        let n = w.normalize();
+        assert_eq!(n.cycle().len(), 2);
+        assert!(w.same_word(&Lasso::parse(&sigma, "", "ab").unwrap()));
+    }
+
+    #[test]
+    fn normalize_rolls_spoke() {
+        let sigma = ab();
+        // a(ba)^ω = (ab)^ω
+        let w1 = Lasso::parse(&sigma, "a", "ba").unwrap();
+        let w2 = Lasso::parse(&sigma, "", "ab").unwrap();
+        assert!(w1.same_word(&w2));
+        // ab(b)^ω ≠ a(b)^ω
+        let w3 = Lasso::parse(&sigma, "ab", "b").unwrap();
+        let w4 = Lasso::parse(&sigma, "a", "b").unwrap();
+        assert!(w3.same_word(&w4));
+        let w5 = Lasso::parse(&sigma, "b", "b").unwrap();
+        assert!(w5.same_word(&Lasso::parse(&sigma, "", "b").unwrap()));
+    }
+
+    #[test]
+    fn distinct_words_not_same() {
+        let sigma = ab();
+        let w1 = Lasso::parse(&sigma, "", "ab").unwrap();
+        let w2 = Lasso::parse(&sigma, "", "ba").unwrap();
+        assert!(!w1.same_word(&w2));
+    }
+
+    #[test]
+    fn display_format() {
+        let sigma = ab();
+        let w = Lasso::parse(&sigma, "ab", "ba").unwrap();
+        assert_eq!(w.display(&sigma).to_string(), "ab(ba)^ω");
+    }
+
+    #[test]
+    fn symbols_iterator_matches_at() {
+        let sigma = ab();
+        let w = Lasso::parse(&sigma, "ab", "ba").unwrap();
+        let via_iter: Vec<Symbol> = w.symbols().take(7).collect();
+        let via_at: Vec<Symbol> = (0..7).map(|i| w.at(i)).collect();
+        assert_eq!(via_iter, via_at);
+    }
+}

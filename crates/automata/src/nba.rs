@@ -1,0 +1,385 @@
+//! Nondeterministic Büchi automata.
+//!
+//! NBAs serve as the *cross-validation* representation in this workspace:
+//! ω-regular expressions and full future LTL translate naturally into NBAs,
+//! whose lasso membership is decidable, so the deterministic constructions
+//! can be checked against them on sampled words (see `DESIGN.md` §3 on why
+//! the main pipeline never needs Safra determinization).
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::bitset::BitSet;
+use crate::lasso::Lasso;
+use crate::scc::{tarjan_scc, AdjGraph};
+use crate::StateId;
+
+/// A nondeterministic Büchi automaton: accepts the ω-words with some run
+/// visiting an accepting state infinitely often.
+///
+/// # Examples
+///
+/// ```
+/// use hierarchy_automata::prelude::*;
+///
+/// // Σ*·b·Σ^ω ("eventually b"): guess the b.
+/// let sigma = Alphabet::new(["a", "b"]).unwrap();
+/// let b = sigma.symbol("b").unwrap();
+/// let mut n = Nba::new(&sigma);
+/// let s0 = n.add_state();
+/// let s1 = n.add_state();
+/// for sym in sigma.symbols() {
+///     n.add_transition(s0, sym, s0);
+///     n.add_transition(s1, sym, s1);
+/// }
+/// n.add_transition(s0, b, s1);
+/// n.set_initial(s0);
+/// n.add_accepting(s1);
+/// assert!(n.accepts(&Lasso::parse(&sigma, "aab", "a").unwrap()));
+/// assert!(!n.accepts(&Lasso::parse(&sigma, "", "a").unwrap()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nba {
+    alphabet: Alphabet,
+    /// `transitions[q][sym]` lists the successors of `q` under `sym`.
+    transitions: Vec<Vec<Vec<StateId>>>,
+    initial: Vec<StateId>,
+    accepting: BitSet,
+}
+
+impl Nba {
+    /// Creates an empty NBA (no states).
+    pub fn new(alphabet: &Alphabet) -> Self {
+        Nba {
+            alphabet: alphabet.clone(),
+            transitions: Vec::new(),
+            initial: Vec::new(),
+            accepting: BitSet::new(),
+        }
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.transitions.push(vec![Vec::new(); self.alphabet.len()]);
+        (self.transitions.len() - 1) as StateId
+    }
+
+    /// Adds a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    pub fn add_transition(&mut self, from: StateId, sym: Symbol, to: StateId) {
+        assert!((to as usize) < self.num_states(), "state out of range");
+        let row = &mut self.transitions[from as usize][sym.index()];
+        if !row.contains(&to) {
+            row.push(to);
+        }
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> &[StateId] {
+        &self.initial
+    }
+
+    /// Marks a state as initial.
+    pub fn set_initial(&mut self, q: StateId) {
+        if !self.initial.contains(&q) {
+            self.initial.push(q);
+        }
+    }
+
+    /// Marks a state as accepting.
+    pub fn add_accepting(&mut self, q: StateId) {
+        self.accepting.insert(q as usize);
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting.contains(q as usize)
+    }
+
+    /// The successors of `q` under `sym`.
+    pub fn successors(&self, q: StateId, sym: Symbol) -> &[StateId] {
+        &self.transitions[q as usize][sym.index()]
+    }
+
+    /// Whether the NBA accepts the lasso word.
+    ///
+    /// Decided on the product of the loop positions with the state space:
+    /// the word is accepted iff from some state reachable at the loop
+    /// entrance there is a product cycle through an accepting state.
+    pub fn accepts(&self, word: &Lasso) -> bool {
+        let n = self.num_states();
+        if n == 0 {
+            return false;
+        }
+        // States reachable after reading the spoke.
+        let mut current: BitSet = self.initial.iter().map(|&q| q as usize).collect();
+        for &sym in word.spoke() {
+            let mut next = BitSet::new();
+            for q in current.iter() {
+                for &t in self.successors(q as StateId, sym) {
+                    next.insert(t as usize);
+                }
+            }
+            current = next;
+        }
+        if current.is_empty() {
+            return false;
+        }
+        // Product graph: vertex (pos, q) for pos in 0..|v|.
+        let vlen = word.cycle().len();
+        let vid = |pos: usize, q: usize| pos * n + q;
+        let mut succs = vec![Vec::new(); vlen * n];
+        for pos in 0..vlen {
+            let sym = word.cycle()[pos];
+            let npos = (pos + 1) % vlen;
+            for q in 0..n {
+                for &t in self.successors(q as StateId, sym) {
+                    succs[vid(pos, q)].push(vid(npos, t as usize) as StateId);
+                }
+            }
+        }
+        let graph = AdjGraph { succs };
+        // Reachable product vertices from the loop entries.
+        let entries: Vec<usize> = current.iter().map(|q| vid(0, q)).collect();
+        let mut reach = BitSet::with_capacity(vlen * n);
+        let mut queue: std::collections::VecDeque<usize> = entries.into_iter().collect();
+        for v in &queue {
+            reach.insert(*v);
+        }
+        while let Some(v) = queue.pop_front() {
+            for &t in &graph.succs[v] {
+                if reach.insert(t as usize) {
+                    queue.push_back(t as usize);
+                }
+            }
+        }
+        // Accepting product cycle?
+        let sccs = tarjan_scc(&graph, Some(&reach));
+        (0..sccs.len()).any(|c| {
+            sccs.has_cycle[c]
+                && sccs.members[c]
+                    .iter()
+                    .any(|&v| self.accepting.contains((v as usize) % n))
+        })
+    }
+
+    /// Whether the NBA's language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accepted_lasso().is_none()
+    }
+
+    /// Some accepted lasso, if the language is non-empty: a path from an
+    /// initial state to an accepting state lying on a cycle, plus that
+    /// cycle.
+    pub fn accepted_lasso(&self) -> Option<Lasso> {
+        // Forward reachability.
+        let n = self.num_states();
+        let mut reach = BitSet::with_capacity(n);
+        let mut prev: Vec<Option<(StateId, Symbol)>> = vec![None; n];
+        let mut queue: std::collections::VecDeque<StateId> = self.initial.iter().copied().collect();
+        for &q in &self.initial {
+            reach.insert(q as usize);
+        }
+        while let Some(q) = queue.pop_front() {
+            for sym in self.alphabet.symbols() {
+                for &t in self.successors(q, sym) {
+                    if reach.insert(t as usize) {
+                        prev[t as usize] = Some((q, sym));
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        // An accepting state on a cycle within the reachable part.
+        let graph = AdjGraph {
+            succs: (0..n)
+                .map(|q| {
+                    let mut v = Vec::new();
+                    for sym in self.alphabet.symbols() {
+                        v.extend_from_slice(self.successors(q as StateId, sym));
+                    }
+                    v
+                })
+                .collect(),
+        };
+        let sccs = tarjan_scc(&graph, Some(&reach));
+        for c in 0..sccs.len() {
+            if !sccs.has_cycle[c] {
+                continue;
+            }
+            let Some(&acc) = sccs.members[c].iter().find(|&&q| self.is_accepting(q)) else {
+                continue;
+            };
+            // Spoke: walk `prev` back from acc.
+            let mut spoke = Vec::new();
+            let mut cur = acc;
+            while let Some((p, sym)) = prev[cur as usize] {
+                spoke.push(sym);
+                cur = p;
+            }
+            spoke.reverse();
+            // Cycle: BFS from acc back to acc within the SCC.
+            let members = sccs.member_set(c);
+            let cycle = self.path_within(acc, acc, &members)?;
+            return Some(Lasso::new(spoke, cycle));
+        }
+        None
+    }
+
+    /// A non-empty symbol path `from → to` staying within `within`.
+    fn path_within(&self, from: StateId, to: StateId, within: &BitSet) -> Option<Vec<Symbol>> {
+        let n = self.num_states();
+        let mut prev: Vec<Option<(StateId, Symbol)>> = vec![None; n];
+        let mut seen = BitSet::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        // Take one step first so the path is non-empty even when from == to.
+        for sym in self.alphabet.symbols() {
+            for &t in self.successors(from, sym) {
+                if within.contains(t as usize) && seen.insert(t as usize) {
+                    prev[t as usize] = Some((from, sym));
+                    queue.push_back(t);
+                }
+            }
+        }
+        // Prev-pointers form a tree rooted at the seeds, whose prev is
+        // `from`; walking back therefore terminates at `from`.
+        let recover = |prev: &Vec<Option<(StateId, Symbol)>>, mut cur: StateId| {
+            let mut path = Vec::new();
+            loop {
+                let (p, sym) = prev[cur as usize].expect("prev chain leads to a seed");
+                path.push(sym);
+                cur = p;
+                if cur == from {
+                    break;
+                }
+            }
+            path.reverse();
+            path
+        };
+        if seen.contains(to as usize) {
+            return Some(recover(&prev, to));
+        }
+        while let Some(q) = queue.pop_front() {
+            for sym in self.alphabet.symbols() {
+                for &t in self.successors(q, sym) {
+                    if within.contains(t as usize) && seen.insert(t as usize) {
+                        prev[t as usize] = Some((q, sym));
+                        if t == to {
+                            return Some(recover(&prev, to));
+                        }
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    /// NBA for "infinitely many b" over {a,b}.
+    fn inf_b(sigma: &Alphabet) -> Nba {
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let mut n = Nba::new(sigma);
+        let s0 = n.add_state();
+        n.add_transition(s0, a, s0);
+        n.add_transition(s0, b, s0);
+        let s1 = n.add_state();
+        n.add_transition(s0, b, s1);
+        n.add_transition(s1, a, s0);
+        n.add_transition(s1, b, s1);
+        n.set_initial(s0);
+        n.add_accepting(s1);
+        n
+    }
+
+    #[test]
+    fn membership() {
+        let sigma = ab();
+        let m = inf_b(&sigma);
+        assert!(m.accepts(&Lasso::parse(&sigma, "", "ab").unwrap()));
+        assert!(m.accepts(&Lasso::parse(&sigma, "aaa", "b").unwrap()));
+        assert!(!m.accepts(&Lasso::parse(&sigma, "bbb", "a").unwrap()));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let sigma = ab();
+        let m = inf_b(&sigma);
+        assert!(!m.is_empty());
+        let w = m.accepted_lasso().unwrap();
+        assert!(m.accepts(&w));
+        // An NBA with no accepting state is empty.
+        let mut e = Nba::new(&sigma);
+        let s0 = e.add_state();
+        for sym in sigma.symbols() {
+            e.add_transition(s0, sym, s0);
+        }
+        e.set_initial(s0);
+        assert!(e.is_empty());
+        assert_eq!(e.accepted_lasso(), None);
+    }
+
+    #[test]
+    fn dead_accepting_state_is_empty() {
+        let sigma = ab();
+        let a = sigma.symbol("a").unwrap();
+        // Accepting state with no outgoing transitions: no infinite run.
+        let mut m = Nba::new(&sigma);
+        let s0 = m.add_state();
+        let s1 = m.add_state();
+        m.add_transition(s0, a, s0);
+        m.add_transition(s0, a, s1);
+        m.set_initial(s0);
+        m.add_accepting(s1);
+        assert!(m.is_empty());
+        assert!(!m.accepts(&Lasso::parse(&sigma, "", "a").unwrap()));
+    }
+
+    #[test]
+    fn no_states_rejects() {
+        let sigma = ab();
+        let m = Nba::new(&sigma);
+        assert!(!m.accepts(&Lasso::parse(&sigma, "", "a").unwrap()));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn agreement_with_deterministic() {
+        use crate::acceptance::Acceptance;
+        use crate::omega::OmegaAutomaton;
+        let sigma = ab();
+        let m = inf_b(&sigma);
+        let b = sigma.symbol("b").unwrap();
+        let det = OmegaAutomaton::build(
+            &sigma,
+            2,
+            0,
+            |_, s| if s == b { 1 } else { 0 },
+            Acceptance::inf([1]),
+        );
+        for (u, v) in [("", "a"), ("", "b"), ("ab", "ba"), ("bb", "ab"), ("ba", "a")] {
+            let w = Lasso::parse(&sigma, u, v).unwrap();
+            assert_eq!(m.accepts(&w), det.accepts(&w), "disagree on {u}({v})^ω");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Random generators for automata, pair lists and lasso words, used by the
+//! property-based tests and the decision-procedure benchmarks (`TAB-DEC`).
+
+use crate::alphabet::Alphabet;
+use crate::bitset::BitSet;
+use crate::dfa::Dfa;
+use crate::lasso::Lasso;
+use crate::omega::OmegaAutomaton;
+use crate::streett::{StreettPair, StreettPairs};
+use crate::StateId;
+use rand::Rng;
+
+/// A uniformly random complete DFA with `num_states` states; each state is
+/// accepting with probability `accept_p`.
+pub fn random_dfa<R: Rng>(
+    rng: &mut R,
+    alphabet: &Alphabet,
+    num_states: usize,
+    accept_p: f64,
+) -> Dfa {
+    let table: Vec<StateId> = (0..num_states * alphabet.len())
+        .map(|_| rng.gen_range(0..num_states) as StateId)
+        .collect();
+    let accepting: BitSet = (0..num_states).filter(|_| rng.gen_bool(accept_p)).collect();
+    Dfa::from_parts(alphabet, num_states, 0, table, accepting)
+        .expect("random table is well-formed")
+}
+
+/// A random deterministic transition structure (acceptance `True`), to be
+/// combined with a random pair list.
+pub fn random_structure<R: Rng>(
+    rng: &mut R,
+    alphabet: &Alphabet,
+    num_states: usize,
+) -> OmegaAutomaton {
+    OmegaAutomaton::build(
+        alphabet,
+        num_states,
+        0,
+        |_, _| rng.gen_range(0..num_states) as StateId,
+        crate::acceptance::Acceptance::True,
+    )
+}
+
+/// A random Streett pair list: `k` pairs whose member sets include each
+/// state with probability `p`.
+pub fn random_pairs<R: Rng>(rng: &mut R, num_states: usize, k: usize, p: f64) -> StreettPairs {
+    StreettPairs(
+        (0..k)
+            .map(|_| {
+                let recurrent: Vec<usize> =
+                    (0..num_states).filter(|_| rng.gen_bool(p)).collect();
+                let persistent: Vec<usize> =
+                    (0..num_states).filter(|_| rng.gen_bool(p)).collect();
+                StreettPair::new(recurrent, persistent)
+            })
+            .collect(),
+    )
+}
+
+/// A random deterministic Streett automaton together with its pair list.
+pub fn random_streett<R: Rng>(
+    rng: &mut R,
+    alphabet: &Alphabet,
+    num_states: usize,
+    k: usize,
+    p: f64,
+) -> (OmegaAutomaton, StreettPairs) {
+    let pairs = random_pairs(rng, num_states, k, p);
+    let structure = random_structure(rng, alphabet, num_states);
+    let aut = structure.with_acceptance(pairs.acceptance(num_states));
+    (aut, pairs)
+}
+
+/// A random lasso with spoke length up to `max_spoke` and loop length in
+/// `1..=max_cycle`.
+pub fn random_lasso<R: Rng>(
+    rng: &mut R,
+    alphabet: &Alphabet,
+    max_spoke: usize,
+    max_cycle: usize,
+) -> Lasso {
+    let spoke_len = rng.gen_range(0..=max_spoke);
+    let cycle_len = rng.gen_range(1..=max_cycle.max(1));
+    let rand_word = |rng: &mut R, len: usize| {
+        (0..len)
+            .map(|_| crate::alphabet::Symbol(rng.gen_range(0..alphabet.len()) as u8))
+            .collect()
+    };
+    let spoke = rand_word(rng, spoke_len);
+    let cycle = rand_word(rng, cycle_len);
+    Lasso::new(spoke, cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn random_dfa_is_wellformed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sigma = ab();
+        for _ in 0..20 {
+            let d = random_dfa(&mut rng, &sigma, 8, 0.4);
+            assert_eq!(d.num_states(), 8);
+            // Exercise the language a bit.
+            let _ = d.is_empty();
+            let _ = d.minimize();
+        }
+    }
+
+    #[test]
+    fn random_streett_classifiable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sigma = ab();
+        for _ in 0..10 {
+            let (aut, pairs) = random_streett(&mut rng, &sigma, 6, 2, 0.3);
+            assert_eq!(pairs.len(), 2);
+            let c = crate::classify::classify(&aut);
+            // Hierarchy invariants must hold on arbitrary automata.
+            assert!(!c.is_obligation || (c.is_recurrence && c.is_persistence));
+            assert!(!c.is_safety || c.is_obligation);
+            assert!(!c.is_guarantee || c.is_obligation);
+            assert!(c.reactivity_index >= 1);
+        }
+    }
+
+    #[test]
+    fn random_lasso_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sigma = ab();
+        for _ in 0..50 {
+            let w = random_lasso(&mut rng, &sigma, 4, 3);
+            assert!(w.spoke().len() <= 4);
+            assert!((1..=3).contains(&w.cycle().len()));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Streett pairs and the named acceptance shapes of the paper.
+//!
+//! The paper's predicate automata carry a list of pairs `(Rᵢ, Pᵢ)` of
+//! *recurrent* and *persistent* state sets; a run `r` is accepting iff for
+//! each `i` either `inf(r) ∩ Rᵢ ≠ ∅` or `inf(r) ⊆ Pᵢ` (Streett acceptance,
+//! \[Str82]). This module provides the pair types and their translation to
+//! and from the boolean [`Acceptance`] conditions used by
+//! [`crate::omega::OmegaAutomaton`], plus the standard named shapes:
+//!
+//! | shape       | condition                              | hierarchy class |
+//! |-------------|----------------------------------------|-----------------|
+//! | Büchi       | `Inf(R)`                               | recurrence      |
+//! | co-Büchi    | `Fin(Q−P)`                             | persistence     |
+//! | one pair    | `Inf(R) ∨ Fin(Q−P)`                    | simple reactivity |
+//! | pair list   | `⋀ᵢ (Inf(Rᵢ) ∨ Fin(Q−Pᵢ))`             | reactivity      |
+
+use crate::acceptance::Acceptance;
+use crate::bitset::BitSet;
+
+/// A single Streett pair `(R, P)`: the run must visit `R` infinitely often
+/// or eventually stay inside `P`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreettPair {
+    /// The recurrent set `R`.
+    pub recurrent: BitSet,
+    /// The persistent set `P`.
+    pub persistent: BitSet,
+}
+
+impl StreettPair {
+    /// Creates a pair from iterators of state indices.
+    pub fn new<R, P>(recurrent: R, persistent: P) -> Self
+    where
+        R: IntoIterator<Item = usize>,
+        P: IntoIterator<Item = usize>,
+    {
+        StreettPair {
+            recurrent: recurrent.into_iter().collect(),
+            persistent: persistent.into_iter().collect(),
+        }
+    }
+
+    /// The acceptance condition of this pair alone, over an automaton with
+    /// `num_states` states: `Inf(R) ∨ Fin(Q − P)`.
+    pub fn acceptance(&self, num_states: usize) -> Acceptance {
+        let outside_p = self.persistent.complement(num_states);
+        Acceptance::Inf(self.recurrent.clone()).or(Acceptance::Fin(outside_p))
+    }
+
+    /// Whether a run with infinity set `inf` satisfies the pair.
+    pub fn accepts_infinity_set(&self, inf: &BitSet) -> bool {
+        inf.intersects(&self.recurrent) || inf.is_subset(&self.persistent)
+    }
+}
+
+/// A list of Streett pairs: the conjunction of its members.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreettPairs(pub Vec<StreettPair>);
+
+impl StreettPairs {
+    /// A single-pair list.
+    pub fn single(pair: StreettPair) -> Self {
+        StreettPairs(vec![pair])
+    }
+
+    /// The conjunction acceptance condition over `num_states` states.
+    pub fn acceptance(&self, num_states: usize) -> Acceptance {
+        self.0
+            .iter()
+            .map(|p| p.acceptance(num_states))
+            .fold(Acceptance::True, Acceptance::and)
+    }
+
+    /// Whether a run with infinity set `inf` satisfies every pair.
+    pub fn accepts_infinity_set(&self, inf: &BitSet) -> bool {
+        self.0.iter().all(|p| p.accepts_infinity_set(inf))
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no pairs (the trivially true condition).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Büchi acceptance `Inf(R)` — the recurrence-automaton shape (`P = ∅`).
+pub fn buchi<I: IntoIterator<Item = usize>>(recurrent: I) -> Acceptance {
+    Acceptance::inf(recurrent)
+}
+
+/// Co-Büchi acceptance "eventually stay inside `P`" — the
+/// persistence-automaton shape (`R = ∅`), i.e. `Fin(Q − P)`.
+pub fn co_buchi<I: IntoIterator<Item = usize>>(persistent: I, num_states: usize) -> Acceptance {
+    let p: BitSet = persistent.into_iter().collect();
+    Acceptance::Fin(p.complement(num_states))
+}
+
+/// Rabin acceptance `⋁ᵢ (Inf(Fᵢ) ∧ Fin(Eᵢ))` from pairs `(Eᵢ, Fᵢ)`
+/// (avoid `Eᵢ`, recur in `Fᵢ`). Rabin is the dual of Streett.
+pub fn rabin(pairs: &[(BitSet, BitSet)]) -> Acceptance {
+    pairs
+        .iter()
+        .map(|(e, f)| Acceptance::Inf(f.clone()).and(Acceptance::Fin(e.clone())))
+        .fold(Acceptance::False, Acceptance::or)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(xs: &[usize]) -> BitSet {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn pair_semantics() {
+        let p = StreettPair::new([1], [0, 2]);
+        assert!(p.accepts_infinity_set(&set(&[1, 3]))); // hits R
+        assert!(p.accepts_infinity_set(&set(&[0, 2]))); // inside P
+        assert!(p.accepts_infinity_set(&set(&[0]))); // inside P
+        assert!(!p.accepts_infinity_set(&set(&[3]))); // neither
+    }
+
+    #[test]
+    fn pair_acceptance_matches_direct() {
+        let p = StreettPair::new([1], [0, 2]);
+        let acc = p.acceptance(4);
+        for bits in 1u8..16 {
+            let inf: BitSet = (0..4).filter(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(
+                p.accepts_infinity_set(&inf),
+                acc.accepts_infinity_set(&inf),
+                "mismatch on {inf:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_conjunction() {
+        let pairs = StreettPairs(vec![
+            StreettPair::new([0], []),
+            StreettPair::new([1], []),
+        ]);
+        assert!(pairs.accepts_infinity_set(&set(&[0, 1])));
+        assert!(!pairs.accepts_infinity_set(&set(&[0])));
+        let acc = pairs.acceptance(2);
+        assert!(acc.accepts_infinity_set(&set(&[0, 1])));
+        assert!(!acc.accepts_infinity_set(&set(&[1])));
+        assert_eq!(pairs.len(), 2);
+        assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn empty_pairs_accept_everything() {
+        let pairs = StreettPairs::default();
+        assert!(pairs.accepts_infinity_set(&set(&[5])));
+        assert_eq!(pairs.acceptance(3), Acceptance::True);
+    }
+
+    #[test]
+    fn named_shapes() {
+        assert_eq!(buchi([1, 2]), Acceptance::inf([1, 2]));
+        // co_buchi over 3 states with P = {0}: Fin({1,2}).
+        assert_eq!(co_buchi([0], 3), Acceptance::fin([1, 2]));
+        let r = rabin(&[(set(&[0]), set(&[1]))]);
+        assert!(r.accepts_infinity_set(&set(&[1])));
+        assert!(!r.accepts_infinity_set(&set(&[0, 1])));
+        assert!(!r.accepts_infinity_set(&set(&[2])));
+    }
+
+    #[test]
+    fn rabin_streett_duality() {
+        // Rabin pairs (E,F) negated gives the Streett condition with
+        // R = E, P = Q − F … check by sampling.
+        let r = rabin(&[(set(&[0]), set(&[1]))]);
+        let s = StreettPair::new([0], [0, 2]).acceptance(3); // P = Q−F = {0,2}
+        for bits in 1u8..8 {
+            let inf: BitSet = (0..3).filter(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(
+                r.negated().accepts_infinity_set(&inf),
+                s.accepts_infinity_set(&inf),
+                "duality mismatch on {inf:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! FIG1 — regenerates Figure 1: the inclusion diagram of the six classes,
+//! with every inclusion verified strict by a canonical witness.
+
+use hierarchy_bench::{expect, header};
+use hierarchy_core::automata::classify;
+use hierarchy_core::lang::witnesses;
+
+fn main() {
+    header("FIG1", "inclusion relations between the classes (Figure 1)");
+
+    let entries = [
+        ("safety A(a⁺b*)", witnesses::safety()),
+        ("guarantee E(Σ*b)", witnesses::guarantee()),
+        ("obligation a*b^ω+Σ*cΣ^ω", witnesses::obligation_simple()),
+        ("recurrence (a*b)^ω", witnesses::recurrence()),
+        ("persistence Σ*b^ω", witnesses::persistence()),
+        ("simple reactivity wit.", witnesses::reactivity_witness(1)),
+        ("reactivity level 2 wit.", witnesses::reactivity_witness(2)),
+    ];
+
+    println!(
+        "\n{:<26} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6}",
+        "witness", "saf", "gua", "obl", "rec", "per", "s-react", "react"
+    );
+    let mut rows = Vec::new();
+    for (name, aut) in &entries {
+        let c = classify::classify(aut);
+        let t = |b: bool| if b { "✓" } else { "·" };
+        println!(
+            "{:<26} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6}",
+            name,
+            t(c.is_safety),
+            t(c.is_guarantee),
+            t(c.is_obligation),
+            t(c.is_recurrence),
+            t(c.is_persistence),
+            t(c.is_simple_reactivity),
+            "✓",
+        );
+        rows.push(c);
+    }
+    println!();
+
+    // Every arrow of Figure 1, with strictness:
+    expect("safety ⊆ obligation, strictly", rows[0].is_obligation && !rows[2].is_safety);
+    expect(
+        "guarantee ⊆ obligation, strictly",
+        rows[1].is_obligation && !rows[2].is_guarantee,
+    );
+    expect(
+        "obligation ⊆ recurrence, strictly",
+        rows[2].is_recurrence && !rows[3].is_obligation,
+    );
+    expect(
+        "obligation ⊆ persistence, strictly",
+        rows[2].is_persistence && !rows[4].is_obligation,
+    );
+    expect(
+        "recurrence ⊆ simple reactivity, strictly",
+        rows[3].is_simple_reactivity && !rows[5].is_recurrence,
+    );
+    expect(
+        "persistence ⊆ simple reactivity, strictly",
+        rows[4].is_simple_reactivity && !rows[5].is_persistence,
+    );
+    expect(
+        "simple reactivity ⊊ reactivity",
+        !rows[6].is_simple_reactivity && rows[6].reactivity_index == 2,
+    );
+    expect(
+        "safety and guarantee incomparable",
+        !rows[0].is_guarantee && !rows[1].is_safety,
+    );
+    expect(
+        "recurrence and persistence incomparable",
+        !rows[3].is_persistence && !rows[4].is_recurrence,
+    );
+    // Obligation = recurrence ∩ persistence (Δ₂ = Π₂ ∩ Σ₂) on all rows:
+    expect(
+        "obligation = recurrence ∩ persistence on all witnesses",
+        rows.iter()
+            .all(|c| c.is_obligation == (c.is_recurrence && c.is_persistence)),
+    );
+    println!("\nFIG1 reproduced: all inclusions hold and are strict.");
+}

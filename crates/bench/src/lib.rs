@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every figure- and table-like artifact
+//! of *A Hierarchy of Temporal Properties* (see DESIGN.md §4 for the
+//! experiment index), plus Criterion benchmarks of the decision
+//! procedures.
+//!
+//! Each experiment is a binary under `src/bin/` that prints the paper's
+//! artifact as reproduced by this library and asserts the expected shape;
+//! EXPERIMENTS.md records paper-vs-measured for each. Run them all with
+//! `for b in fig1_inclusion tab_examples …; do cargo run -p hierarchy-bench --bin $b; done`.
+
+use std::time::Instant;
+
+/// Times a closure, returning (result, elapsed milliseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Prints an experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("==== {id}: {title}");
+}
+
+/// Prints a pass/fail verdict line and panics on failure so experiment
+/// binaries fail loudly in CI.
+pub fn expect(label: &str, ok: bool) {
+    println!("  [{}] {label}", if ok { "ok" } else { "FAIL" });
+    assert!(ok, "experiment expectation failed: {label}");
+}

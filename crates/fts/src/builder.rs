@@ -1,0 +1,357 @@
+//! A guarded-command builder for fair transition systems.
+//!
+//! Programs in the paper's \[MP83] style are written as variables over
+//! finite domains plus guarded commands; the builder enumerates the state
+//! space and produces an explicit [`TransitionSystem`]:
+//!
+//! ```
+//! use hierarchy_automata::prelude::*;
+//! use hierarchy_fts::builder::ProgramBuilder;
+//! use hierarchy_fts::system::Fairness;
+//!
+//! // A one-bit blinker: x alternates when `toggle` fires.
+//! let sigma = Alphabet::of_propositions(["x"]).unwrap();
+//! let mut p = ProgramBuilder::new(&sigma);
+//! let x = p.var("x", 2);
+//! p.init(&[0]);
+//! p.observe(move |vals, alphabet| alphabet.valuation_symbol(&[vals[x] == 1]));
+//! p.command("toggle", Fairness::Weak, |_| true, move |vals| {
+//!     let mut next = vals.to_vec();
+//!     next[x] = 1 - vals[x];
+//!     vec![next]
+//! });
+//! p.command("idle", Fairness::None, |_| true, |vals| vec![vals.to_vec()]);
+//! let ts = p.build().unwrap();
+//! assert_eq!(ts.num_states(), 2);
+//! ```
+
+use crate::system::{Fairness, SystemError, TransitionSystem};
+use hierarchy_automata::alphabet::{Alphabet, Symbol};
+use std::fmt;
+
+type Guard = Box<dyn Fn(&[usize]) -> bool>;
+type Update = Box<dyn Fn(&[usize]) -> Vec<Vec<usize>>>;
+type Observe = Box<dyn Fn(&[usize], &Alphabet) -> Symbol>;
+
+struct Command {
+    name: String,
+    fairness: Fairness,
+    guard: Guard,
+    update: Update,
+}
+
+/// Builds a [`TransitionSystem`] from finite-domain variables and guarded
+/// commands.
+pub struct ProgramBuilder {
+    alphabet: Alphabet,
+    var_names: Vec<String>,
+    domains: Vec<usize>,
+    inits: Vec<Vec<usize>>,
+    observe: Option<Observe>,
+    commands: Vec<Command>,
+}
+
+/// Errors from [`ProgramBuilder::build`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// No observation function was supplied.
+    NoObservation,
+    /// No initial valuation was supplied.
+    NoInitialValuation,
+    /// A command produced a valuation outside the declared domains.
+    UpdateOutOfDomain {
+        /// The offending command.
+        command: String,
+    },
+    /// The resulting system failed validation.
+    System(SystemError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoObservation => write!(f, "no observation function supplied"),
+            BuildError::NoInitialValuation => write!(f, "no initial valuation supplied"),
+            BuildError::UpdateOutOfDomain { command } => {
+                write!(f, "command {command:?} produced an out-of-domain valuation")
+            }
+            BuildError::System(e) => write!(f, "resulting system invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl ProgramBuilder {
+    /// Starts a program observed through `alphabet`.
+    pub fn new(alphabet: &Alphabet) -> Self {
+        ProgramBuilder {
+            alphabet: alphabet.clone(),
+            var_names: Vec::new(),
+            domains: Vec::new(),
+            inits: Vec::new(),
+            observe: None,
+            commands: Vec::new(),
+        }
+    }
+
+    /// Declares a variable with domain `{0, …, domain−1}`; returns its
+    /// index into valuation slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn var(&mut self, name: impl Into<String>, domain: usize) -> usize {
+        assert!(domain > 0, "variable domain must be non-empty");
+        self.var_names.push(name.into());
+        self.domains.push(domain);
+        self.domains.len() - 1
+    }
+
+    /// Declares an initial valuation (one value per declared variable, in
+    /// declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the valuation length or values do not match the domains.
+    pub fn init(&mut self, valuation: &[usize]) {
+        assert_eq!(valuation.len(), self.domains.len(), "valuation arity");
+        for (v, d) in valuation.iter().zip(&self.domains) {
+            assert!(v < d, "initial value out of domain");
+        }
+        self.inits.push(valuation.to_vec());
+    }
+
+    /// Sets the observation: a function from valuations to alphabet
+    /// symbols.
+    pub fn observe<F>(&mut self, f: F)
+    where
+        F: Fn(&[usize], &Alphabet) -> Symbol + 'static,
+    {
+        self.observe = Some(Box::new(f));
+    }
+
+    /// Adds a guarded command: when `guard` holds of the current valuation,
+    /// the command may step to any of the valuations returned by `update`.
+    pub fn command<G, U>(
+        &mut self,
+        name: impl Into<String>,
+        fairness: Fairness,
+        guard: G,
+        update: U,
+    ) where
+        G: Fn(&[usize]) -> bool + 'static,
+        U: Fn(&[usize]) -> Vec<Vec<usize>> + 'static,
+    {
+        self.commands.push(Command {
+            name: name.into(),
+            fairness,
+            guard: Box::new(guard),
+            update: Box::new(update),
+        });
+    }
+
+    /// Enumerates the reachable valuations and produces the explicit
+    /// transition system (validated).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for missing pieces, out-of-domain updates,
+    /// or a system that fails [`TransitionSystem::validate`] (e.g.
+    /// deadlocks).
+    pub fn build(&self) -> Result<TransitionSystem, BuildError> {
+        let observe = self.observe.as_ref().ok_or(BuildError::NoObservation)?;
+        if self.inits.is_empty() {
+            return Err(BuildError::NoInitialValuation);
+        }
+        let mut ts = TransitionSystem::new(&self.alphabet);
+        let mut ids: std::collections::HashMap<Vec<usize>, usize> =
+            std::collections::HashMap::new();
+        let mut order: Vec<Vec<usize>> = Vec::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut intern =
+            |vals: Vec<usize>,
+             ts: &mut TransitionSystem,
+             order: &mut Vec<Vec<usize>>,
+             queue: &mut std::collections::VecDeque<usize>| {
+                if let Some(&id) = ids.get(&vals) {
+                    return id;
+                }
+                let id = ts.add_state(observe(&vals, &self.alphabet));
+                ids.insert(vals.clone(), id);
+                order.push(vals);
+                queue.push_back(id);
+                id
+            };
+        for init in &self.inits {
+            let id = intern(init.clone(), &mut ts, &mut order, &mut queue);
+            ts.set_initial(id);
+        }
+        // Per-command edge lists, discovered by forward exploration.
+        let mut edges: Vec<Vec<(usize, usize)>> = self.commands.iter().map(|_| Vec::new()).collect();
+        while let Some(id) = queue.pop_front() {
+            let vals = order[id].clone();
+            for (ci, cmd) in self.commands.iter().enumerate() {
+                if !(cmd.guard)(&vals) {
+                    continue;
+                }
+                for next in (cmd.update)(&vals) {
+                    if next.len() != self.domains.len()
+                        || next.iter().zip(&self.domains).any(|(v, d)| v >= d)
+                    {
+                        return Err(BuildError::UpdateOutOfDomain {
+                            command: cmd.name.clone(),
+                        });
+                    }
+                    let to = intern(next, &mut ts, &mut order, &mut queue);
+                    edges[ci].push((id, to));
+                }
+            }
+        }
+        for (cmd, edge_list) in self.commands.iter().zip(edges) {
+            ts.add_transition(cmd.name.clone(), edge_list, cmd.fairness);
+        }
+        ts.validate().map_err(BuildError::System)?;
+        Ok(ts)
+    }
+
+    /// The declared variable names, in index order.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::verify;
+    use hierarchy_logic::to_automaton::compile_over;
+    use hierarchy_logic::Formula;
+
+    fn spec(sigma: &Alphabet, src: &str) -> hierarchy_automata::omega::OmegaAutomaton {
+        compile_over(sigma, &Formula::parse(sigma, src).unwrap()).unwrap()
+    }
+
+    /// MUX-SEM rebuilt through the builder: pc1, pc2 ∈ {N, T, C}.
+    fn mux_sem_via_builder(grant_fairness: Fairness) -> (TransitionSystem, Alphabet) {
+        let sigma = crate::programs::observation_alphabet();
+        let mut p = ProgramBuilder::new(&sigma);
+        let pc1 = p.var("pc1", 3);
+        let pc2 = p.var("pc2", 3);
+        p.init(&[0, 0]);
+        p.observe(move |vals, alphabet| {
+            alphabet.valuation_symbol(&[
+                vals[pc1] == 2,
+                vals[pc2] == 2,
+                vals[pc1] == 1,
+                vals[pc2] == 1,
+            ])
+        });
+        let set = move |vals: &[usize], var: usize, value: usize| {
+            let mut next = vals.to_vec();
+            next[var] = value;
+            vec![next]
+        };
+        p.command("req1", Fairness::None, move |v| v[pc1] == 0, move |v| set(v, pc1, 1));
+        p.command("req2", Fairness::None, move |v| v[pc2] == 0, move |v| set(v, pc2, 1));
+        p.command(
+            "grant1",
+            grant_fairness,
+            move |v| v[pc1] == 1 && v[pc2] != 2,
+            move |v| set(v, pc1, 2),
+        );
+        p.command(
+            "grant2",
+            grant_fairness,
+            move |v| v[pc2] == 1 && v[pc1] != 2,
+            move |v| set(v, pc2, 2),
+        );
+        p.command("release1", Fairness::Weak, move |v| v[pc1] == 2, move |v| set(v, pc1, 0));
+        p.command("release2", Fairness::Weak, move |v| v[pc2] == 2, move |v| set(v, pc2, 0));
+        p.command("idle", Fairness::None, |_| true, |v| vec![v.to_vec()]);
+        (p.build().unwrap(), sigma)
+    }
+
+    #[test]
+    fn builder_reproduces_mux_sem_verdicts() {
+        for fairness in [Fairness::Strong, Fairness::Weak] {
+            let (built, sigma) = mux_sem_via_builder(fairness);
+            let (explicit, _) = crate::programs::mux_sem(fairness);
+            for src in ["G !(c1 & c2)", "G (t1 -> F c1)", "G (t2 -> F c2)"] {
+                let prop = spec(&sigma, src);
+                assert_eq!(
+                    verify(&built, &prop).holds(),
+                    verify(&explicit, &prop).holds(),
+                    "builder/explicit disagree on {src} under {fairness:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builder_only_explores_reachable_states() {
+        let (built, _) = mux_sem_via_builder(Fairness::Strong);
+        // pc1 = pc2 = C is unreachable (the semaphore), so 8 of 9
+        // valuations remain.
+        assert_eq!(built.num_states(), 8);
+    }
+
+    #[test]
+    fn builder_errors() {
+        let sigma = crate::programs::observation_alphabet();
+        // Missing observation.
+        let mut p = ProgramBuilder::new(&sigma);
+        p.var("x", 2);
+        p.init(&[0]);
+        assert!(matches!(p.build(), Err(BuildError::NoObservation)));
+        // Missing init.
+        let mut p = ProgramBuilder::new(&sigma);
+        p.var("x", 2);
+        p.observe(|_, a| a.valuation_symbol(&[false, false, false, false]));
+        assert!(matches!(p.build(), Err(BuildError::NoInitialValuation)));
+        // Out-of-domain update.
+        let mut p = ProgramBuilder::new(&sigma);
+        let x = p.var("x", 2);
+        p.init(&[0]);
+        p.observe(|_, a| a.valuation_symbol(&[false, false, false, false]));
+        p.command("bad", Fairness::None, |_| true, move |v| {
+            let mut n = v.to_vec();
+            n[x] = 5;
+            vec![n]
+        });
+        assert!(matches!(p.build(), Err(BuildError::UpdateOutOfDomain { .. })));
+        // Deadlock detected by validation.
+        let mut p = ProgramBuilder::new(&sigma);
+        p.var("x", 2);
+        p.init(&[0]);
+        p.observe(|_, a| a.valuation_symbol(&[false, false, false, false]));
+        assert!(matches!(
+            p.build(),
+            Err(BuildError::System(SystemError::Deadlock { .. }))
+        ));
+    }
+
+    #[test]
+    fn nondeterministic_updates() {
+        // A coin: flip goes to 0 or 1 nondeterministically; under weak
+        // fairness of `flip` both values recur? No — fairness is about the
+        // command, not its branches: □◇x is NOT guaranteed. Check that the
+        // checker agrees (a run may always resolve the flip to 0).
+        let sigma = Alphabet::of_propositions(["x"]).unwrap();
+        let mut p = ProgramBuilder::new(&sigma);
+        let x = p.var("x", 2);
+        p.init(&[0]);
+        p.observe(move |vals, alphabet| alphabet.valuation_symbol(&[vals[x] == 1]));
+        p.command("flip", Fairness::Weak, |_| true, |v| {
+            let mut zero = v.to_vec();
+            zero[0] = 0;
+            let mut one = v.to_vec();
+            one[0] = 1;
+            vec![zero, one]
+        });
+        let ts = p.build().unwrap();
+        let prop = spec(&sigma, "G F x");
+        assert!(!verify(&ts, &prop).holds());
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Fair transition systems and a model checker for hierarchy properties —
+//! the paper's program-facing side.
+//!
+//! The paper motivates every class with program requirements: mutual
+//! exclusion (safety), accessibility (response/recurrence), weak fairness
+//! (recurrence), strong fairness (simple reactivity). This crate provides:
+//!
+//! * [`system::TransitionSystem`] — explicit-state fair transition systems
+//!   in the style of \[MP83]: named transitions with optional *weak*
+//!   (justice) or *strong* (compassion) fairness, and per-state
+//!   observations over an alphabet;
+//! * [`checker`] — a model checker deciding whether every fair computation
+//!   satisfies a property given as a deterministic ω-automaton, by
+//!   searching the product for a fair counterexample cycle (iterated SCC
+//!   refinement, the same algorithm family as Streett emptiness);
+//! * [`programs`] — the paper's example programs: Peterson's mutual
+//!   exclusion, a semaphore with strong fairness, and a token ring;
+//! * [`builder`] — a guarded-command builder: variables over finite
+//!   domains plus guarded commands, compiled to an explicit system.
+
+pub mod builder;
+pub mod checker;
+pub mod programs;
+pub mod system;

@@ -1,0 +1,296 @@
+//! Fair transition systems: explicit states, named transitions, fairness
+//! requirements, and per-state observations.
+
+use hierarchy_automata::alphabet::{Alphabet, Symbol};
+use std::fmt;
+
+/// The fairness requirement attached to a transition (\[MP83]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fairness {
+    /// No requirement.
+    None,
+    /// Weak fairness (justice): the transition may not be continuously
+    /// enabled yet never taken.
+    Weak,
+    /// Strong fairness (compassion): if enabled infinitely often, the
+    /// transition must be taken infinitely often.
+    Strong,
+}
+
+/// A named transition: a set of edges plus a fairness requirement. The
+/// transition is *enabled* in a state iff it has an edge from that state;
+/// it is *taken* when one of its edges is used.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Human-readable name (used in counterexamples).
+    pub name: String,
+    /// The edges `(from, to)` of the transition.
+    pub edges: Vec<(usize, usize)>,
+    /// The fairness requirement.
+    pub fairness: Fairness,
+}
+
+/// An explicit-state fair transition system whose states are observed
+/// through an alphabet (each state emits one symbol; a computation emits
+/// an ω-word).
+///
+/// # Examples
+///
+/// ```
+/// use hierarchy_automata::prelude::*;
+/// use hierarchy_fts::system::{Fairness, TransitionSystem};
+///
+/// let sigma = Alphabet::new(["n", "c"]).unwrap();
+/// let mut ts = TransitionSystem::new(&sigma);
+/// let idle = ts.add_state(sigma.symbol("n").unwrap());
+/// let crit = ts.add_state(sigma.symbol("c").unwrap());
+/// ts.set_initial(idle);
+/// ts.add_transition("enter", vec![(idle, crit)], Fairness::Weak);
+/// ts.add_transition("leave", vec![(crit, idle)], Fairness::Weak);
+/// ts.add_transition("stay", vec![(idle, idle), (crit, crit)], Fairness::None);
+/// assert!(ts.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransitionSystem {
+    alphabet: Alphabet,
+    observations: Vec<Symbol>,
+    initial: Vec<usize>,
+    transitions: Vec<Transition>,
+}
+
+/// A validation problem in a transition system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// No initial state was declared.
+    NoInitialState,
+    /// Some state has no outgoing edge, so computations could deadlock;
+    /// add an idling transition if this is intended.
+    Deadlock {
+        /// The stuck state.
+        state: usize,
+    },
+    /// A transition references a state that does not exist.
+    UnknownState {
+        /// The transition name.
+        transition: String,
+        /// The offending state index.
+        state: usize,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::NoInitialState => write!(f, "no initial state declared"),
+            SystemError::Deadlock { state } => {
+                write!(f, "state {state} has no outgoing edge (deadlock)")
+            }
+            SystemError::UnknownState { transition, state } => {
+                write!(f, "transition {transition:?} references unknown state {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl TransitionSystem {
+    /// Creates an empty system observed through `alphabet`.
+    pub fn new(alphabet: &Alphabet) -> Self {
+        TransitionSystem {
+            alphabet: alphabet.clone(),
+            observations: Vec::new(),
+            initial: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The observation alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Adds a state emitting `observation`; returns its index.
+    pub fn add_state(&mut self, observation: Symbol) -> usize {
+        self.observations.push(observation);
+        self.observations.len() - 1
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// The observation of a state.
+    pub fn observation(&self, state: usize) -> Symbol {
+        self.observations[state]
+    }
+
+    /// Declares an initial state.
+    pub fn set_initial(&mut self, state: usize) {
+        if !self.initial.contains(&state) {
+            self.initial.push(state);
+        }
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// Adds a named transition; returns its index.
+    pub fn add_transition(
+        &mut self,
+        name: impl Into<String>,
+        edges: Vec<(usize, usize)>,
+        fairness: Fairness,
+    ) -> usize {
+        self.transitions.push(Transition {
+            name: name.into(),
+            edges,
+            fairness,
+        });
+        self.transitions.len() - 1
+    }
+
+    /// The transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Whether transition `t` is enabled in `state`.
+    pub fn enabled(&self, t: usize, state: usize) -> bool {
+        self.transitions[t].edges.iter().any(|&(from, _)| from == state)
+    }
+
+    /// All successor states of `state` (over all transitions).
+    pub fn successors(&self, state: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for t in &self.transitions {
+            for &(from, to) in &t.edges {
+                if from == state && !out.contains(&to) {
+                    out.push(to);
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates the system: at least one initial state, no deadlocks, no
+    /// dangling state references.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SystemError`] found.
+    pub fn validate(&self) -> Result<(), SystemError> {
+        if self.initial.is_empty() {
+            return Err(SystemError::NoInitialState);
+        }
+        for t in &self.transitions {
+            for &(from, to) in &t.edges {
+                for s in [from, to] {
+                    if s >= self.num_states() {
+                        return Err(SystemError::UnknownState {
+                            transition: t.name.clone(),
+                            state: s,
+                        });
+                    }
+                }
+            }
+        }
+        // Deadlock freedom over the reachable part.
+        let mut seen = vec![false; self.num_states()];
+        let mut stack: Vec<usize> = self.initial.clone();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            let succs = self.successors(s);
+            if succs.is_empty() {
+                return Err(SystemError::Deadlock { state: s });
+            }
+            for n in succs {
+                if !seen[n] {
+                    seen[n] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigma() -> Alphabet {
+        Alphabet::new(["n", "c"]).unwrap()
+    }
+
+    fn two_state() -> TransitionSystem {
+        let a = sigma();
+        let mut ts = TransitionSystem::new(&a);
+        let s0 = ts.add_state(a.symbol("n").unwrap());
+        let s1 = ts.add_state(a.symbol("c").unwrap());
+        ts.set_initial(s0);
+        ts.add_transition("go", vec![(s0, s1)], Fairness::Weak);
+        ts.add_transition("back", vec![(s1, s0)], Fairness::None);
+        ts
+    }
+
+    #[test]
+    fn build_and_query() {
+        let ts = two_state();
+        assert_eq!(ts.num_states(), 2);
+        assert!(ts.enabled(0, 0));
+        assert!(!ts.enabled(0, 1));
+        assert_eq!(ts.successors(0), vec![1]);
+        assert_eq!(ts.initial_states(), &[0]);
+        assert!(ts.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_no_initial() {
+        let a = sigma();
+        let mut ts = TransitionSystem::new(&a);
+        ts.add_state(a.symbol("n").unwrap());
+        assert_eq!(ts.validate(), Err(SystemError::NoInitialState));
+    }
+
+    #[test]
+    fn validation_catches_deadlock() {
+        let a = sigma();
+        let mut ts = TransitionSystem::new(&a);
+        let s0 = ts.add_state(a.symbol("n").unwrap());
+        let s1 = ts.add_state(a.symbol("c").unwrap());
+        ts.set_initial(s0);
+        ts.add_transition("go", vec![(s0, s1)], Fairness::None);
+        assert_eq!(ts.validate(), Err(SystemError::Deadlock { state: s1 }));
+    }
+
+    #[test]
+    fn validation_catches_unknown_state() {
+        let a = sigma();
+        let mut ts = TransitionSystem::new(&a);
+        let s0 = ts.add_state(a.symbol("n").unwrap());
+        ts.set_initial(s0);
+        ts.add_transition("bad", vec![(s0, 7)], Fairness::None);
+        assert!(matches!(
+            ts.validate(),
+            Err(SystemError::UnknownState { state: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_deadlock_is_fine() {
+        let a = sigma();
+        let mut ts = TransitionSystem::new(&a);
+        let s0 = ts.add_state(a.symbol("n").unwrap());
+        let _dead = ts.add_state(a.symbol("c").unwrap());
+        ts.set_initial(s0);
+        ts.add_transition("loop", vec![(s0, s0)], Fairness::None);
+        assert!(ts.validate().is_ok());
+    }
+}

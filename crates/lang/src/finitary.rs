@@ -1,0 +1,413 @@
+//! Finitary properties `Φ ⊆ Σ⁺` — the building blocks of the hierarchy.
+//!
+//! A [`FinitaryProperty`] is a regular set of **non-empty** finite words,
+//! backed by a minimal complete DFA. The paper's finitary operators are
+//! provided as methods: the boolean algebra (complement relative to `Σ⁺`),
+//! the finitary versions `A_f`/`E_f` of the infinitary operators, and the
+//! `minex` minimal-extension operator of the recurrence-intersection law
+//! `R(Φ₁) ∩ R(Φ₂) = R(minex(Φ₁, Φ₂))`.
+
+use crate::regex::{Regex, RegexError};
+use crate::thompson;
+use hierarchy_automata::alphabet::{Alphabet, Symbol};
+use hierarchy_automata::bitset::BitSet;
+use hierarchy_automata::dfa::Dfa;
+use hierarchy_automata::StateId;
+
+/// A regular set of non-empty finite words over an alphabet.
+///
+/// All constructors normalize the underlying automaton: the language is
+/// intersected with `Σ⁺` (the empty word is never a member, matching the
+/// paper's definition `Φ ⊆ Σ⁺`) and the DFA is minimized.
+///
+/// # Examples
+///
+/// ```
+/// use hierarchy_automata::prelude::*;
+/// use hierarchy_lang::FinitaryProperty;
+///
+/// let sigma = Alphabet::new(["a", "b"]).unwrap();
+/// let phi = FinitaryProperty::parse(&sigma, "a*b").unwrap();
+/// assert!(phi.contains_str("aab").unwrap());
+/// assert!(!phi.contains_str("ba").unwrap());
+/// // ε is excluded even if the regex matches it:
+/// let all = FinitaryProperty::parse(&sigma, "a*").unwrap();
+/// assert!(!all.contains([]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FinitaryProperty {
+    dfa: Dfa,
+}
+
+impl FinitaryProperty {
+    /// Builds a finitary property from a regex string (see
+    /// [`Regex::parse`] for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error, if any.
+    pub fn parse(alphabet: &Alphabet, pattern: &str) -> Result<Self, RegexError> {
+        Ok(Self::from_regex(alphabet, &Regex::parse(alphabet, pattern)?))
+    }
+
+    /// Builds a finitary property from a regex syntax tree.
+    pub fn from_regex(alphabet: &Alphabet, regex: &Regex) -> Self {
+        Self::from_dfa(thompson::regex_to_dfa(alphabet, regex))
+    }
+
+    /// Wraps a DFA, dropping ε from its language and minimizing.
+    pub fn from_dfa(dfa: Dfa) -> Self {
+        // Exclude ε: if the initial state is accepting, split it.
+        let normalized = if dfa.is_accepting(dfa.initial()) {
+            let n = dfa.num_states();
+            let init = dfa.initial();
+            // State n mirrors the initial state but is non-accepting.
+            let accepting: BitSet = dfa.accepting().iter().collect();
+            let dfa2 = Dfa::build(
+                dfa.alphabet(),
+                n + 1,
+                n as StateId,
+                |q, s| {
+                    let src = if q as usize == n { init } else { q };
+                    dfa.step(src, s)
+                },
+                accepting.iter().map(|q| q as StateId),
+            );
+            dfa2
+        } else {
+            dfa
+        };
+        FinitaryProperty {
+            dfa: normalized.minimize(),
+        }
+    }
+
+    /// The empty finitary property ∅.
+    pub fn empty(alphabet: &Alphabet) -> Self {
+        FinitaryProperty {
+            dfa: Dfa::empty(alphabet),
+        }
+    }
+
+    /// The full finitary property `Σ⁺`.
+    pub fn sigma_plus(alphabet: &Alphabet) -> Self {
+        Self::from_dfa(Dfa::sigma_star(alphabet))
+    }
+
+    /// The underlying minimal DFA (its language never contains ε).
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        self.dfa.alphabet()
+    }
+
+    /// Membership of a word (ε is never a member).
+    pub fn contains<I: IntoIterator<Item = Symbol>>(&self, word: I) -> bool {
+        self.dfa.accepts(word)
+    }
+
+    /// Membership of a word given as single-character symbol names; `None`
+    /// if some character is not in the alphabet.
+    pub fn contains_str(&self, word: &str) -> Option<bool> {
+        let syms: Option<Vec<Symbol>> = word
+            .chars()
+            .map(|c| self.alphabet().symbol(&c.to_string()))
+            .collect();
+        Some(self.contains(syms?))
+    }
+
+    /// Whether the property holds of no word.
+    pub fn is_empty(&self) -> bool {
+        self.dfa.is_empty()
+    }
+
+    /// Union.
+    pub fn union(&self, other: &FinitaryProperty) -> FinitaryProperty {
+        FinitaryProperty {
+            dfa: self.dfa.union(&other.dfa).minimize(),
+        }
+    }
+
+    /// Intersection.
+    pub fn intersection(&self, other: &FinitaryProperty) -> FinitaryProperty {
+        FinitaryProperty {
+            dfa: self.dfa.intersection(&other.dfa).minimize(),
+        }
+    }
+
+    /// Difference.
+    pub fn difference(&self, other: &FinitaryProperty) -> FinitaryProperty {
+        FinitaryProperty {
+            dfa: self.dfa.difference(&other.dfa).minimize(),
+        }
+    }
+
+    /// The paper's complement `Φ̄ = Σ⁺ − Φ` (relative to non-empty words).
+    pub fn complement(&self) -> FinitaryProperty {
+        Self::from_dfa(self.dfa.complement())
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &FinitaryProperty) -> bool {
+        self.dfa.is_subset_of(&other.dfa)
+    }
+
+    /// Whether the two properties hold of exactly the same words.
+    pub fn equivalent(&self, other: &FinitaryProperty) -> bool {
+        self.dfa.equivalent(&other.dfa)
+    }
+
+    /// A shortest member, if any.
+    pub fn shortest_member(&self) -> Option<Vec<Symbol>> {
+        self.dfa.shortest_accepted()
+    }
+
+    /// The finitary operator `A_f(Φ)`: words all of whose non-empty
+    /// prefixes (including the word itself) belong to `Φ`.
+    pub fn a_f(&self) -> FinitaryProperty {
+        // Add a dead sink; any step that would reach a non-accepting state
+        // diverts there.
+        let n = self.dfa.num_states();
+        let sink = n as StateId;
+        let dfa = &self.dfa;
+        let out = Dfa::build(
+            self.alphabet(),
+            n + 1,
+            dfa.initial(),
+            |q, s| {
+                if q == sink {
+                    return sink;
+                }
+                let t = dfa.step(q, s);
+                if dfa.is_accepting(t) {
+                    t
+                } else {
+                    sink
+                }
+            },
+            dfa.accepting().iter().map(|q| q as StateId),
+        );
+        FinitaryProperty::from_dfa(out)
+    }
+
+    /// The finitary operator `E_f(Φ) = Φ·Σ*`: words with some non-empty
+    /// prefix in `Φ`.
+    pub fn e_f(&self) -> FinitaryProperty {
+        // Accepting states become absorbing.
+        let dfa = &self.dfa;
+        let out = Dfa::build(
+            self.alphabet(),
+            dfa.num_states(),
+            dfa.initial(),
+            |q, s| if dfa.is_accepting(q) { q } else { dfa.step(q, s) },
+            dfa.accepting().iter().map(|q| q as StateId),
+        );
+        FinitaryProperty::from_dfa(out)
+    }
+
+    /// The paper's minimal-extension operator `minex(Φ₁, Φ₂)`: the words
+    /// `σ₂ ∈ Φ₂` that are a *minimal proper* `Φ₂`-extension of some
+    /// `σ₁ ∈ Φ₁` (no `σ₂' ∈ Φ₂` with `σ₁ ≺ σ₂' ≺ σ₂`).
+    ///
+    /// This is the key to the closure law
+    /// `R(Φ₁) ∩ R(Φ₂) = R(minex(Φ₁, Φ₂))`.
+    pub fn minex(&self, other: &FinitaryProperty) -> FinitaryProperty {
+        // Product automaton (q₁, q₂, pending, fresh) where `pending` says
+        // "some proper prefix was in Φ₁ with no Φ₂-word strictly in
+        // between", evaluated *before* the current position, and `fresh`
+        // caches whether the word read so far qualifies (current prefix in
+        // Φ₂ and pending held before it).
+        let d1 = &self.dfa;
+        let d2 = &other.dfa;
+        assert_eq!(
+            d1.alphabet(),
+            d2.alphabet(),
+            "minex requires identical alphabets"
+        );
+        let n1 = d1.num_states();
+        let n2 = d2.num_states();
+        let id = |q1: StateId, q2: StateId, pending: bool, acc: bool| -> StateId {
+            ((((q1 as usize * n2) + q2 as usize) * 2 + usize::from(pending)) * 2
+                + usize::from(acc)) as StateId
+        };
+        let start = id(d1.initial(), d2.initial(), false, false);
+        let out = Dfa::build(
+            self.alphabet(),
+            n1 * n2 * 4,
+            start,
+            |state, s| {
+                let acc_bit = state % 2;
+                let pending = (state / 2) % 2 == 1;
+                let q2 = (state / 4) as usize % n2;
+                let q1 = (state / 4) as usize / n2;
+                let _ = acc_bit;
+                let t1 = d1.step(q1 as StateId, s);
+                let t2 = d2.step(q2 as StateId, s);
+                let new_acc = d2.is_accepting(t2) && pending;
+                let new_pending = d1.is_accepting(t1) || (pending && !d2.is_accepting(t2));
+                id(t1, t2, new_pending, new_acc)
+            },
+            (0..(n1 * n2 * 4) as StateId).filter(|s| s % 2 == 1),
+        );
+        FinitaryProperty::from_dfa(out)
+    }
+}
+
+impl PartialEq for FinitaryProperty {
+    fn eq(&self, other: &Self) -> bool {
+        self.equivalent(other)
+    }
+}
+
+impl Eq for FinitaryProperty {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    fn prop(sigma: &Alphabet, pat: &str) -> FinitaryProperty {
+        FinitaryProperty::parse(sigma, pat).unwrap()
+    }
+
+    #[test]
+    fn epsilon_always_excluded() {
+        let sigma = ab();
+        let star = prop(&sigma, "a*");
+        assert!(!star.contains([]));
+        assert!(star.contains_str("a").unwrap());
+        assert!(star.equivalent(&prop(&sigma, "a+")));
+        assert!(FinitaryProperty::sigma_plus(&sigma).contains_str("b").unwrap());
+        assert!(!FinitaryProperty::sigma_plus(&sigma).contains([]));
+    }
+
+    #[test]
+    fn boolean_algebra_relative_to_sigma_plus() {
+        let sigma = ab();
+        let phi = prop(&sigma, "a*b");
+        let comp = phi.complement();
+        assert!(!comp.contains([]));
+        assert!(comp.contains_str("a").unwrap());
+        assert!(!comp.contains_str("ab").unwrap());
+        assert!(phi
+            .union(&comp)
+            .equivalent(&FinitaryProperty::sigma_plus(&sigma)));
+        assert!(phi.intersection(&comp).is_empty());
+        assert!(phi.difference(&phi).is_empty());
+        assert!(phi.is_subset_of(&FinitaryProperty::sigma_plus(&sigma)));
+    }
+
+    #[test]
+    fn a_f_keeps_prefix_closed_words() {
+        let sigma = ab();
+        // The paper: A_f(a⁺b*) = a⁺b*.
+        let phi = prop(&sigma, "aa*b*");
+        let af = phi.a_f();
+        assert!(af.equivalent(&prop(&sigma, "aa*b*")));
+    }
+
+    #[test]
+    fn a_f_drops_words_with_bad_prefixes() {
+        let sigma = ab();
+        // Φ = Σ*b: words ending in b. A_f(Φ) = b⁺ (every prefix must end
+        // in b).
+        let phi = prop(&sigma, ".*b");
+        assert!(phi.a_f().equivalent(&prop(&sigma, "bb*")));
+    }
+
+    #[test]
+    fn e_f_is_phi_sigma_star() {
+        let sigma = ab();
+        // The paper: E_f(a⁺b*) = a⁺b*·Σ*  — which over {a,b} is a·Σ*.
+        let phi = prop(&sigma, "aa*b*");
+        let ef = phi.e_f();
+        assert!(ef.equivalent(&prop(&sigma, "a(a+b)*")));
+    }
+
+    #[test]
+    fn finitary_duality_laws() {
+        let sigma = ab();
+        for pat in ["a*b", "aa*b*", "(ab)+", ".*ba"] {
+            let phi = prop(&sigma, pat);
+            // ¬A_f(Φ) = E_f(¬Φ) and ¬E_f(Φ) = A_f(¬Φ), complements in Σ⁺.
+            assert!(
+                phi.a_f().complement().equivalent(&phi.complement().e_f()),
+                "A_f duality failed for {pat}"
+            );
+            assert!(
+                phi.e_f().complement().equivalent(&phi.complement().a_f()),
+                "E_f duality failed for {pat}"
+            );
+        }
+    }
+
+    #[test]
+    fn minex_paper_example_corrected() {
+        // minex((a³)⁺, (a²)⁺): by the definition, a² itself has no proper
+        // Φ₁-prefix, so the language is (a⁶)⁺a² + (a⁶)*a⁴ (the paper's
+        // display "(a⁶)*a² + (a⁶)*a⁴" includes a², which has no Φ₁-prefix —
+        // see EXPERIMENTS.md).
+        let sigma = ab();
+        let p3 = prop(&sigma, "(aaa)+");
+        let p2 = prop(&sigma, "(aa)+");
+        let m = p3.minex(&p2);
+        let expected = prop(&sigma, "(aaaaaa)(aaaaaa)*aa + (aaaaaa)*aaaa");
+        assert!(
+            m.equivalent(&expected),
+            "minex (a³)⁺/(a²)⁺ mismatch; got e.g. {:?}",
+            m.shortest_member()
+        );
+    }
+
+    #[test]
+    fn minex_paper_example_two() {
+        // minex((a²)⁺, (a³)⁺) = (a⁶)⁺ + (a⁶)*a³ = (a³)⁺.
+        let sigma = ab();
+        let p2 = prop(&sigma, "(aa)+");
+        let p3 = prop(&sigma, "(aaa)+");
+        let m = p2.minex(&p3);
+        assert!(m.equivalent(&prop(&sigma, "(aaa)+")));
+    }
+
+    #[test]
+    fn minex_is_subset_of_phi2() {
+        let sigma = ab();
+        let p1 = prop(&sigma, "a*b");
+        let p2 = prop(&sigma, "b*a");
+        assert!(p1.minex(&p2).is_subset_of(&p2));
+        assert!(p2.minex(&p1).is_subset_of(&p1));
+    }
+
+    #[test]
+    fn minex_simple_membership() {
+        let sigma = ab();
+        // Φ₁ = {a}, Φ₂ = words ending in b.
+        let p1 = prop(&sigma, "a");
+        let p2 = prop(&sigma, ".*b");
+        let m = p1.minex(&p2);
+        // ab: extension of a, minimal (nothing strictly between) → in.
+        assert!(m.contains_str("ab").unwrap());
+        // abb: a ≺ ab ≺ abb with ab ∈ Φ₂ → not minimal.
+        assert!(!m.contains_str("abb").unwrap());
+        // aab: a ≺ aab, nothing in Φ₂ strictly between (aa ∉ Φ₂) → in.
+        assert!(m.contains_str("aab").unwrap());
+        // b: no proper Φ₁-prefix → out.
+        assert!(!m.contains_str("b").unwrap());
+    }
+
+    #[test]
+    fn shortest_member_examples() {
+        let sigma = ab();
+        assert_eq!(
+            prop(&sigma, "a*b").shortest_member().unwrap().len(),
+            1 // "b"
+        );
+        assert!(FinitaryProperty::empty(&sigma).shortest_member().is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! The paper's first-order characterization of the four operators
+//! ("Expression by a First Order Language", end of Section 2):
+//!
+//! ```text
+//! χ_A(σ):  ∀σ′ ≺ σ.  Φ(σ′)
+//! χ_E(σ):  ∃σ′ ≺ σ.  Φ(σ′)
+//! χ_R(σ):  ∀σ′ ≺ σ. ∃σ″ (σ′ ≺ σ″ ≺ σ).  Φ(σ″)
+//! χ_P(σ):  ∃σ′ ≺ σ. ∀σ″ (σ′ ≺ σ″ ≺ σ).  Φ(σ″)
+//! ```
+//!
+//! quantifying over the finite prefixes of an infinite word — the
+//! quantifier alternation that justifies the Borel names Π₁/Σ₁/Π₂/Σ₂.
+//! On ultimately periodic words the unbounded quantifiers are decidable:
+//! the prefix membership sequence of a regular `Φ` along `u·vω` is
+//! ultimately periodic with period `|v|` and pre-period
+//! `|u| + |Q|·|v|`, so quantification reduces to a bounded scan plus the
+//! periodic tail.
+
+use crate::finitary::FinitaryProperty;
+use hierarchy_automata::lasso::Lasso;
+
+/// The prefix-membership trace of `Φ` along the lasso: `(values, tail)`
+/// where `values[j]` = "the prefix of length j+1 is in Φ" for
+/// `j < values.len()`, and from index `values.len() − tail` on the trace
+/// repeats with period `tail`.
+pub fn prefix_trace(phi: &FinitaryProperty, word: &Lasso) -> (Vec<bool>, usize) {
+    let dfa = phi.dfa();
+    let spoke = word.spoke().len();
+    let cyc = word.cycle().len();
+    // After the spoke, the DFA state at loop offsets becomes periodic
+    // within |Q| loop traversals.
+    let horizon = spoke + (dfa.num_states() + 1) * cyc;
+    let mut values = Vec::with_capacity(horizon);
+    let mut q = dfa.initial();
+    let mut states_at_entry = Vec::new();
+    let mut period = cyc;
+    let mut j = 0;
+    while j < horizon {
+        if j >= spoke && (j - spoke).is_multiple_of(cyc) {
+            if let Some(first) = states_at_entry.iter().position(|&s| s == q) {
+                period = (states_at_entry.len() - first) * cyc;
+                break;
+            }
+            states_at_entry.push(q);
+        }
+        q = dfa.step(q, word.at(j));
+        values.push(dfa.is_accepting(q));
+        j += 1;
+    }
+    (values, period)
+}
+
+/// `χ_A(σ)`: every proper prefix of `σ` is in `Φ`.
+pub fn chi_a(phi: &FinitaryProperty, word: &Lasso) -> bool {
+    let (values, _) = prefix_trace(phi, word);
+    values.iter().all(|&b| b)
+}
+
+/// `χ_E(σ)`: some proper prefix of `σ` is in `Φ`.
+pub fn chi_e(phi: &FinitaryProperty, word: &Lasso) -> bool {
+    let (values, _) = prefix_trace(phi, word);
+    values.iter().any(|&b| b)
+}
+
+/// `χ_R(σ)`: beyond every prefix there is a longer `Φ`-prefix (infinitely
+/// many `Φ`-prefixes).
+pub fn chi_r(phi: &FinitaryProperty, word: &Lasso) -> bool {
+    let (values, tail) = prefix_trace(phi, word);
+    values[values.len() - tail..].iter().any(|&b| b)
+}
+
+/// `χ_P(σ)`: some prefix beyond which every prefix is in `Φ` (all but
+/// finitely many `Φ`-prefixes).
+pub fn chi_p(phi: &FinitaryProperty, word: &Lasso) -> bool {
+    let (values, tail) = prefix_trace(phi, word);
+    values[values.len() - tail..].iter().all(|&b| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators;
+    use hierarchy_automata::alphabet::Alphabet;
+    use hierarchy_automata::random::random_lasso;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn chi_matches_operators_on_paper_examples() {
+        let sigma = ab();
+        let phi = FinitaryProperty::parse(&sigma, ".*b").unwrap();
+        let w_inf = Lasso::parse(&sigma, "", "ab").unwrap();
+        let w_tail = Lasso::parse(&sigma, "ab", "b").unwrap();
+        let w_a = Lasso::parse(&sigma, "b", "a").unwrap();
+        assert!(chi_r(&phi, &w_inf));
+        assert!(!chi_p(&phi, &w_inf));
+        assert!(chi_p(&phi, &w_tail));
+        assert!(!chi_r(&phi, &w_a));
+        assert!(chi_e(&phi, &w_a));
+        assert!(!chi_a(&phi, &w_a));
+    }
+
+    #[test]
+    fn chi_formulas_equal_operator_membership() {
+        // The paper's claim σ ∈ O(Φ) ⇔ ⊨ χ_O^Φ(σ), randomized.
+        let sigma = ab();
+        let mut rng = StdRng::seed_from_u64(31);
+        for pat in ["a*b", "(ab)+", ".*b", "aa*b*", "b*a"] {
+            let phi = FinitaryProperty::parse(&sigma, pat).unwrap();
+            let a = operators::a(&phi);
+            let e = operators::e(&phi);
+            let r = operators::r(&phi);
+            let p = operators::p(&phi);
+            for _ in 0..120 {
+                let w = random_lasso(&mut rng, &sigma, 4, 4);
+                assert_eq!(chi_a(&phi, &w), a.accepts(&w), "χ_A {pat}");
+                assert_eq!(chi_e(&phi, &w), e.accepts(&w), "χ_E {pat}");
+                assert_eq!(chi_r(&phi, &w), r.accepts(&w), "χ_R {pat}");
+                assert_eq!(chi_p(&phi, &w), p.accepts(&w), "χ_P {pat}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantifier_dualities() {
+        // ¬χ_A^Φ = χ_E^¬Φ and ¬χ_R^Φ = χ_P^¬Φ pointwise.
+        let sigma = ab();
+        let mut rng = StdRng::seed_from_u64(32);
+        let phi = FinitaryProperty::parse(&sigma, "a*b").unwrap();
+        let co = phi.complement();
+        for _ in 0..200 {
+            let w = random_lasso(&mut rng, &sigma, 4, 3);
+            assert_eq!(!chi_a(&phi, &w), chi_e(&co, &w));
+            assert_eq!(!chi_r(&phi, &w), chi_p(&co, &w));
+        }
+    }
+
+    #[test]
+    fn trace_periodicity_is_sound() {
+        let sigma = ab();
+        let phi = FinitaryProperty::parse(&sigma, "(aa)+").unwrap();
+        let w = Lasso::parse(&sigma, "b", "a").unwrap();
+        let (values, tail) = prefix_trace(&phi, &w);
+        assert!(tail >= 1 && tail <= values.len());
+        // The declared tail really repeats: extend manually and compare.
+        let dfa = phi.dfa();
+        let mut q = dfa.initial();
+        let mut extended = Vec::new();
+        for j in 0..values.len() + 2 * tail {
+            q = dfa.step(q, w.at(j));
+            extended.push(dfa.is_accepting(q));
+        }
+        for (i, &v) in extended.iter().enumerate() {
+            let folded = if i < values.len() {
+                values[i]
+            } else {
+                let base = values.len() - tail;
+                values[base + (i - base) % tail]
+            };
+            assert_eq!(v, folded, "position {i}");
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Regular expressions in the paper's notation.
+//!
+//! The grammar follows the paper's regular-expression style:
+//!
+//! ```text
+//! expr    ::= term ('+' term)*          // union (the paper's '+')
+//! term    ::= factor+                   // concatenation by juxtaposition
+//! factor  ::= atom ('*' | '+')*         // Kleene star / plus (postfix)
+//! atom    ::= symbol | '.' | '(' expr ')'
+//! ```
+//!
+//! A `+` is parsed as *postfix plus* when it directly follows a factor and
+//! is not followed by the start of another atom at the same level — i.e.
+//! `a+b` is the union `a ∪ b`, while `a+` and `(ab)+` use the postfix plus,
+//! and `a++b` is `a⁺ ∪ b`. `.` denotes any single symbol (the paper's `Σ`).
+//! Symbols are single characters that must name a symbol of the alphabet;
+//! whitespace is ignored.
+
+use hierarchy_automata::alphabet::{Alphabet, Symbol};
+use std::fmt;
+
+/// A regular-expression syntax tree over an alphabet's symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The language {ε}.
+    Epsilon,
+    /// A single symbol.
+    Sym(Symbol),
+    /// Any single symbol (the paper's `Σ`).
+    AnySym,
+    /// Concatenation.
+    Concat(Vec<Regex>),
+    /// Union (the paper's `+`).
+    Union(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// Kleene plus.
+    Plus(Box<Regex>),
+}
+
+impl Regex {
+    /// Parses an expression in the paper's notation over `alphabet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RegexError`] describing the first syntax problem.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hierarchy_automata::alphabet::Alphabet;
+    /// use hierarchy_lang::Regex;
+    ///
+    /// let sigma = Alphabet::new(["a", "b"]).unwrap();
+    /// let r = Regex::parse(&sigma, "a+b*").unwrap(); // a ∪ b*
+    /// let p = Regex::parse(&sigma, "(a*b)+").unwrap(); // (a*b)⁺
+    /// assert_ne!(r, p);
+    /// ```
+    pub fn parse(alphabet: &Alphabet, input: &str) -> Result<Regex, RegexError> {
+        let chars: Vec<char> = input.chars().filter(|c| !c.is_whitespace()).collect();
+        let mut parser = Parser {
+            alphabet,
+            chars: &chars,
+            pos: 0,
+        };
+        let expr = parser.union()?;
+        if parser.pos != chars.len() {
+            return Err(RegexError {
+                position: parser.pos,
+                message: format!("unexpected character {:?}", chars[parser.pos]),
+            });
+        }
+        Ok(expr)
+    }
+
+    /// Whether ε belongs to the language.
+    pub fn matches_epsilon(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) | Regex::AnySym => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(xs) => xs.iter().all(Regex::matches_epsilon),
+            Regex::Union(xs) => xs.iter().any(Regex::matches_epsilon),
+            Regex::Plus(x) => x.matches_epsilon(),
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(r: &Regex) -> u8 {
+            match r {
+                Regex::Union(_) => 0,
+                Regex::Concat(_) => 1,
+                _ => 2,
+            }
+        }
+        fn rec(r: &Regex, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+            let p = prec(r);
+            if p < min {
+                write!(f, "(")?;
+            }
+            match r {
+                Regex::Empty => write!(f, "∅")?,
+                Regex::Epsilon => write!(f, "ε")?,
+                Regex::Sym(s) => write!(f, "<{}>", s.index())?,
+                Regex::AnySym => write!(f, ".")?,
+                Regex::Concat(xs) => {
+                    for x in xs {
+                        rec(x, f, 2)?;
+                    }
+                }
+                Regex::Union(xs) => {
+                    for (i, x) in xs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "+")?;
+                        }
+                        rec(x, f, 1)?;
+                    }
+                }
+                Regex::Star(x) => {
+                    rec(x, f, 2)?;
+                    write!(f, "*")?;
+                }
+                Regex::Plus(x) => {
+                    rec(x, f, 2)?;
+                    write!(f, "+")?;
+                }
+            }
+            if p < min {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        rec(self, f, 0)
+    }
+}
+
+/// A regular-expression syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Character offset (whitespace stripped) of the problem.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+struct Parser<'a> {
+    alphabet: &'a Alphabet,
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn starts_atom(&self, c: char) -> bool {
+        c == '(' || c == '.' || self.alphabet.symbol(&c.to_string()).is_some()
+    }
+
+    fn union(&mut self) -> Result<Regex, RegexError> {
+        let mut terms = vec![self.concat()?];
+        while self.peek() == Some('+') {
+            // Infix union only when something parseable follows; a trailing
+            // '+' belongs to the preceding factor and was consumed there.
+            self.pos += 1;
+            terms.push(self.concat()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Regex::Union(terms)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex, RegexError> {
+        let mut factors = Vec::new();
+        while let Some(c) = self.peek() {
+            if !self.starts_atom(c) {
+                break;
+            }
+            factors.push(self.factor()?);
+        }
+        match factors.len() {
+            0 => Err(RegexError {
+                position: self.pos,
+                message: match self.peek() {
+                    Some(c) => format!("expected an atom, found {c:?}"),
+                    None => "expected an atom, found end of input".to_string(),
+                },
+            }),
+            1 => Ok(factors.pop().expect("one factor")),
+            _ => Ok(Regex::Concat(factors)),
+        }
+    }
+
+    fn factor(&mut self) -> Result<Regex, RegexError> {
+        let mut atom = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.pos += 1;
+                    atom = Regex::Star(Box::new(atom));
+                }
+                Some('+') => {
+                    // Postfix plus only if no atom follows (else it is the
+                    // union operator handled by `union`).
+                    match self.chars.get(self.pos + 1) {
+                        Some(&c) if self.starts_atom(c) => break,
+                        Some('+') | Some('*') => {
+                            // `a++` = (a⁺)… continue postfix.
+                            self.pos += 1;
+                            atom = Regex::Plus(Box::new(atom));
+                        }
+                        Some(')') => {
+                            self.pos += 1;
+                            atom = Regex::Plus(Box::new(atom));
+                        }
+                        None => {
+                            self.pos += 1;
+                            atom = Regex::Plus(Box::new(atom));
+                        }
+                        Some(_) => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn atom(&mut self) -> Result<Regex, RegexError> {
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.union()?;
+                if self.peek() != Some(')') {
+                    return Err(RegexError {
+                        position: self.pos,
+                        message: "expected ')'".to_string(),
+                    });
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some('.') => {
+                self.pos += 1;
+                Ok(Regex::AnySym)
+            }
+            Some(c) => match self.alphabet.symbol(&c.to_string()) {
+                Some(sym) => {
+                    self.pos += 1;
+                    Ok(Regex::Sym(sym))
+                }
+                None => Err(RegexError {
+                    position: self.pos,
+                    message: format!("{c:?} is not a symbol of the alphabet"),
+                }),
+            },
+            None => Err(RegexError {
+                position: self.pos,
+                message: "unexpected end of input".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn parses_symbols_and_concat() {
+        let sigma = ab();
+        let r = Regex::parse(&sigma, "ab").unwrap();
+        assert_eq!(
+            r,
+            Regex::Concat(vec![Regex::Sym(Symbol(0)), Regex::Sym(Symbol(1))])
+        );
+    }
+
+    #[test]
+    fn infix_plus_is_union() {
+        let sigma = ab();
+        let r = Regex::parse(&sigma, "a+b").unwrap();
+        assert_eq!(
+            r,
+            Regex::Union(vec![Regex::Sym(Symbol(0)), Regex::Sym(Symbol(1))])
+        );
+    }
+
+    #[test]
+    fn postfix_plus_at_end_and_before_paren() {
+        let sigma = ab();
+        assert_eq!(
+            Regex::parse(&sigma, "a+").unwrap(),
+            Regex::Plus(Box::new(Regex::Sym(Symbol(0))))
+        );
+        assert_eq!(
+            Regex::parse(&sigma, "(a+)b").unwrap(),
+            Regex::Concat(vec![
+                Regex::Plus(Box::new(Regex::Sym(Symbol(0)))),
+                Regex::Sym(Symbol(1))
+            ])
+        );
+        // a++b = a⁺ ∪ b
+        assert_eq!(
+            Regex::parse(&sigma, "a++b").unwrap(),
+            Regex::Union(vec![
+                Regex::Plus(Box::new(Regex::Sym(Symbol(0)))),
+                Regex::Sym(Symbol(1))
+            ])
+        );
+    }
+
+    #[test]
+    fn star_and_dot() {
+        let sigma = ab();
+        let r = Regex::parse(&sigma, ".*b").unwrap();
+        assert_eq!(
+            r,
+            Regex::Concat(vec![
+                Regex::Star(Box::new(Regex::AnySym)),
+                Regex::Sym(Symbol(1))
+            ])
+        );
+    }
+
+    #[test]
+    fn precedence_union_lowest() {
+        let sigma = ab();
+        // ab+ba = (ab) ∪ (ba)
+        let r = Regex::parse(&sigma, "ab+ba").unwrap();
+        match r {
+            Regex::Union(ts) => assert_eq!(ts.len(), 2),
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let sigma = ab();
+        assert!(Regex::parse(&sigma, "x").is_err());
+        assert!(Regex::parse(&sigma, "(a").is_err());
+        assert!(Regex::parse(&sigma, "a)").is_err());
+        assert!(Regex::parse(&sigma, "").is_err());
+        assert!(Regex::parse(&sigma, "+a").is_err());
+        let e = Regex::parse(&sigma, "a%").unwrap_err();
+        assert!(e.to_string().contains("regex error"));
+    }
+
+    #[test]
+    fn whitespace_ignored() {
+        let sigma = ab();
+        assert_eq!(
+            Regex::parse(&sigma, " a  b ").unwrap(),
+            Regex::parse(&sigma, "ab").unwrap()
+        );
+    }
+
+    #[test]
+    fn matches_epsilon() {
+        let sigma = ab();
+        assert!(Regex::parse(&sigma, "a*").unwrap().matches_epsilon());
+        assert!(!Regex::parse(&sigma, "a+").unwrap().matches_epsilon());
+        assert!(!Regex::parse(&sigma, "ab").unwrap().matches_epsilon());
+        assert!(Regex::parse(&sigma, "a*b*").unwrap().matches_epsilon());
+        assert!(Regex::parse(&sigma, "a+b*").unwrap().matches_epsilon()); // union
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let sigma = ab();
+        let r = Regex::parse(&sigma, "(a+b)*a+").unwrap();
+        let shown = r.to_string();
+        assert!(shown.contains('*'));
+    }
+}

@@ -1,0 +1,375 @@
+//! The paper's canonical witness languages: for every class of the
+//! hierarchy, a property in that class and in no lower class. These drive
+//! the `FIG1` experiment (the strict-inclusion diagram) and the strict
+//! `Obl_k` / reactivity-index hierarchies.
+
+use crate::finitary::FinitaryProperty;
+use crate::operators;
+use hierarchy_automata::acceptance::Acceptance;
+use hierarchy_automata::alphabet::Alphabet;
+use hierarchy_automata::bitset::BitSet;
+use hierarchy_automata::omega::OmegaAutomaton;
+use hierarchy_automata::StateId;
+
+/// The two-letter alphabet {a, b} used by most witnesses.
+pub fn sigma_ab() -> Alphabet {
+    Alphabet::new(["a", "b"]).expect("valid alphabet")
+}
+
+/// The three-letter alphabet {a, b, c}.
+pub fn sigma_abc() -> Alphabet {
+    Alphabet::new(["a", "b", "c"]).expect("valid alphabet")
+}
+
+/// The four-letter alphabet {a, b, c, d} of the `Obl_k` witness family.
+pub fn sigma_abcd() -> Alphabet {
+    Alphabet::new(["a", "b", "c", "d"]).expect("valid alphabet")
+}
+
+/// Safety witness: `A(a⁺b*) = a^ω + a⁺b^ω` (§2's running example).
+pub fn safety() -> OmegaAutomaton {
+    let sigma = sigma_ab();
+    operators::a(&FinitaryProperty::parse(&sigma, "aa*b*").expect("valid regex"))
+}
+
+/// Guarantee witness: `E(Σ*b) = Σ*·b·Σ^ω` ("eventually b", the paper's
+/// ◇b) — a guarantee property that is not a safety property.
+///
+/// Note that the paper's §2 example `E(a⁺b*)` is *not* a strict witness
+/// over Σ = {a,b}: it denotes "the first symbol is a", which is **clopen**
+/// (both safety and guarantee). See [`guarantee_paper_example`] and
+/// EXPERIMENTS.md.
+pub fn guarantee() -> OmegaAutomaton {
+    let sigma = sigma_ab();
+    operators::e(&FinitaryProperty::parse(&sigma, ".*b").expect("valid regex"))
+}
+
+/// The paper's §2 guarantee example `E(a⁺b*) = a⁺b*·Σ^ω`. Over Σ = {a,b}
+/// this equals `a·Σ^ω`, which is clopen — a guarantee property (as the
+/// paper says) that happens to also be safety.
+pub fn guarantee_paper_example() -> OmegaAutomaton {
+    let sigma = sigma_ab();
+    operators::e(&FinitaryProperty::parse(&sigma, "aa*b*").expect("valid regex"))
+}
+
+/// Recurrence witness: `R(Σ*b) = (a*b)^ω` — infinitely many `b`s. The
+/// paper's canonical example of a recurrence property that is neither a
+/// safety, guarantee, nor obligation property.
+pub fn recurrence() -> OmegaAutomaton {
+    let sigma = sigma_ab();
+    operators::r(&FinitaryProperty::parse(&sigma, ".*b").expect("valid regex"))
+}
+
+/// Persistence witness: `P(Σ*b) = Σ*b^ω` — eventually only `b`s.
+pub fn persistence() -> OmegaAutomaton {
+    let sigma = sigma_ab();
+    operators::p(&FinitaryProperty::parse(&sigma, ".*b").expect("valid regex"))
+}
+
+/// The complementary persistence witness `(a+b)*a^ω` used in §2 for the
+/// strictness of "persistence contains safety and guarantee".
+pub fn persistence_a() -> OmegaAutomaton {
+    let sigma = sigma_ab();
+    operators::p(&FinitaryProperty::parse(&sigma, ".*a").expect("valid regex"))
+}
+
+/// The paper's "typical obligation property" `a*b^ω + Σ*·c·Σ^ω` over
+/// {a,b,c}: an obligation property that is neither safety nor guarantee.
+///
+/// The paper describes it as "a union of the safety property `a*b^ω` and
+/// the guarantee property `Σ*·c·Σ^ω`", but over Σ = {a,b,c} the language
+/// `a*b^ω` is **not** closed (its closure adds `a^ω`), and the union is in
+/// fact `Obl₂`-complete, not a simple obligation: any candidate
+/// `A(Φ) ∪ E(Ψ)` decomposition fails on the family `a^k b^ω` (a closed
+/// part covering infinitely many of them would contain the limit `a^ω ∉
+/// Π`; an open part covering any of them would contain some
+/// `a^k b^n a^ω ∉ Π`). The classifier confirms obligation index 2 — see
+/// EXPERIMENTS.md.
+pub fn obligation_simple() -> OmegaAutomaton {
+    let sigma = sigma_abc();
+    // a*b^ω = A(a*b*∩Σ⁺) ∩ P(a*b⁺): all prefixes in a*b*, eventually in
+    // the b-phase.
+    let safety_part = operators::a(&FinitaryProperty::parse(&sigma, "a*b*").expect("regex"))
+        .intersection(&operators::p(
+            &FinitaryProperty::parse(&sigma, "a*bb*").expect("regex"),
+        ));
+    let guarantee_part =
+        operators::e(&FinitaryProperty::parse(&sigma, "(a+b+c)*c").expect("regex"));
+    safety_part.union(&guarantee_part)
+}
+
+/// The `Obl_k` strictness witness `[(Π + (a+b)*)d]^{k-1}·Π` over
+/// {a,b,c,d}, where `Π = a^ω + (a+b)*·c·Σ^ω`. The property belongs to
+/// `Obl_k` but to no `Obl_{k'}` with `k' < k`.
+///
+/// The paper prints the family as `[(Π+a*)d]^{k-1}·Π`; as printed it
+/// **collapses to `Obl₁`** — with pure `a*d` blocks the non-`c` part of
+/// the language is `⋃_j (a*d)^j·a^ω`, which is topologically closed, so
+/// `L = A(a*(da*)^{≤k-1}) ∪ E(Ψ_c)` is a simple obligation (this library's
+/// classifier finds exactly that, see the `obligation_witness_degrees`
+/// test and EXPERIMENTS.md). Blocks `(a+b)*d` restore the intended
+/// hardness: a `b` commits the current block to the `c`-path until the
+/// next `d`, producing `k` alternations between the bad and good regions.
+///
+/// Built directly as a deterministic automaton: up to `k−1` blocks of
+/// `(a+b)*d`; within the current block the run either stays on `a` forever
+/// (the `a^ω` tail of Π), is dirtied by a `b` (committed to `(a+b)*·c`
+/// until a `d` starts the next block), or reaches `c` (accepted outright).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn obligation_witness(k: usize) -> OmegaAutomaton {
+    assert!(k >= 1, "the Obl_k hierarchy starts at k = 1");
+    let sigma = sigma_abcd();
+    let c = sigma.symbol("c").expect("symbol c");
+    let a = sigma.symbol("a").expect("symbol a");
+    let b = sigma.symbol("b").expect("symbol b");
+    // States: clean_j = 2j, dirty_j = 2j+1 for stage j ∈ 0..k;
+    // accepted = 2k; dead = 2k+1.
+    let accepted = (2 * k) as StateId;
+    let dead = (2 * k + 1) as StateId;
+    let n = 2 * k + 2;
+    OmegaAutomaton::build(
+        &sigma,
+        n,
+        0,
+        |q, s| {
+            if q == accepted {
+                return accepted;
+            }
+            if q == dead {
+                return dead;
+            }
+            let stage = (q / 2) as usize;
+            if s == c {
+                return accepted;
+            }
+            if s == a {
+                return q; // stay clean or dirty within the stage
+            }
+            if s == b {
+                return (2 * stage + 1) as StateId; // dirty until the next d
+            }
+            // s == d: end the current (a+b)* block, advance the counter.
+            if stage + 1 < k {
+                (2 * (stage + 1)) as StateId
+            } else {
+                dead
+            }
+        },
+        // All cycles are self-loops; accept iff the run settles on a clean
+        // state (aω tail) or on the accepted sink.
+        Acceptance::Inf(
+            (0..k)
+                .map(|j| 2 * j)
+                .chain([accepted as usize])
+                .collect::<BitSet>(),
+        ),
+    )
+}
+
+/// The paper's `Obl_k` family *as printed*, `[(Π+a*)d]^{k-1}·Π` with pure
+/// `a*d` blocks. Kept for the experiment that demonstrates the collapse:
+/// [`hierarchy_automata::classify::classify`] assigns it obligation index
+/// **1** for every `k` (see [`obligation_witness`] and EXPERIMENTS.md).
+pub fn obligation_witness_as_printed(k: usize) -> OmegaAutomaton {
+    assert!(k >= 1, "the Obl_k hierarchy starts at k = 1");
+    let sigma = sigma_abcd();
+    let c = sigma.symbol("c").expect("symbol c");
+    let a = sigma.symbol("a").expect("symbol a");
+    let b = sigma.symbol("b").expect("symbol b");
+    let accepted = (2 * k) as StateId;
+    let dead = (2 * k + 1) as StateId;
+    OmegaAutomaton::build(
+        &sigma,
+        2 * k + 2,
+        0,
+        |q, s| {
+            if q == accepted {
+                return accepted;
+            }
+            if q == dead {
+                return dead;
+            }
+            let stage = (q / 2) as usize;
+            let clean = q % 2 == 0;
+            if s == c {
+                return accepted;
+            }
+            if s == a {
+                return q;
+            }
+            if s == b {
+                return (2 * stage + 1) as StateId;
+            }
+            // s == d: blocks must be pure a*, so only a clean stage advances.
+            if clean && stage + 1 < k {
+                (2 * (stage + 1)) as StateId
+            } else {
+                dead
+            }
+        },
+        Acceptance::Inf(
+            (0..k)
+                .map(|j| 2 * j)
+                .chain([accepted as usize])
+                .collect::<BitSet>(),
+        ),
+    )
+}
+
+/// Reactivity-index witness: `⋀ᵢ (□◇aᵢ ∨ ◇□¬bᵢ)` over the alphabet
+/// `{a₁, b₁, …, a_k, b_k, z}`, tracking the last symbol. Its reactivity
+/// index is exactly `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `2k + 1 > 64`.
+pub fn reactivity_witness(k: usize) -> OmegaAutomaton {
+    assert!((1..=31).contains(&k), "k must be in 1..=31");
+    let names: Vec<String> = (0..k)
+        .flat_map(|i| [format!("a{i}"), format!("b{i}")])
+        .chain(["z".to_string()])
+        .collect();
+    let sigma = Alphabet::new(names).expect("valid alphabet");
+    // State = index of the last symbol read (initial = the z-state).
+    let z_state = (2 * k) as StateId;
+    let acceptance = (0..k)
+        .map(|i| {
+            Acceptance::inf([2 * i]) // infinitely many aᵢ
+                .or(Acceptance::fin([2 * i + 1])) // or finitely many bᵢ
+        })
+        .fold(Acceptance::True, Acceptance::and);
+    OmegaAutomaton::build(
+        &sigma,
+        2 * k + 1,
+        z_state,
+        |_, s| s.index() as StateId,
+        acceptance,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierarchy_automata::classify;
+    use hierarchy_automata::lasso::Lasso;
+
+    #[test]
+    fn witnesses_land_in_their_classes() {
+        let s = classify::classify(&safety());
+        assert_eq!(s.strictest_class_name(), "safety");
+        let g = classify::classify(&guarantee());
+        assert_eq!(g.strictest_class_name(), "guarantee");
+        let r = classify::classify(&recurrence());
+        assert_eq!(r.strictest_class_name(), "recurrence");
+        let p = classify::classify(&persistence());
+        assert_eq!(p.strictest_class_name(), "persistence");
+        let p2 = classify::classify(&persistence_a());
+        assert_eq!(p2.strictest_class_name(), "persistence");
+        let o = classify::classify(&obligation_simple());
+        assert_eq!(o.strictest_class_name(), "obligation");
+        // The paper calls this a union of a safety and a guarantee
+        // property, but a*b^ω is not closed over {a,b,c}: the exact
+        // obligation index is 2 (see the doc comment).
+        assert_eq!(o.obligation_index, Some(2));
+    }
+
+    #[test]
+    fn obligation_simple_membership() {
+        let sigma = sigma_abc();
+        let m = obligation_simple();
+        // a*b^ω members:
+        assert!(m.accepts(&Lasso::parse(&sigma, "aa", "b").unwrap()));
+        assert!(m.accepts(&Lasso::parse(&sigma, "", "b").unwrap()));
+        // Σ*cΣ^ω members:
+        assert!(m.accepts(&Lasso::parse(&sigma, "bac", "a").unwrap()));
+        assert!(m.accepts(&Lasso::parse(&sigma, "c", "abc").unwrap()));
+        // Non-members:
+        assert!(!m.accepts(&Lasso::parse(&sigma, "", "a").unwrap())); // a^ω
+        assert!(!m.accepts(&Lasso::parse(&sigma, "", "ab").unwrap()));
+        assert!(!m.accepts(&Lasso::parse(&sigma, "ba", "b").unwrap())); // b before a
+    }
+
+    #[test]
+    fn obligation_witness_membership() {
+        let sigma = sigma_abcd();
+        let m = obligation_witness(2); // [(Π+(a+b)*)d]·Π
+        // Pure Π words (zero d-blocks):
+        assert!(m.accepts(&Lasso::parse(&sigma, "", "a").unwrap())); // a^ω
+        assert!(m.accepts(&Lasso::parse(&sigma, "abbc", "d").unwrap()));
+        // One block then Π:
+        assert!(m.accepts(&Lasso::parse(&sigma, "aad", "a").unwrap()));
+        assert!(m.accepts(&Lasso::parse(&sigma, "dbc", "a").unwrap()));
+        assert!(m.accepts(&Lasso::parse(&sigma, "abd", "a").unwrap())); // b allowed in block
+        assert!(m.accepts(&Lasso::parse(&sigma, "abdbc", "d").unwrap()));
+        // Too many blocks:
+        assert!(!m.accepts(&Lasso::parse(&sigma, "adad", "a").unwrap()));
+        // b in the Π-tail without c:
+        assert!(!m.accepts(&Lasso::parse(&sigma, "db", "a").unwrap()));
+        // (a+b)^ω with b's forever, no c:
+        assert!(!m.accepts(&Lasso::parse(&sigma, "", "ab").unwrap()));
+    }
+
+    #[test]
+    fn printed_obligation_family_collapses() {
+        // The family exactly as printed in the paper is Obl₁ for every k.
+        for k in 1..=4 {
+            let m = obligation_witness_as_printed(k);
+            let c = classify::classify(&m);
+            assert!(c.is_obligation);
+            assert_eq!(c.obligation_index, Some(1), "printed family, k = {k}");
+        }
+    }
+
+    #[test]
+    fn obligation_witness_degrees() {
+        for k in 1..=4 {
+            let m = obligation_witness(k);
+            let c = classify::classify(&m);
+            assert!(c.is_obligation, "Obl witness {k} must be an obligation");
+            assert_eq!(
+                c.obligation_index,
+                Some(k),
+                "Obl witness {k} has wrong degree"
+            );
+        }
+    }
+
+    #[test]
+    fn reactivity_witness_indices() {
+        for k in 1..=3 {
+            let m = reactivity_witness(k);
+            let c = classify::classify(&m);
+            assert_eq!(c.reactivity_index, k, "reactivity witness {k}");
+            assert_eq!(c.is_simple_reactivity, k == 1);
+            assert!(!c.is_recurrence && !c.is_persistence);
+        }
+    }
+
+    #[test]
+    fn figure1_strict_inclusions() {
+        // Safety ⊄ guarantee and vice versa; recurrence/persistence
+        // witnesses escape obligation; the simple-obligation witness
+        // escapes safety and guarantee.
+        let s = classify::classify(&safety());
+        assert!(s.is_safety && !s.is_guarantee);
+        let g = classify::classify(&guarantee());
+        assert!(g.is_guarantee && !g.is_safety);
+        let r = classify::classify(&recurrence());
+        assert!(r.is_recurrence && !r.is_persistence && !r.is_obligation);
+        let p = classify::classify(&persistence());
+        assert!(p.is_persistence && !p.is_recurrence && !p.is_obligation);
+        let o = classify::classify(&obligation_simple());
+        assert!(o.is_obligation && !o.is_safety && !o.is_guarantee);
+        // Obligation = recurrence ∩ persistence on these examples:
+        assert!(o.is_recurrence && o.is_persistence);
+    }
+
+    #[test]
+    fn recurrence_and_persistence_witnesses_are_complements() {
+        // (a*b)^ω and (a+b)*a^ω are complementary.
+        assert!(recurrence().complement().equivalent(&persistence_a()));
+    }
+}

@@ -1,0 +1,412 @@
+//! The formula syntax tree: LTL with both future and past operators.
+//!
+//! Atoms are *state formulas* represented by their extension — the set of
+//! alphabet symbols on which they hold — exactly as the paper's predicate
+//! automata treat state formulas. For a valuation alphabet `2^AP` the atom
+//! `p` is the set of valuations containing `p`; for a plain alphabet the
+//! atom `a` is the singleton `{a}`.
+
+use hierarchy_automata::alphabet::{Alphabet, SymbolSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A temporal formula over symbol-set atoms.
+///
+/// Sub-trees are reference-counted so formulas can share structure cheaply.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A state formula: holds at a position iff the symbol there belongs to
+    /// the set. The name is kept for display.
+    Atom(String, SymbolSet),
+    /// Negation.
+    Not(Arc<Formula>),
+    /// Conjunction.
+    And(Arc<Formula>, Arc<Formula>),
+    /// Disjunction.
+    Or(Arc<Formula>, Arc<Formula>),
+    /// Next (`○`).
+    Next(Arc<Formula>),
+    /// Until (`U`, strong).
+    Until(Arc<Formula>, Arc<Formula>),
+    /// Unless / weak until (`W`): `p W q = □p ∨ (p U q)`.
+    WUntil(Arc<Formula>, Arc<Formula>),
+    /// Eventually (`◇`).
+    Eventually(Arc<Formula>),
+    /// Henceforth (`□`).
+    Always(Arc<Formula>),
+    /// Previous (`⊖`, strong: false at the first position).
+    Prev(Arc<Formula>),
+    /// Weak previous (`~⊖`: true at the first position).
+    WPrev(Arc<Formula>),
+    /// Since (`S`, strong).
+    Since(Arc<Formula>, Arc<Formula>),
+    /// Weak since / back-to (`B`): `p B q = ⊡p ∨ (p S q)`.
+    WSince(Arc<Formula>, Arc<Formula>),
+    /// Sometimes in the past (`⟐`, once).
+    Once(Arc<Formula>),
+    /// Always in the past (`⊡`, historically).
+    Historically(Arc<Formula>),
+}
+
+impl Formula {
+    /// An atom for proposition `name` of a valuation alphabet, or for the
+    /// letter `name` of a plain alphabet. Returns `None` if `name` names
+    /// neither.
+    pub fn atom(alphabet: &Alphabet, name: &str) -> Option<Formula> {
+        if let Some(idx) = alphabet.propositions().iter().position(|p| p == name) {
+            return Some(Formula::Atom(
+                name.to_string(),
+                alphabet.symbols_where(idx),
+            ));
+        }
+        alphabet
+            .symbol(name)
+            .map(|sym| Formula::Atom(name.to_string(), SymbolSet::of([sym])))
+    }
+
+    /// Parses a formula (see [`crate::parser`] for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::ParseError`] on bad syntax or unknown atoms.
+    pub fn parse(alphabet: &Alphabet, input: &str) -> Result<Formula, crate::ParseError> {
+        crate::parser::parse(alphabet, input)
+    }
+
+    /// Negation (without simplification; see [`crate::rewrites::nnf`] to
+    /// push negations to the atoms).
+    #[allow(clippy::should_implement_trait)] // builder-style chaining mirrors the other connectives
+    pub fn not(self) -> Formula {
+        Formula::Not(Arc::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Arc::new(self), Arc::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Arc::new(self), Arc::new(other))
+    }
+
+    /// Implication `self → other` (sugar for `¬self ∨ other`).
+    pub fn implies(self, other: Formula) -> Formula {
+        self.not().or(other)
+    }
+
+    /// `◇ self`.
+    pub fn eventually(self) -> Formula {
+        Formula::Eventually(Arc::new(self))
+    }
+
+    /// `□ self`.
+    pub fn always(self) -> Formula {
+        Formula::Always(Arc::new(self))
+    }
+
+    /// `○ self`.
+    pub fn next(self) -> Formula {
+        Formula::Next(Arc::new(self))
+    }
+
+    /// `self U other`.
+    pub fn until(self, other: Formula) -> Formula {
+        Formula::Until(Arc::new(self), Arc::new(other))
+    }
+
+    /// `self W other` (unless).
+    pub fn unless(self, other: Formula) -> Formula {
+        Formula::WUntil(Arc::new(self), Arc::new(other))
+    }
+
+    /// `⊖ self` (previous).
+    pub fn prev(self) -> Formula {
+        Formula::Prev(Arc::new(self))
+    }
+
+    /// Weak previous.
+    pub fn wprev(self) -> Formula {
+        Formula::WPrev(Arc::new(self))
+    }
+
+    /// `self S other` (since).
+    pub fn since(self, other: Formula) -> Formula {
+        Formula::Since(Arc::new(self), Arc::new(other))
+    }
+
+    /// `self B other` (weak since / back-to).
+    pub fn wsince(self, other: Formula) -> Formula {
+        Formula::WSince(Arc::new(self), Arc::new(other))
+    }
+
+    /// `⟐ self` (once).
+    pub fn once(self) -> Formula {
+        Formula::Once(Arc::new(self))
+    }
+
+    /// `⊡ self` (historically).
+    pub fn historically(self) -> Formula {
+        Formula::Historically(Arc::new(self))
+    }
+
+    /// The paper's `first` formula `¬⊖T`, true exactly at position 0.
+    pub fn first() -> Formula {
+        Formula::WPrev(Arc::new(Formula::False))
+    }
+
+    /// Whether the formula contains no temporal operators (a *state
+    /// formula* / assertion).
+    pub fn is_state(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(..) => true,
+            Formula::Not(x) => x.is_state(),
+            Formula::And(x, y) | Formula::Or(x, y) => x.is_state() && y.is_state(),
+            _ => false,
+        }
+    }
+
+    /// Whether the formula contains no *future* operators (a past formula;
+    /// state formulas qualify).
+    pub fn is_past(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(..) => true,
+            Formula::Not(x)
+            | Formula::Prev(x)
+            | Formula::WPrev(x)
+            | Formula::Once(x)
+            | Formula::Historically(x) => x.is_past(),
+            Formula::And(x, y) | Formula::Or(x, y) => x.is_past() && y.is_past(),
+            Formula::Since(x, y) | Formula::WSince(x, y) => x.is_past() && y.is_past(),
+            Formula::Next(_)
+            | Formula::Until(..)
+            | Formula::WUntil(..)
+            | Formula::Eventually(_)
+            | Formula::Always(_) => false,
+        }
+    }
+
+    /// Whether the formula contains no *past* operators (a future formula).
+    pub fn is_future(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(..) => true,
+            Formula::Not(x)
+            | Formula::Next(x)
+            | Formula::Eventually(x)
+            | Formula::Always(x) => x.is_future(),
+            Formula::And(x, y) | Formula::Or(x, y) => x.is_future() && y.is_future(),
+            Formula::Until(x, y) | Formula::WUntil(x, y) => x.is_future() && y.is_future(),
+            Formula::Prev(_)
+            | Formula::WPrev(_)
+            | Formula::Since(..)
+            | Formula::WSince(..)
+            | Formula::Once(_)
+            | Formula::Historically(_) => false,
+        }
+    }
+
+    /// Number of nodes in the syntax tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(..) => 1,
+            Formula::Not(x)
+            | Formula::Next(x)
+            | Formula::Eventually(x)
+            | Formula::Always(x)
+            | Formula::Prev(x)
+            | Formula::WPrev(x)
+            | Formula::Once(x)
+            | Formula::Historically(x) => 1 + x.size(),
+            Formula::And(x, y)
+            | Formula::Or(x, y)
+            | Formula::Until(x, y)
+            | Formula::WUntil(x, y)
+            | Formula::Since(x, y)
+            | Formula::WSince(x, y) => 1 + x.size() + y.size(),
+        }
+    }
+
+    /// The direct children of the node.
+    pub fn children(&self) -> Vec<&Formula> {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(..) => vec![],
+            Formula::Not(x)
+            | Formula::Next(x)
+            | Formula::Eventually(x)
+            | Formula::Always(x)
+            | Formula::Prev(x)
+            | Formula::WPrev(x)
+            | Formula::Once(x)
+            | Formula::Historically(x) => vec![x],
+            Formula::And(x, y)
+            | Formula::Or(x, y)
+            | Formula::Until(x, y)
+            | Formula::WUntil(x, y)
+            | Formula::Since(x, y)
+            | Formula::WSince(x, y) => vec![x, y],
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(form: &Formula) -> u8 {
+            match form {
+                Formula::Or(..) => 1,
+                Formula::And(..) => 2,
+                Formula::Until(..)
+                | Formula::WUntil(..)
+                | Formula::Since(..)
+                | Formula::WSince(..) => 3,
+                _ => 4,
+            }
+        }
+        fn rec(form: &Formula, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+            let p = prec(form);
+            if p < min {
+                write!(f, "(")?;
+            }
+            match form {
+                Formula::True => write!(f, "true")?,
+                Formula::False => write!(f, "false")?,
+                Formula::Atom(name, _) => write!(f, "{name}")?,
+                Formula::Not(x) => {
+                    write!(f, "!")?;
+                    rec(x, f, 4)?;
+                }
+                Formula::And(x, y) => {
+                    rec(x, f, 2)?;
+                    write!(f, " & ")?;
+                    rec(y, f, 3)?;
+                }
+                Formula::Or(x, y) => {
+                    rec(x, f, 1)?;
+                    write!(f, " | ")?;
+                    rec(y, f, 2)?;
+                }
+                Formula::Next(x) => {
+                    write!(f, "X ")?;
+                    rec(x, f, 4)?;
+                }
+                Formula::Until(x, y) => {
+                    rec(x, f, 4)?;
+                    write!(f, " U ")?;
+                    rec(y, f, 4)?;
+                }
+                Formula::WUntil(x, y) => {
+                    rec(x, f, 4)?;
+                    write!(f, " W ")?;
+                    rec(y, f, 4)?;
+                }
+                Formula::Eventually(x) => {
+                    write!(f, "F ")?;
+                    rec(x, f, 4)?;
+                }
+                Formula::Always(x) => {
+                    write!(f, "G ")?;
+                    rec(x, f, 4)?;
+                }
+                Formula::Prev(x) => {
+                    write!(f, "Y ")?;
+                    rec(x, f, 4)?;
+                }
+                Formula::WPrev(x) => {
+                    write!(f, "Z ")?;
+                    rec(x, f, 4)?;
+                }
+                Formula::Since(x, y) => {
+                    rec(x, f, 4)?;
+                    write!(f, " S ")?;
+                    rec(y, f, 4)?;
+                }
+                Formula::WSince(x, y) => {
+                    rec(x, f, 4)?;
+                    write!(f, " B ")?;
+                    rec(y, f, 4)?;
+                }
+                Formula::Once(x) => {
+                    write!(f, "O ")?;
+                    rec(x, f, 4)?;
+                }
+                Formula::Historically(x) => {
+                    write!(f, "H ")?;
+                    rec(x, f, 4)?;
+                }
+            }
+            if p < min {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        rec(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap() -> Alphabet {
+        Alphabet::of_propositions(["p", "q"]).unwrap()
+    }
+
+    #[test]
+    fn atom_resolution() {
+        let sigma = ap();
+        let p = Formula::atom(&sigma, "p").unwrap();
+        match &p {
+            Formula::Atom(name, set) => {
+                assert_eq!(name, "p");
+                assert_eq!(set.len(), 2); // {p}, {p,q}
+            }
+            _ => panic!("expected atom"),
+        }
+        assert!(Formula::atom(&sigma, "zzz").is_none());
+        let letters = Alphabet::new(["a", "b"]).unwrap();
+        let a = Formula::atom(&letters, "a").unwrap();
+        match a {
+            Formula::Atom(_, set) => assert_eq!(set.len(), 1),
+            _ => panic!("expected atom"),
+        }
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let sigma = ap();
+        let p = Formula::atom(&sigma, "p").unwrap();
+        let q = Formula::atom(&sigma, "q").unwrap();
+        assert!(p.is_state() && p.is_past() && p.is_future());
+        let past = p.clone().since(q.clone());
+        assert!(past.is_past() && !past.is_future() && !past.is_state());
+        let fut = p.clone().until(q.clone());
+        assert!(fut.is_future() && !fut.is_past());
+        let mixed = past.clone().eventually();
+        assert!(!mixed.is_past() && !mixed.is_future());
+        assert!(Formula::first().is_past());
+    }
+
+    #[test]
+    fn size_and_children() {
+        let sigma = ap();
+        let p = Formula::atom(&sigma, "p").unwrap();
+        let q = Formula::atom(&sigma, "q").unwrap();
+        let f = p.clone().implies(q.clone()).always();
+        assert_eq!(f.size(), 5); // G(¬p ∨ q): G, ∨, ¬, p, q
+        assert_eq!(f.children().len(), 1);
+    }
+
+    #[test]
+    fn display_readable() {
+        let sigma = ap();
+        let p = Formula::atom(&sigma, "p").unwrap();
+        let q = Formula::atom(&sigma, "q").unwrap();
+        let f = p.clone().implies(q.clone().eventually()).always();
+        assert_eq!(f.to_string(), "G (!p | F q)");
+        let g = p.until(q).not();
+        assert_eq!(g.to_string(), "!(p U q)");
+    }
+}

@@ -1,0 +1,373 @@
+//! Tableau translation of **future** LTL to nondeterministic Büchi
+//! automata.
+//!
+//! This is the classical declarative construction: a state is a set of
+//! obligations (subformulas that must hold of the current suffix); reading
+//! a symbol decomposes the obligations into "now" checks on the symbol and
+//! "next" obligations, branching on disjunctions and on the until/unless
+//! expansion laws. A modulo counter over the strong-eventuality subformulas
+//! (`U`, `F`) provides the Büchi condition.
+//!
+//! The translation exists to *cross-validate* the deterministic pipeline
+//! (`to_automaton`) on sampled lasso words — the two constructions share no
+//! code.
+
+use crate::ast::Formula;
+use crate::rewrites;
+use hierarchy_automata::alphabet::{Alphabet, Symbol};
+use hierarchy_automata::nba::Nba;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Error: the formula contains past operators (the tableau handles pure
+/// future LTL; eliminate past first or use the deterministic pipeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotFutureError {
+    /// Display form of the formula.
+    pub formula: String,
+}
+
+impl fmt::Display for NotFutureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "the tableau translation handles future LTL only, got {}",
+            self.formula
+        )
+    }
+}
+
+impl std::error::Error for NotFutureError {}
+
+/// Translates a future LTL formula to an equivalent NBA over `alphabet`.
+///
+/// # Errors
+///
+/// Returns [`NotFutureError`] if the formula contains past operators.
+pub fn translate(alphabet: &Alphabet, formula: &Formula) -> Result<Nba, NotFutureError> {
+    if !formula.is_future() {
+        return Err(NotFutureError {
+            formula: formula.to_string(),
+        });
+    }
+    let f = rewrites::nnf(formula);
+    // Index the strong-eventuality subformulas for the acceptance counter.
+    let mut eventualities: Vec<Formula> = Vec::new();
+    collect_eventualities(&f, &mut eventualities);
+    let k = eventualities.len();
+
+    // Obligation sets are canonical BTreeSets of formula strings — formulas
+    // are small here, and string keys give a cheap total order.
+    type Obligations = BTreeSet<String>;
+    let mut formula_of: HashMap<String, Formula> = HashMap::new();
+    let intern = |g: &Formula, map: &mut HashMap<String, Formula>| -> String {
+        let key = g.to_string();
+        map.entry(key.clone()).or_insert_with(|| g.clone());
+        key
+    };
+
+    // NBA states: (obligations, counter, flag). Built lazily.
+    let mut nba = Nba::new(alphabet);
+    let mut ids: HashMap<(Obligations, usize, bool), u32> = HashMap::new();
+    let mut work: Vec<(Obligations, usize, bool)> = Vec::new();
+
+    let initial: Obligations = [intern(&f, &mut formula_of)].into_iter().collect();
+    {
+        let key = (initial.clone(), 0usize, false);
+        let id = nba.add_state();
+        ids.insert(key.clone(), id);
+        nba.set_initial(id);
+        if k == 0 {
+            // No eventualities to discharge: every state is accepting.
+            nba.add_accepting(id);
+        }
+        work.push(key);
+    }
+
+    while let Some((obls, counter, _flag)) = work.pop() {
+        let from = ids[&(obls.clone(), counter, _flag)];
+        for sym in alphabet.symbols() {
+            // Decompose all obligations under `sym`; each outcome is a set
+            // of next obligations plus the set of deferred eventualities.
+            let formulas: Vec<Formula> = obls.iter().map(|s| formula_of[s].clone()).collect();
+            let mut outcomes: Vec<(Vec<Formula>, BTreeSet<usize>)> =
+                vec![(Vec::new(), BTreeSet::new())];
+            let mut ok = true;
+            for g in &formulas {
+                let mut next_outcomes = Vec::new();
+                for (nexts, deferred) in &outcomes {
+                    for (extra_next, extra_deferred, feasible) in
+                        decompose(g, sym, &eventualities)
+                    {
+                        if !feasible {
+                            continue;
+                        }
+                        let mut n2 = nexts.clone();
+                        n2.extend(extra_next);
+                        let mut d2 = deferred.clone();
+                        d2.extend(extra_deferred);
+                        next_outcomes.push((n2, d2));
+                    }
+                }
+                outcomes = next_outcomes;
+                if outcomes.is_empty() {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            for (nexts, deferred) in outcomes {
+                let next_obls: Obligations = nexts
+                    .iter()
+                    .map(|g| intern(g, &mut formula_of))
+                    .collect();
+                // Advance the counter past non-deferred eventualities.
+                let (next_counter, next_flag) = if k == 0 {
+                    (0, true)
+                } else {
+                    let mut c = counter;
+                    let mut wrapped = false;
+                    // Advance while the awaited eventuality is not deferred
+                    // on this transition (bounded by one full cycle).
+                    for _ in 0..k {
+                        if deferred.contains(&c) {
+                            break;
+                        }
+                        c += 1;
+                        if c == k {
+                            c = 0;
+                            wrapped = true;
+                        }
+                    }
+                    (c, wrapped)
+                };
+                let key = (next_obls.clone(), next_counter, next_flag);
+                let to = *ids.entry(key.clone()).or_insert_with(|| {
+                    let id = nba.add_state();
+                    if next_flag || k == 0 {
+                        nba.add_accepting(id);
+                    }
+                    work.push(key);
+                    id
+                });
+                nba.add_transition(from, sym, to);
+            }
+        }
+    }
+    Ok(nba)
+}
+
+/// Decomposes one obligation under a symbol. Each element of the result is
+/// `(next obligations, deferred eventuality indices, feasible)`.
+fn decompose(
+    g: &Formula,
+    sym: Symbol,
+    eventualities: &[Formula],
+) -> Vec<(Vec<Formula>, Vec<usize>, bool)> {
+    let ev_idx = |g: &Formula| eventualities.iter().position(|e| e == g);
+    match g {
+        Formula::True => vec![(vec![], vec![], true)],
+        Formula::False => vec![(vec![], vec![], false)],
+        Formula::Atom(_, set) => vec![(vec![], vec![], set.contains(sym))],
+        Formula::Not(x) => match x.as_ref() {
+            Formula::Atom(_, set) => vec![(vec![], vec![], !set.contains(sym))],
+            _ => unreachable!("input is in negation normal form"),
+        },
+        Formula::And(x, y) => {
+            let mut out = Vec::new();
+            for (nx, dx, fx) in decompose(x, sym, eventualities) {
+                if !fx {
+                    continue;
+                }
+                for (ny, dy, fy) in decompose(y, sym, eventualities) {
+                    if !fy {
+                        continue;
+                    }
+                    let mut n = nx.clone();
+                    n.extend(ny);
+                    let mut d = dx.clone();
+                    d.extend(dy);
+                    out.push((n, d, true));
+                }
+            }
+            if out.is_empty() {
+                vec![(vec![], vec![], false)]
+            } else {
+                out
+            }
+        }
+        Formula::Or(x, y) => {
+            let mut out = decompose(x, sym, eventualities);
+            out.extend(decompose(y, sym, eventualities));
+            out
+        }
+        Formula::Next(x) => vec![(vec![x.as_ref().clone()], vec![], true)],
+        Formula::Eventually(x) => {
+            // ◇x ≡ x ∨ X◇x; the delay branch defers the eventuality.
+            let mut out = decompose(x, sym, eventualities);
+            let d = ev_idx(g).into_iter().collect::<Vec<_>>();
+            out.push((vec![g.clone()], d, true));
+            out
+        }
+        Formula::Always(x) => {
+            // □x ≡ x ∧ X□x.
+            let mut out = Vec::new();
+            for (nx, dx, fx) in decompose(x, sym, eventualities) {
+                if !fx {
+                    continue;
+                }
+                let mut n = nx;
+                n.push(g.clone());
+                out.push((n, dx, true));
+            }
+            if out.is_empty() {
+                vec![(vec![], vec![], false)]
+            } else {
+                out
+            }
+        }
+        Formula::Until(x, y) => {
+            // x U y ≡ y ∨ (x ∧ X(x U y)); the delay branch defers.
+            let mut out = decompose(y, sym, eventualities);
+            let d: Vec<usize> = ev_idx(g).into_iter().collect();
+            for (nx, dx, fx) in decompose(x, sym, eventualities) {
+                if !fx {
+                    continue;
+                }
+                let mut n = nx;
+                n.push(g.clone());
+                let mut dd = dx;
+                dd.extend(d.iter().copied());
+                out.push((n, dd, true));
+            }
+            out
+        }
+        Formula::WUntil(x, y) => {
+            // x W y ≡ y ∨ (x ∧ X(x W y)) — no eventuality.
+            let mut out = decompose(y, sym, eventualities);
+            for (nx, dx, fx) in decompose(x, sym, eventualities) {
+                if !fx {
+                    continue;
+                }
+                let mut n = nx;
+                n.push(g.clone());
+                out.push((n, dx, true));
+            }
+            out
+        }
+        _ => unreachable!("future-only input"),
+    }
+}
+
+fn collect_eventualities(f: &Formula, out: &mut Vec<Formula>) {
+    if matches!(f, Formula::Eventually(_) | Formula::Until(..)) && !out.contains(f) {
+        out.push(f.clone());
+    }
+    for c in f.children() {
+        collect_eventualities(c, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::holds;
+    use hierarchy_automata::lasso::Lasso;
+    use hierarchy_automata::random::random_lasso;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn letters() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    fn check(src: &str, seed: u64) {
+        let sigma = letters();
+        let f = Formula::parse(&sigma, src).unwrap();
+        let nba = translate(&sigma, &f).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..250 {
+            let w = random_lasso(&mut rng, &sigma, 4, 4);
+            assert_eq!(
+                holds(&f, &w).unwrap(),
+                nba.accepts(&w),
+                "{src} disagrees on {}",
+                w.display(&sigma)
+            );
+        }
+    }
+
+    #[test]
+    fn atoms_and_booleans() {
+        check("a", 1);
+        check("!a", 2);
+        check("a & b", 3);
+        check("a | b", 4);
+        check("true", 5);
+    }
+
+    #[test]
+    fn false_is_empty() {
+        let sigma = letters();
+        let nba = translate(&sigma, &Formula::False).unwrap();
+        assert!(nba.is_empty());
+    }
+
+    #[test]
+    fn modalities() {
+        check("F b", 6);
+        check("G a", 7);
+        check("G F b", 8);
+        check("F G a", 9);
+        check("X a", 10);
+        check("X X b", 11);
+    }
+
+    #[test]
+    fn untils() {
+        check("a U b", 12);
+        check("a W b", 13);
+        check("(a U b) U a", 14);
+        check("G (a -> F b)", 15);
+        check("F a & G (a -> b | X b)", 16);
+    }
+
+    #[test]
+    fn nested_and_negated() {
+        check("!(a U b)", 17);
+        check("!(G F a)", 18);
+        check("G F a -> G F b", 19);
+        check("(G a | F b) & (G b | F a)", 20);
+    }
+
+    #[test]
+    fn rejects_past() {
+        let sigma = letters();
+        let f = Formula::parse(&sigma, "F (Y a)").unwrap();
+        assert!(translate(&sigma, &f).is_err());
+    }
+
+    #[test]
+    fn agreement_with_deterministic_pipeline() {
+        use crate::to_automaton::compile_over;
+        let sigma = letters();
+        let mut rng = StdRng::seed_from_u64(99);
+        for src in ["G (a -> F b)", "F G a", "a U b", "G F a -> G F b"] {
+            let f = Formula::parse(&sigma, src).unwrap();
+            let nba = translate(&sigma, &f).unwrap();
+            let det = compile_over(&sigma, &f).unwrap();
+            for _ in 0..200 {
+                let w = random_lasso(&mut rng, &sigma, 4, 4);
+                assert_eq!(
+                    nba.accepts(&w),
+                    det.accepts(&w),
+                    "{src} pipelines disagree on {}",
+                    w.display(&sigma)
+                );
+            }
+        }
+        let _ = Lasso::parse(&sigma, "", "a");
+    }
+}

@@ -1,0 +1,176 @@
+//! Random formula generation for fuzzing and property-based tests.
+
+use crate::ast::Formula;
+use hierarchy_automata::alphabet::Alphabet;
+use rand::Rng;
+
+/// Options for [`random_formula`].
+#[derive(Debug, Clone, Copy)]
+pub struct FormulaShape {
+    /// Maximum operator nesting depth.
+    pub max_depth: usize,
+    /// Allow future operators.
+    pub future: bool,
+    /// Allow past operators.
+    pub past: bool,
+}
+
+impl Default for FormulaShape {
+    fn default() -> Self {
+        FormulaShape {
+            max_depth: 4,
+            future: true,
+            past: true,
+        }
+    }
+}
+
+/// Generates a random formula over the alphabet's atoms (propositions for
+/// valuation alphabets, letters otherwise).
+pub fn random_formula<R: Rng>(rng: &mut R, alphabet: &Alphabet, shape: FormulaShape) -> Formula {
+    gen(rng, alphabet, shape, shape.max_depth)
+}
+
+/// Generates a random *past* formula (for tester fuzzing).
+pub fn random_past_formula<R: Rng>(rng: &mut R, alphabet: &Alphabet, max_depth: usize) -> Formula {
+    gen(
+        rng,
+        alphabet,
+        FormulaShape {
+            max_depth,
+            future: false,
+            past: true,
+        },
+        max_depth,
+    )
+}
+
+fn atom_names(alphabet: &Alphabet) -> Vec<String> {
+    if alphabet.propositions().is_empty() {
+        (0..alphabet.len())
+            .map(|i| {
+                alphabet
+                    .name(hierarchy_automata::alphabet::Symbol(i as u8))
+                    .to_string()
+            })
+            .collect()
+    } else {
+        alphabet.propositions().to_vec()
+    }
+}
+
+fn gen<R: Rng>(rng: &mut R, alphabet: &Alphabet, shape: FormulaShape, depth: usize) -> Formula {
+    let names = atom_names(alphabet);
+    if depth == 0 || rng.gen_bool(0.3) {
+        let roll = rng.gen_range(0..names.len() + 1);
+        return if roll == names.len() {
+            if rng.gen_bool(0.5) {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        } else {
+            Formula::atom(alphabet, &names[roll]).expect("atom exists")
+        };
+    }
+    let mut ops: Vec<u8> = vec![0, 1, 2]; // not, and, or
+    if shape.future {
+        ops.extend([3, 4, 5, 6, 7]); // X F G U W
+    }
+    if shape.past {
+        ops.extend([8, 9, 10, 11, 12, 13]); // Y Z O H S B
+    }
+    let sub = |rng: &mut R| gen(rng, alphabet, shape, depth - 1);
+    match ops[rng.gen_range(0..ops.len())] {
+        0 => sub(rng).not(),
+        1 => sub(rng).and(sub(rng)),
+        2 => sub(rng).or(sub(rng)),
+        3 => sub(rng).next(),
+        4 => sub(rng).eventually(),
+        5 => sub(rng).always(),
+        6 => sub(rng).until(sub(rng)),
+        7 => sub(rng).unless(sub(rng)),
+        8 => sub(rng).prev(),
+        9 => sub(rng).wprev(),
+        10 => sub(rng).once(),
+        11 => sub(rng).historically(),
+        12 => sub(rng).since(sub(rng)),
+        13 => sub(rng).wsince(sub(rng)),
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_formulas_respect_shape() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let past_only = random_past_formula(&mut rng, &sigma, 4);
+            assert!(past_only.is_past(), "{past_only}");
+            let future_only = random_formula(
+                &mut rng,
+                &sigma,
+                FormulaShape {
+                    max_depth: 4,
+                    future: true,
+                    past: false,
+                },
+            );
+            assert!(future_only.is_future(), "{future_only}");
+        }
+    }
+
+    #[test]
+    fn parser_roundtrip() {
+        // parse(display(f)) reproduces f for 300 random formulas.
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..300 {
+            let f = random_formula(&mut rng, &sigma, FormulaShape::default());
+            let printed = f.to_string();
+            let reparsed = Formula::parse(&sigma, &printed)
+                .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+            assert_eq!(f, reparsed, "roundtrip changed {printed}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_over_propositions() {
+        let sigma = Alphabet::of_propositions(["p", "q", "r"]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let f = random_formula(&mut rng, &sigma, FormulaShape::default());
+            let reparsed = Formula::parse(&sigma, &f.to_string()).unwrap();
+            assert_eq!(f, reparsed);
+        }
+    }
+
+    #[test]
+    fn nnf_fuzz_preserves_semantics() {
+        use crate::rewrites::nnf;
+        use crate::semantics::holds;
+        use hierarchy_automata::random::random_lasso;
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut checked = 0;
+        for _ in 0..200 {
+            let f = random_formula(&mut rng, &sigma, FormulaShape::default());
+            let g = nnf(&f);
+            for _ in 0..10 {
+                let w = random_lasso(&mut rng, &sigma, 4, 3);
+                // Only the future-over-past fragment is evaluable.
+                if let (Ok(l), Ok(r)) = (holds(&f, &w), holds(&g, &w)) {
+                    assert_eq!(l, r, "nnf changed {f}");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 100, "too few evaluable samples: {checked}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Syntactic classification of formulas into the hierarchy — the paper's
+//! grammar of safety / guarantee / obligation / recurrence / persistence /
+//! reactivity formulas, together with the class-combination laws
+//! (Section 4's closure results).
+//!
+//! [`SyntacticClass::of`] classifies a formula *as written* (after
+//! canonicalization) — an upper bound on the semantic class. The exact
+//! semantic class is computed by compiling to an automaton and running
+//! [`hierarchy_automata::classify`]; the two coincide exactly when the
+//! formula has no semantic slack (e.g. `□p ∧ ◇false` is syntactically an
+//! obligation but semantically `false`).
+
+use crate::ast::Formula;
+use crate::rewrites;
+use std::fmt;
+
+/// A class of the syntactic hierarchy, ordered by inclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntacticClass {
+    /// A past or state formula evaluated at the origin — clopen, hence
+    /// both a safety and a guarantee formula.
+    PastOrState,
+    /// `□p` shapes and their positive combinations.
+    Safety,
+    /// `◇p` shapes and their positive combinations.
+    Guarantee,
+    /// Boolean combination of safety and guarantee; the payload is the
+    /// conjunctive-normal-form size (the `Obl_k` level).
+    Obligation(usize),
+    /// `□◇p` shapes and their positive combinations.
+    Recurrence,
+    /// `◇□p` shapes and their positive combinations.
+    Persistence,
+    /// Combinations of recurrence and persistence; the payload is the CNF
+    /// size (the reactivity level, 1 = simple reactivity).
+    Reactivity(usize),
+}
+
+impl SyntacticClass {
+    /// Classifies a formula syntactically, canonicalizing first. Returns
+    /// `None` when the formula cannot be brought into the hierarchy
+    /// grammar.
+    pub fn of(f: &Formula) -> Option<SyntacticClass> {
+        let c = rewrites::canonicalize(f);
+        Self::of_canonical(&c)
+    }
+
+    /// Classifies an already-canonical formula.
+    pub fn of_canonical(f: &Formula) -> Option<SyntacticClass> {
+        if f.is_past() {
+            return Some(SyntacticClass::PastOrState);
+        }
+        match f {
+            Formula::And(x, y) => {
+                Some(Self::of_canonical(x)?.and(Self::of_canonical(y)?))
+            }
+            Formula::Or(x, y) => Some(Self::of_canonical(x)?.or(Self::of_canonical(y)?)),
+            Formula::Always(x) => match x.as_ref() {
+                Formula::Eventually(p) if p.is_past() => Some(SyntacticClass::Recurrence),
+                p if p.is_past() => Some(SyntacticClass::Safety),
+                _ => None,
+            },
+            Formula::Eventually(x) => match x.as_ref() {
+                Formula::Always(p) if p.is_past() => Some(SyntacticClass::Persistence),
+                p if p.is_past() => Some(SyntacticClass::Guarantee),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The class of a conjunction, per the paper's closure laws.
+    pub fn and(self, other: SyntacticClass) -> SyntacticClass {
+        use SyntacticClass::*;
+        match (self, other) {
+            (PastOrState, x) | (x, PastOrState) => x,
+            (Safety, Safety) => Safety,
+            (Guarantee, Guarantee) => Guarantee,
+            // Safety ∧ guarantee: CNF (□p) ∧ (◇q) = two singleton clauses…
+            // but □p ∧ ◇q = (□p ∨ ◇false) ∧ (□false ∨ ◇q): still one
+            // clause each — the CNF size is the max needed: here 2 clauses
+            // of the simple form; the paper's `Obl_k` counts conjuncts.
+            (Safety, Guarantee) | (Guarantee, Safety) => Obligation(2),
+            (Obligation(n), Safety | Guarantee) | (Safety | Guarantee, Obligation(n)) => {
+                Obligation(n + 1)
+            }
+            (Obligation(n), Obligation(m)) => Obligation(n + m),
+            (Recurrence, Recurrence) => Recurrence,
+            (Persistence, Persistence) => Persistence,
+            (Recurrence, Safety | Guarantee | Obligation(_))
+            | (Safety | Guarantee | Obligation(_), Recurrence) => Recurrence,
+            (Persistence, Safety | Guarantee | Obligation(_))
+            | (Safety | Guarantee | Obligation(_), Persistence) => Persistence,
+            (Recurrence, Persistence) | (Persistence, Recurrence) => Reactivity(2),
+            (Reactivity(n), Reactivity(m)) => Reactivity(n + m),
+            (Reactivity(n), Recurrence | Persistence)
+            | (Recurrence | Persistence, Reactivity(n)) => Reactivity(n + 1),
+            (Reactivity(n), _) | (_, Reactivity(n)) => Reactivity(n + 1),
+        }
+    }
+
+    /// The class of a disjunction, per the paper's closure laws.
+    pub fn or(self, other: SyntacticClass) -> SyntacticClass {
+        use SyntacticClass::*;
+        match (self, other) {
+            (PastOrState, x) | (x, PastOrState) => x,
+            (Safety, Safety) => Safety,
+            (Guarantee, Guarantee) => Guarantee,
+            // □p ∨ ◇q is exactly a simple obligation.
+            (Safety, Guarantee) | (Guarantee, Safety) => Obligation(1),
+            // Disjunction distributes over the CNFs: sizes multiply.
+            (Obligation(n), Obligation(m)) => Obligation(n * m),
+            (Obligation(n), Safety | Guarantee) | (Safety | Guarantee, Obligation(n)) => {
+                Obligation(n)
+            }
+            (Recurrence, Recurrence) => Recurrence,
+            (Persistence, Persistence) => Persistence,
+            // Recurrence ∨ guarantee collapses into recurrence (the class
+            // is closed under union with lower classes), etc.
+            (Recurrence, Safety | Guarantee | Obligation(_))
+            | (Safety | Guarantee | Obligation(_), Recurrence) => Recurrence,
+            (Persistence, Safety | Guarantee | Obligation(_))
+            | (Safety | Guarantee | Obligation(_), Persistence) => Persistence,
+            // □◇p ∨ ◇□q is exactly a simple reactivity formula.
+            (Recurrence, Persistence) | (Persistence, Recurrence) => Reactivity(1),
+            (Reactivity(n), Reactivity(m)) => Reactivity(n * m),
+            (Reactivity(n), _) | (_, Reactivity(n)) => Reactivity(n),
+        }
+    }
+
+    /// Whether this class is contained in `other` in the hierarchy diagram
+    /// (Figure 1).
+    pub fn is_subclass_of(self, other: SyntacticClass) -> bool {
+        use SyntacticClass::*;
+        let level = |c: SyntacticClass| -> u8 {
+            match c {
+                PastOrState => 0,
+                Safety | Guarantee => 1,
+                Obligation(_) => 2,
+                Recurrence | Persistence => 3,
+                Reactivity(_) => 4,
+            }
+        };
+        match (self, other) {
+            (a, b) if a == b => true,
+            (PastOrState, _) => true,
+            (Safety, Guarantee) | (Guarantee, Safety) => false,
+            (Recurrence, Persistence) | (Persistence, Recurrence) => false,
+            (Obligation(n), Obligation(m)) => n <= m,
+            (Reactivity(n), Reactivity(m)) => n <= m,
+            (Safety | Guarantee, Obligation(_)) => true,
+            (a, Recurrence) | (a, Persistence) => level(a) <= 2,
+            (_, Reactivity(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for SyntacticClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyntacticClass::PastOrState => write!(f, "state/past (clopen)"),
+            SyntacticClass::Safety => write!(f, "safety"),
+            SyntacticClass::Guarantee => write!(f, "guarantee"),
+            SyntacticClass::Obligation(n) => write!(f, "obligation (Obl_{n})"),
+            SyntacticClass::Recurrence => write!(f, "recurrence"),
+            SyntacticClass::Persistence => write!(f, "persistence"),
+            SyntacticClass::Reactivity(1) => write!(f, "simple reactivity"),
+            SyntacticClass::Reactivity(n) => write!(f, "reactivity (level {n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierarchy_automata::alphabet::Alphabet;
+
+    fn letters() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    fn class_of(src: &str) -> SyntacticClass {
+        let sigma = letters();
+        SyntacticClass::of(&Formula::parse(&sigma, src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn basic_shapes() {
+        assert_eq!(class_of("G a"), SyntacticClass::Safety);
+        assert_eq!(class_of("F a"), SyntacticClass::Guarantee);
+        assert_eq!(class_of("G F a"), SyntacticClass::Recurrence);
+        assert_eq!(class_of("F G a"), SyntacticClass::Persistence);
+        assert_eq!(class_of("a"), SyntacticClass::PastOrState);
+        assert_eq!(class_of("G a | F b"), SyntacticClass::Obligation(1));
+        assert_eq!(class_of("G F a | F G b"), SyntacticClass::Reactivity(1));
+    }
+
+    #[test]
+    fn paper_idioms_classify() {
+        // Response is recurrence-equivalent.
+        assert_eq!(class_of("G (a -> F b)"), SyntacticClass::Recurrence);
+        // Conditional safety is safety-equivalent.
+        assert_eq!(class_of("a -> G b"), SyntacticClass::Safety);
+        // Strong fairness is simple reactivity.
+        assert_eq!(class_of("G F a -> G F b"), SyntacticClass::Reactivity(1));
+        // Conditional persistence.
+        assert_eq!(class_of("G (a -> F G b)"), SyntacticClass::Persistence);
+        // Total correctness / guarantee.
+        assert_eq!(class_of("a -> F b"), SyntacticClass::Guarantee);
+        // Exception handling: ◇p → ◇(q ∧ ⟐p) is an obligation.
+        assert!(matches!(
+            class_of("F a -> F (b & O a)"),
+            SyntacticClass::Obligation(_)
+        ));
+    }
+
+    #[test]
+    fn conjunction_laws() {
+        assert_eq!(class_of("G a & G b"), SyntacticClass::Safety);
+        assert_eq!(class_of("F a & F b"), SyntacticClass::Guarantee);
+        assert_eq!(class_of("G F a & G F b"), SyntacticClass::Recurrence);
+        assert_eq!(class_of("F G a & F G b"), SyntacticClass::Persistence);
+        assert_eq!(
+            class_of("(G F a | F G b) & (G F b | F G a)"),
+            SyntacticClass::Reactivity(2)
+        );
+        assert_eq!(
+            class_of("(G a | F b) & (G b | F a)"),
+            SyntacticClass::Obligation(2)
+        );
+    }
+
+    #[test]
+    fn subclass_relation_matches_figure1() {
+        use SyntacticClass::*;
+        assert!(Safety.is_subclass_of(Obligation(1)));
+        assert!(Guarantee.is_subclass_of(Obligation(1)));
+        assert!(Obligation(1).is_subclass_of(Recurrence));
+        assert!(Obligation(3).is_subclass_of(Persistence));
+        assert!(Recurrence.is_subclass_of(Reactivity(1)));
+        assert!(Persistence.is_subclass_of(Reactivity(1)));
+        assert!(!Safety.is_subclass_of(Guarantee));
+        assert!(!Recurrence.is_subclass_of(Persistence));
+        assert!(!Recurrence.is_subclass_of(Obligation(5)));
+        assert!(Obligation(2).is_subclass_of(Obligation(3)));
+        assert!(!Obligation(3).is_subclass_of(Obligation(2)));
+        assert!(Reactivity(1).is_subclass_of(Reactivity(2)));
+        assert!(PastOrState.is_subclass_of(Safety));
+        assert!(PastOrState.is_subclass_of(Guarantee));
+    }
+
+    #[test]
+    fn untranslatable_returns_none() {
+        let sigma = letters();
+        let f = Formula::parse(&sigma, "G ((F a) U (G b))").unwrap();
+        assert_eq!(SyntacticClass::of(&f), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SyntacticClass::Safety.to_string(), "safety");
+        assert_eq!(
+            SyntacticClass::Obligation(2).to_string(),
+            "obligation (Obl_2)"
+        );
+        assert_eq!(
+            SyntacticClass::Reactivity(1).to_string(),
+            "simple reactivity"
+        );
+    }
+}

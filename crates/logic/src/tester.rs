@@ -1,0 +1,404 @@
+//! Deterministic past testers — the \[LPZ85] construction behind the
+//! paper's Proposition 5.3.
+//!
+//! For any finite set of *past* formulas `p₁, …, p_k`, there is a
+//! deterministic automaton whose state after reading a finite word `w`
+//! knows, for every `i`, whether `pᵢ` holds at the last position of `w`
+//! (the paper's *end-satisfaction* `w ⊨̃ pᵢ`). States are truth assignments
+//! to the past-closed set of subformulas; transitions apply the past
+//! recurrence laws
+//!
+//! ```text
+//! ⊖φ       now = φ before              (false at the first position)
+//! ~⊖φ      likewise                    (true at the first position)
+//! φ S ψ    now = ψ ∨ (φ ∧ (φ S ψ) before)
+//! φ B ψ    now = ψ ∨ (φ ∧ (φ B ψ) before; true at the first position)
+//! ⟐φ       now = φ ∨ ⟐φ before
+//! ⊡φ       now = φ ∧ ⊡φ before
+//! ```
+//!
+//! The tester also yields the finitary property `esat(p)` of the paper —
+//! the set of finite words end-satisfying `p` — as a [`FinitaryProperty`].
+
+use crate::ast::Formula;
+use hierarchy_automata::alphabet::{Alphabet, Symbol};
+use hierarchy_automata::bitset::BitSet;
+use hierarchy_automata::dfa::Dfa;
+use hierarchy_automata::StateId;
+use hierarchy_lang::FinitaryProperty;
+use std::collections::HashMap;
+
+/// A deterministic past tester for one or more tracked past formulas.
+///
+/// State 0 is the *pre-state* (nothing read yet); every other state is a
+/// truth assignment reached after at least one symbol.
+///
+/// # Examples
+///
+/// ```
+/// use hierarchy_automata::prelude::*;
+/// use hierarchy_logic::{tester::Tester, Formula};
+///
+/// let sigma = Alphabet::new(["a", "b"]).unwrap();
+/// // b ∧ ⊖⊡a: "current symbol is b and everything before was a" — the
+/// // paper's past formula for the finitary property a*b.
+/// let p = Formula::parse(&sigma, "b & Y H a").unwrap();
+/// let t = Tester::new(&sigma, &[p]).unwrap();
+/// let q = t.run_str("aab").unwrap();
+/// assert!(t.truth(q, 0));
+/// let q2 = t.run_str("aba").unwrap();
+/// assert!(!t.truth(q2, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tester {
+    alphabet: Alphabet,
+    /// Past-closed subformula list, children before parents (kept for
+    /// debugging/display; truth bits index into this list).
+    #[allow(dead_code)]
+    nodes: Vec<Formula>,
+    /// Indices into `nodes` for the tracked formulas, in input order.
+    tracked: Vec<usize>,
+    /// Assignment of each state (bit `i` = truth of `nodes[i]`);
+    /// `states[0]` is the pre-state and its assignment is meaningless.
+    states: Vec<u64>,
+    /// Flattened transition table.
+    delta: Vec<StateId>,
+}
+
+/// Error building a tester.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TesterError {
+    /// A tracked formula is not a past formula.
+    NotPast {
+        /// Display form of the offending formula.
+        formula: String,
+    },
+    /// More than 64 distinct past subformulas.
+    TooLarge {
+        /// The subformula count.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for TesterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TesterError::NotPast { formula } => {
+                write!(f, "tester requires past formulas, got {formula}")
+            }
+            TesterError::TooLarge { nodes } => {
+                write!(f, "tester supports at most 64 past subformulas, got {nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TesterError {}
+
+impl Tester {
+    /// Builds the tester for the given past formulas over `alphabet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TesterError::NotPast`] if a formula has future operators
+    /// and [`TesterError::TooLarge`] beyond 64 distinct past subformulas.
+    pub fn new(alphabet: &Alphabet, tracked: &[Formula]) -> Result<Self, TesterError> {
+        for f in tracked {
+            if !f.is_past() {
+                return Err(TesterError::NotPast {
+                    formula: f.to_string(),
+                });
+            }
+        }
+        // Past-closed postorder node list.
+        let mut nodes: Vec<Formula> = Vec::new();
+        let mut index: HashMap<Formula, usize> = HashMap::new();
+        fn visit(f: &Formula, nodes: &mut Vec<Formula>, index: &mut HashMap<Formula, usize>) {
+            if index.contains_key(f) {
+                return;
+            }
+            for c in f.children() {
+                visit(c, nodes, index);
+            }
+            index.insert(f.clone(), nodes.len());
+            nodes.push(f.clone());
+        }
+        for f in tracked {
+            visit(f, &mut nodes, &mut index);
+        }
+        if nodes.len() > 64 {
+            return Err(TesterError::TooLarge { nodes: nodes.len() });
+        }
+        let tracked_idx: Vec<usize> = tracked.iter().map(|f| index[f]).collect();
+
+        // BFS exploration of assignment states.
+        let k = alphabet.len();
+        let mut states: Vec<u64> = vec![0]; // pre-state placeholder
+        let mut state_ids: HashMap<(bool, u64), StateId> = HashMap::new();
+        state_ids.insert((true, 0), 0); // (is_pre, assignment)
+        let mut delta: Vec<StateId> = vec![StateId::MAX; k];
+        let mut frontier: Vec<StateId> = vec![0];
+        while let Some(q) = frontier.pop() {
+            let is_pre = q == 0;
+            let assignment = states[q as usize];
+            for sym in alphabet.symbols() {
+                let next = step_assignment(&nodes, &index, assignment, is_pre, sym);
+                let id = *state_ids.entry((false, next)).or_insert_with(|| {
+                    states.push(next);
+                    delta.extend(std::iter::repeat_n(StateId::MAX, k));
+                    frontier.push((states.len() - 1) as StateId);
+                    (states.len() - 1) as StateId
+                });
+                delta[q as usize * k + sym.index()] = id;
+            }
+        }
+        Ok(Tester {
+            alphabet: alphabet.clone(),
+            nodes,
+            tracked: tracked_idx,
+            states,
+            delta,
+        })
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states, including the pre-state 0.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The pre-state (nothing read yet).
+    pub fn initial(&self) -> StateId {
+        0
+    }
+
+    /// The successor of `q` on `sym`.
+    pub fn step(&self, q: StateId, sym: Symbol) -> StateId {
+        self.delta[q as usize * self.alphabet.len() + sym.index()]
+    }
+
+    /// Runs the tester over a word from the pre-state.
+    pub fn run<I: IntoIterator<Item = Symbol>>(&self, word: I) -> StateId {
+        word.into_iter().fold(0, |q, sym| self.step(q, sym))
+    }
+
+    /// Runs over a string of single-character symbol names; `None` on
+    /// unknown characters.
+    pub fn run_str(&self, word: &str) -> Option<StateId> {
+        let syms: Option<Vec<Symbol>> = word
+            .chars()
+            .map(|c| self.alphabet.symbol(&c.to_string()))
+            .collect();
+        Some(self.run(syms?))
+    }
+
+    /// Truth of tracked formula `tracked_idx` in state `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the pre-state (no position has been read yet) or an
+    /// out-of-range index.
+    pub fn truth(&self, q: StateId, tracked_idx: usize) -> bool {
+        assert_ne!(q, 0, "the pre-state carries no truth values");
+        let bit = self.tracked[tracked_idx];
+        self.states[q as usize] & (1 << bit) != 0
+    }
+
+    /// The set of (non-pre) states in which tracked formula `tracked_idx`
+    /// holds.
+    pub fn states_where(&self, tracked_idx: usize) -> BitSet {
+        let bit = self.tracked[tracked_idx];
+        (1..self.states.len())
+            .filter(|&q| self.states[q] & (1 << bit) != 0)
+            .collect()
+    }
+
+    /// The tester as a DFA accepting `esat(p)` for tracked formula
+    /// `tracked_idx` — the finite non-empty words that end-satisfy `p`.
+    pub fn esat_dfa(&self, tracked_idx: usize) -> Dfa {
+        let acc = self.states_where(tracked_idx);
+        Dfa::build(
+            &self.alphabet,
+            self.num_states(),
+            0,
+            |q, s| self.step(q, s),
+            acc.iter().map(|q| q as StateId),
+        )
+    }
+}
+
+/// The paper's `esat(p)`: the finitary property of finite words
+/// end-satisfying the past formula `p`.
+///
+/// # Errors
+///
+/// Returns a [`TesterError`] if `p` is not past or is too large.
+pub fn esat(alphabet: &Alphabet, p: &Formula) -> Result<FinitaryProperty, TesterError> {
+    let t = Tester::new(alphabet, std::slice::from_ref(p))?;
+    Ok(FinitaryProperty::from_dfa(t.esat_dfa(0)))
+}
+
+fn step_assignment(
+    nodes: &[Formula],
+    index: &HashMap<Formula, usize>,
+    old: u64,
+    is_pre: bool,
+    sym: Symbol,
+) -> u64 {
+    let mut new = 0u64;
+    let old_of = |i: usize| old & (1 << i) != 0;
+    for (i, f) in nodes.iter().enumerate() {
+        let cur = |child: &Formula| new & (1 << index[child]) != 0;
+        let prev = |child: &Formula, at_first: bool| {
+            if is_pre {
+                at_first
+            } else {
+                old_of(index[child])
+            }
+        };
+        let prev_self = |at_first: bool| if is_pre { at_first } else { old_of(i) };
+        let v = match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(_, set) => set.contains(sym),
+            Formula::Not(x) => !cur(x),
+            Formula::And(x, y) => cur(x) && cur(y),
+            Formula::Or(x, y) => cur(x) || cur(y),
+            Formula::Prev(x) => prev(x, false),
+            Formula::WPrev(x) => prev(x, true),
+            Formula::Since(x, y) => cur(y) || (cur(x) && prev_self(false)),
+            Formula::WSince(x, y) => cur(y) || (cur(x) && prev_self(true)),
+            Formula::Once(x) => cur(x) || prev_self(false),
+            Formula::Historically(x) => cur(x) && prev_self(true),
+            _ => unreachable!("non-past node in tester"),
+        };
+        if v {
+            new |= 1 << i;
+        }
+    }
+    new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics;
+    use hierarchy_automata::lasso::Lasso;
+    use hierarchy_automata::random::random_lasso;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn letters() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn tracks_once() {
+        let sigma = letters();
+        let p = Formula::parse(&sigma, "O b").unwrap();
+        let t = Tester::new(&sigma, &[p]).unwrap();
+        assert!(!t.truth(t.run_str("aaa").unwrap(), 0));
+        assert!(t.truth(t.run_str("aba").unwrap(), 0));
+        assert!(t.truth(t.run_str("b").unwrap(), 0));
+    }
+
+    #[test]
+    fn paper_esat_example() {
+        // The paper: the finitary property a*b is represented by the past
+        // formula "b holds now and a holds in all the preceding positions"
+        // — with *weak* previous so that the single-letter word b (zero
+        // preceding positions) qualifies.
+        let sigma = letters();
+        let p = Formula::parse(&sigma, "b & Z H a").unwrap();
+        let phi = esat(&sigma, &p).unwrap();
+        let expected = FinitaryProperty::parse(&sigma, "a*b").unwrap();
+        assert!(phi.equivalent(&expected));
+        // The strong-previous variant drops the word "b": a⁺b.
+        let p2 = Formula::parse(&sigma, "b & Y H a").unwrap();
+        let phi2 = esat(&sigma, &p2).unwrap();
+        assert!(phi2.equivalent(&FinitaryProperty::parse(&sigma, "aa*b").unwrap()));
+    }
+
+    #[test]
+    fn esat_of_state_formula() {
+        // esat(b) = Σ*b.
+        let sigma = letters();
+        let p = Formula::parse(&sigma, "b").unwrap();
+        let phi = esat(&sigma, &p).unwrap();
+        assert!(phi.equivalent(&FinitaryProperty::parse(&sigma, ".*b").unwrap()));
+    }
+
+    #[test]
+    fn rejects_future_formulas() {
+        let sigma = letters();
+        let f = Formula::parse(&sigma, "F b").unwrap();
+        assert!(matches!(
+            Tester::new(&sigma, &[f]),
+            Err(TesterError::NotPast { .. })
+        ));
+    }
+
+    #[test]
+    fn first_is_position_zero() {
+        let sigma = letters();
+        let t = Tester::new(&sigma, &[Formula::first()]).unwrap();
+        assert!(t.truth(t.run_str("a").unwrap(), 0));
+        assert!(!t.truth(t.run_str("ab").unwrap(), 0));
+        assert!(!t.truth(t.run_str("ba").unwrap(), 0));
+    }
+
+    #[test]
+    fn multiple_tracked_formulas() {
+        let sigma = letters();
+        let p1 = Formula::parse(&sigma, "O a").unwrap();
+        let p2 = Formula::parse(&sigma, "H a").unwrap();
+        let t = Tester::new(&sigma, &[p1, p2]).unwrap();
+        let q = t.run_str("ab").unwrap();
+        assert!(t.truth(q, 0)); // some a
+        assert!(!t.truth(q, 1)); // not all a
+        let q2 = t.run_str("aa").unwrap();
+        assert!(t.truth(q2, 0) && t.truth(q2, 1));
+    }
+
+    #[test]
+    fn agrees_with_lasso_semantics() {
+        // For a past formula p and lasso w, the tester state after the
+        // first j+1 symbols knows p at position j; cross-check against the
+        // direct evaluator on prefixes.
+        let sigma = letters();
+        let formulas = [
+            "b & Y H a",
+            "a S b",
+            "a B b",
+            "Y Y a",
+            "O (a & Y b)",
+            "H (a | Y b)",
+            "Z a",
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        for src in formulas {
+            let p = Formula::parse(&sigma, src).unwrap();
+            let t = Tester::new(&sigma, std::slice::from_ref(&p)).unwrap();
+            for _ in 0..40 {
+                let w = random_lasso(&mut rng, &sigma, 3, 3);
+                let vals = semantics::evaluate(&p, &w).unwrap();
+                let mut q = t.initial();
+                for (j, expected) in vals.iter().enumerate().take(6) {
+                    q = t.step(q, w.at(j));
+                    assert_eq!(
+                        t.truth(q, 0),
+                        *expected,
+                        "{src} at position {j} of {}",
+                        w.display(&sigma)
+                    );
+                }
+            }
+        }
+        let _ = Lasso::parse(&sigma, "", "a");
+    }
+}

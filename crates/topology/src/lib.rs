@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! The **topological view** of the Manna–Pnueli hierarchy (Section 3 of
+//! *A Hierarchy of Temporal Properties*, PODC 1990).
+//!
+//! `Σ^ω` with the Cantor metric `μ(σ, σ′) = 2^{-j}` (where `j` is the
+//! first position on which the words differ) is a complete metric space,
+//! and the hierarchy coincides with the bottom of the Borel hierarchy:
+//!
+//! | class       | topology            |
+//! |-------------|---------------------|
+//! | safety      | closed sets (F)     |
+//! | guarantee   | open sets (G)       |
+//! | obligation  | boolean combinations of open sets |
+//! | recurrence  | G_δ (countable intersections of open sets) |
+//! | persistence | F_σ (countable unions of closed sets)      |
+//! | liveness    | dense sets          |
+//!
+//! This crate provides the metric ([`metric`]), limit points and closure
+//! ([`closure`]), density and uniform liveness ([`density`]), and the
+//! safety–liveness decomposition `Π = A(Pref(Π)) ∩ L(Π)`
+//! ([`decomposition`]).
+
+pub mod closure;
+pub mod decomposition;
+pub mod normal_forms;
+pub mod density;
+pub mod metric;

@@ -1,0 +1,152 @@
+//! The Cantor metric on ω-words: `μ(σ, σ′) = 2^{-j}` where `j` is the
+//! first position on which the words differ (0 when they are equal).
+
+use hierarchy_automata::lasso::Lasso;
+
+/// Greatest common divisor (used for the comparison horizon).
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple.
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// The first position on which the two ω-words differ, or `None` if they
+/// denote the same word.
+///
+/// Two ultimately periodic words that agree on a sufficiently long prefix
+/// (`max(|u₁|, |u₂|) + lcm(|v₁|, |v₂|)`) agree everywhere, so the search is
+/// bounded.
+pub fn first_difference(a: &Lasso, b: &Lasso) -> Option<usize> {
+    let horizon =
+        a.spoke().len().max(b.spoke().len()) + lcm(a.cycle().len(), b.cycle().len());
+    (0..horizon).find(|&j| a.at(j) != b.at(j))
+}
+
+/// The paper's distance `μ(σ, σ′) = 2^{-j}` (0 for equal words).
+///
+/// # Examples
+///
+/// ```
+/// use hierarchy_automata::prelude::*;
+/// use hierarchy_topology::metric::distance;
+///
+/// let sigma = Alphabet::new(["a", "b"]).unwrap();
+/// let w1 = Lasso::parse(&sigma, "aa", "b").unwrap(); // a²b^ω
+/// let w2 = Lasso::parse(&sigma, "aaaa", "b").unwrap(); // a⁴b^ω
+/// assert_eq!(distance(&w1, &w2), 0.25); // differ first at position 2
+/// ```
+pub fn distance(a: &Lasso, b: &Lasso) -> f64 {
+    match first_difference(a, b) {
+        None => 0.0,
+        Some(j) => (0.5f64).powi(j as i32),
+    }
+}
+
+/// Whether `a` and `b` share a prefix longer than `len` (the paper's
+/// convergence primitive).
+pub fn share_prefix_longer_than(a: &Lasso, b: &Lasso, len: usize) -> bool {
+    match first_difference(a, b) {
+        None => true,
+        Some(j) => j > len,
+    }
+}
+
+/// Whether the sequence of words converges to `limit` in the metric —
+/// verified up to the precision `2^{-depth}`: the tail of the sequence must
+/// agree with the limit on prefixes of length `depth`.
+///
+/// A finite sample cannot *prove* convergence; this check is the
+/// quantitative analogue used by tests and experiments.
+pub fn converges_to(sequence: &[Lasso], limit: &Lasso, depth: usize) -> bool {
+    // Distances must eventually drop below 2^{-depth} and stay there.
+    let threshold = (0.5f64).powi(depth as i32);
+    let tail_start = sequence.len().saturating_sub(3);
+    sequence
+        .iter()
+        .skip(tail_start)
+        .all(|w| distance(w, limit) < threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierarchy_automata::alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn metric_axioms_on_samples() {
+        let sigma = ab();
+        let words = [
+            Lasso::parse(&sigma, "", "a").unwrap(),
+            Lasso::parse(&sigma, "", "ab").unwrap(),
+            Lasso::parse(&sigma, "a", "b").unwrap(),
+            Lasso::parse(&sigma, "ab", "ab").unwrap(),
+        ];
+        for x in &words {
+            assert_eq!(distance(x, x), 0.0);
+            for y in &words {
+                // Symmetry.
+                assert_eq!(distance(x, y), distance(y, x));
+                for z in &words {
+                    // The ultrametric inequality (stronger than triangle).
+                    assert!(distance(x, z) <= distance(x, y).max(distance(y, z)) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_words_different_presentations() {
+        let sigma = ab();
+        let w1 = Lasso::parse(&sigma, "a", "ba").unwrap();
+        let w2 = Lasso::parse(&sigma, "", "ab").unwrap();
+        assert_eq!(first_difference(&w1, &w2), None);
+        assert_eq!(distance(&w1, &w2), 0.0);
+    }
+
+    #[test]
+    fn paper_distance_example() {
+        // μ(aⁿb^ω, a²ⁿb^ω) = 2^{-n}.
+        let sigma = ab();
+        for n in 1..6 {
+            let w1 = Lasso::parse(&sigma, &"a".repeat(n), "b").unwrap();
+            let w2 = Lasso::parse(&sigma, &"a".repeat(2 * n), "b").unwrap();
+            assert_eq!(distance(&w1, &w2), (0.5f64).powi(n as i32));
+        }
+    }
+
+    #[test]
+    fn paper_convergence_example() {
+        // b^ω, ab^ω, a²b^ω, … converges to a^ω.
+        let sigma = ab();
+        let seq: Vec<Lasso> = (0..12)
+            .map(|n| Lasso::parse(&sigma, &"a".repeat(n), "b").unwrap())
+            .collect();
+        let limit = Lasso::parse(&sigma, "", "a").unwrap();
+        assert!(converges_to(&seq, &limit, 8));
+        // It does not converge to b^ω.
+        let wrong = Lasso::parse(&sigma, "", "b").unwrap();
+        assert!(!converges_to(&seq, &wrong, 8));
+    }
+
+    #[test]
+    fn share_prefix() {
+        let sigma = ab();
+        let w1 = Lasso::parse(&sigma, "aaab", "a").unwrap();
+        let w2 = Lasso::parse(&sigma, "aaa", "a").unwrap();
+        // They differ first at position 3.
+        assert!(share_prefix_longer_than(&w1, &w2, 2));
+        assert!(!share_prefix_longer_than(&w1, &w2, 3));
+        assert!(share_prefix_longer_than(&w1, &w1, 1000));
+    }
+}

@@ -1,0 +1,112 @@
+//! A zoo of properties classified through every view of the paper:
+//! formulas, operator applications, and raw automata — including the
+//! canonical witnesses that make Figure 1's inclusions strict.
+//!
+//! Run with `cargo run --example classify_zoo`.
+
+use temporal_properties::automata::{classify, counterfree};
+use temporal_properties::lang::witnesses;
+use temporal_properties::prelude::*;
+
+fn row(name: &str, p: &Property) {
+    let r = p.report();
+    println!(
+        "{:<34} {:<22} {:<7} {:<6} {:<6} {}",
+        name,
+        r.class.to_string(),
+        r.borel,
+        if r.is_liveness { "yes" } else { "no" },
+        if r.is_counter_free { "yes" } else { "no" },
+        r.proof_principle.split(':').next().unwrap_or(""),
+    );
+}
+
+fn main() {
+    println!(
+        "{:<34} {:<22} {:<7} {:<6} {:<6} proof",
+        "property", "class", "Borel", "live", "LTL?"
+    );
+    println!("{}", "-".repeat(110));
+
+    // --- From formulas over propositions.
+    let ap = Alphabet::of_propositions(["p", "q"]).expect("alphabet");
+    for (name, src) in [
+        ("□(p → ⊖q) (precedence)", "G (p -> Y q)"),
+        ("◇(p ∧ ⟐q)", "F (p & O q)"),
+        ("p U q", "p U q"),
+        ("p W q", "p W q"),
+        ("□(p → ◇q) (response)", "G (p -> F q)"),
+        ("□(p → ◇□q) (stabilize)", "G (p -> F G q)"),
+        ("□◇p → □◇q (strong fair)", "G F p -> G F q"),
+        ("◇p → ◇(q ∧ ⟐p) (exception)", "F p -> F (q & O p)"),
+    ] {
+        row(name, &Property::parse(&ap, src).expect("compiles"));
+    }
+
+    // --- The paper's §2 witnesses through the linguistic operators.
+    println!();
+    for (name, aut) in [
+        ("A(a⁺b*) = a^ω + a⁺b^ω", witnesses::safety()),
+        ("E(a⁺b*) = a·Σ^ω (clopen!)", witnesses::guarantee_paper_example()),
+        ("E(Σ*b) = ◇b", witnesses::guarantee()),
+        ("R(Σ*b) = (a*b)^ω", witnesses::recurrence()),
+        ("P(Σ*b) = Σ*b^ω", witnesses::persistence()),
+        ("(a+b)*a^ω", witnesses::persistence_a()),
+        ("a*b^ω + Σ*cΣ^ω", witnesses::obligation_simple()),
+        ("Obl₃ witness", witnesses::obligation_witness(3)),
+        ("reactivity level 2 witness", witnesses::reactivity_witness(2)),
+    ] {
+        row(name, &Property::from_automaton(aut));
+    }
+
+    // --- A counting automaton: ω-regular but not temporal-logic
+    // expressible (not counter-free).
+    println!();
+    let sigma = Alphabet::new(["a", "b"]).expect("alphabet");
+    let a = sigma.symbol("a").expect("symbol");
+    let even_a = OmegaAutomaton::build(
+        &sigma,
+        2,
+        0,
+        move |q, s| if s == a { 1 - q } else { q },
+        Acceptance::inf([0]),
+    );
+    let p = Property::from_automaton(even_a);
+    row("\"infinitely often even #a\"", &p);
+    match p.counter_freedom() {
+        counterfree::CounterFreedom::Counter { period, .. } => {
+            println!("   ↳ counter of period {period} found: not LTL-expressible (Zuc86)");
+        }
+        counterfree::CounterFreedom::CounterFree { .. } => unreachable!(),
+    }
+
+    // --- Figure 1, regenerated: strictness of every inclusion.
+    println!();
+    println!("Figure 1 inclusions (✓ = member):");
+    let members: Vec<(&str, OmegaAutomaton)> = vec![
+        ("safety wit.", witnesses::safety()),
+        ("guarantee wit.", witnesses::guarantee()),
+        ("obligation wit.", witnesses::obligation_simple()),
+        ("recurrence wit.", witnesses::recurrence()),
+        ("persistence wit.", witnesses::persistence()),
+        ("reactivity wit.", witnesses::reactivity_witness(1)),
+    ];
+    println!(
+        "{:<18} {:>7} {:>9} {:>10} {:>10} {:>11} {:>10}",
+        "", "safety", "guarantee", "obligation", "recurrence", "persistence", "reactivity"
+    );
+    for (name, aut) in &members {
+        let c = classify::classify(aut);
+        let tick = |b: bool| if b { "✓" } else { "·" };
+        println!(
+            "{:<18} {:>7} {:>9} {:>10} {:>10} {:>11} {:>10}",
+            name,
+            tick(c.is_safety),
+            tick(c.is_guarantee),
+            tick(c.is_obligation),
+            tick(c.is_recurrence),
+            tick(c.is_persistence),
+            "✓", // every ω-regular property is reactivity
+        );
+    }
+}

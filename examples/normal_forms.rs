@@ -1,0 +1,59 @@
+//! Normal forms and export: the paper's conjunctive normal forms made
+//! constructive, and HOA export for interoperability.
+//!
+//! Run with `cargo run --example normal_forms`.
+
+use temporal_properties::automata::classify;
+use temporal_properties::lang::witnesses;
+use temporal_properties::topology::normal_forms;
+use temporal_properties::prelude::*;
+
+fn main() {
+    let sigma = Alphabet::new(["a", "b", "c"]).expect("alphabet");
+
+    // --- Simple obligation: □a ∨ ◇c decomposes as closed ∪ open.
+    let obl = Property::parse(&sigma, "G a | F c").expect("compiles");
+    println!("□a ∨ ◇c   class: {}", obl.class());
+    match normal_forms::simple_obligation_decomposition(obl.automaton()) {
+        Some((closed, open)) => {
+            println!(
+                "  = A(Φ) ∪ E(Ψ) with A-part {} and E-part {}",
+                classify::classify(&closed).strictest_class_name(),
+                classify::classify(&open).strictest_class_name(),
+            );
+        }
+        None => println!("  not a simple obligation"),
+    }
+
+    // --- The paper's a*b^ω + Σ*cΣ^ω needs two conjuncts (Obl₂):
+    let paper = Property::from_automaton(witnesses::obligation_simple());
+    println!("\na*b^ω + Σ*cΣ^ω   class: {}", paper.class());
+    println!(
+        "  simple-obligation decomposition exists: {}",
+        normal_forms::simple_obligation_decomposition(paper.automaton()).is_some()
+    );
+
+    // --- Reactivity CNF of the level-2 witness: exactly two clauses.
+    let react = witnesses::reactivity_witness(2);
+    let cnf = normal_forms::reactivity_cnf(&react).expect("streett-convertible");
+    println!("\nreactivity level-2 witness: ⋂ of {} clauses (R(Φᵢ) ∪ P(Ψᵢ))", cnf.len());
+    for (i, clause) in cnf.iter().enumerate() {
+        println!(
+            "  clause {}: R-part is {}, P-part is {}",
+            i + 1,
+            classify::classify(&clause.recurrence).strictest_class_name(),
+            classify::classify(&clause.persistence).strictest_class_name(),
+        );
+    }
+    println!(
+        "  recomposition exact: {}",
+        normal_forms::cnf_recomposes(&react, &cnf)
+    );
+
+    // --- HOA export for external tools (Spot, owl, …).
+    let response = Property::parse(&sigma, "G (a -> F b)").expect("compiles");
+    println!("\nHOA export of □(a → ◇b):\n{}", response.to_hoa());
+
+    // --- And the full report, pretty-printed.
+    println!("report for □(a → ◇b):\n{}", response.report());
+}

@@ -1,0 +1,2 @@
+#![doc = "Meta-crate re-exporting the temporal-property hierarchy workspace."]
+pub use hierarchy_core::*;

@@ -1,0 +1,204 @@
+//! Brute-force oracle for the classification procedures.
+//!
+//! The color-lattice construction in `hierarchy_automata::classify` avoids
+//! enumerating the (exponentially many) accessible cycles. This suite
+//! *does* enumerate them — every subset of every reachable SCC that
+//! induces a strongly connected subgraph with at least one edge — builds
+//! the paper's accepting family `F` explicitly, evaluates the
+//! Wagner/Landweber chain conditions literally, and compares against the
+//! production classifier on hundreds of random automata.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use temporal_properties::automata::bitset::BitSet;
+use temporal_properties::automata::classify;
+use temporal_properties::automata::omega::OmegaAutomaton;
+use temporal_properties::automata::random::random_streett;
+use temporal_properties::prelude::*;
+
+/// All accessible cycles (as state sets) of the automaton, by subset
+/// enumeration within each reachable SCC.
+fn accessible_cycles(aut: &OmegaAutomaton) -> Vec<BitSet> {
+    let reachable = aut.reachable_states();
+    let sccs = aut.sccs(Some(&reachable));
+    let mut cycles = Vec::new();
+    for c in 0..sccs.len() {
+        if !sccs.has_cycle[c] {
+            continue;
+        }
+        let members: Vec<usize> = sccs.members[c].iter().map(|&q| q as usize).collect();
+        let m = members.len();
+        assert!(m <= 16, "oracle automata must stay small");
+        for mask in 1u32..(1 << m) {
+            let subset: BitSet = members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &q)| q)
+                .collect();
+            if is_cycle(aut, &subset) {
+                cycles.push(subset);
+            }
+        }
+    }
+    cycles
+}
+
+/// Whether `set` induces a strongly connected subgraph with at least one
+/// edge (the paper's notion of a cycle).
+fn is_cycle(aut: &OmegaAutomaton, set: &BitSet) -> bool {
+    let sccs = aut.sccs(Some(set));
+    // The restriction must form a single SCC covering the set, with a
+    // cycle.
+    let mut comp = None;
+    for q in set.iter() {
+        let c = sccs.component[q];
+        if c == usize::MAX {
+            return false;
+        }
+        match comp {
+            None => comp = Some(c),
+            Some(c0) if c0 != c => return false,
+            _ => {}
+        }
+    }
+    comp.is_some_and(|c| sccs.has_cycle[c] && sccs.members[c].len() == set.len())
+}
+
+/// The literal Wagner/Landweber checks over the explicit cycle family.
+struct Oracle {
+    cycles: Vec<(BitSet, bool)>, // (cycle, accepting)
+}
+
+impl Oracle {
+    fn new(aut: &OmegaAutomaton) -> Self {
+        let cycles = accessible_cycles(aut)
+            .into_iter()
+            .map(|c| {
+                let acc = aut.acceptance().accepts_infinity_set(&c);
+                (c, acc)
+            })
+            .collect();
+        Oracle { cycles }
+    }
+
+    fn is_recurrence(&self) -> bool {
+        // No accepting cycle inside a rejecting one.
+        !self.cycles.iter().any(|(j, ja)| {
+            *ja && self
+                .cycles
+                .iter()
+                .any(|(a, aa)| !*aa && j.is_subset(a))
+        })
+    }
+
+    fn is_persistence(&self) -> bool {
+        !self.cycles.iter().any(|(b, ba)| {
+            !*ba && self
+                .cycles
+                .iter()
+                .any(|(j, ja)| *ja && b.is_subset(j))
+        })
+    }
+
+    fn is_simple_reactivity(&self) -> bool {
+        // No chain B ⊆ J ⊆ A with B, A rejecting and J accepting.
+        !self.cycles.iter().any(|(j, ja)| {
+            *ja && self.cycles.iter().any(|(b, ba)| {
+                !*ba && b.is_subset(j)
+                    && self
+                        .cycles
+                        .iter()
+                        .any(|(a, aa)| !*aa && j.is_subset(a))
+            })
+        })
+    }
+
+    /// Maximal n admitting B₁ ⊆ J₁ ⊆ … ⊆ Bₙ ⊆ Jₙ (alternating
+    /// rejecting/accepting, counting completed pairs), by depth-first
+    /// chain extension; at least 1 by the paper's convention.
+    fn reactivity_index(&self) -> usize {
+        fn extend(oracle: &Oracle, from: Option<&BitSet>, want_accepting: bool) -> usize {
+            let mut best = 0;
+            for (c, acc) in &oracle.cycles {
+                if *acc != want_accepting {
+                    continue;
+                }
+                if let Some(f) = from {
+                    if !f.is_subset(c) {
+                        continue;
+                    }
+                }
+                let rest = extend(oracle, Some(c), !want_accepting);
+                let here = if want_accepting { 1 + rest } else { rest };
+                best = best.max(here);
+            }
+            best
+        }
+        extend(self, None, false).max(1)
+    }
+}
+
+#[test]
+fn classifier_matches_bruteforce_oracle() {
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    let mut rng = StdRng::seed_from_u64(20260705);
+    for i in 0..250 {
+        let k = 1 + (i % 2);
+        let (aut, _) = random_streett(&mut rng, &sigma, 5, k, 0.35);
+        let oracle = Oracle::new(&aut);
+        let c = classify::classify(&aut);
+        assert_eq!(c.is_recurrence, oracle.is_recurrence(), "recurrence, case {i}");
+        assert_eq!(
+            c.is_persistence,
+            oracle.is_persistence(),
+            "persistence, case {i}"
+        );
+        assert_eq!(
+            c.is_simple_reactivity,
+            oracle.is_simple_reactivity(),
+            "simple reactivity, case {i}"
+        );
+        assert_eq!(
+            c.reactivity_index,
+            oracle.reactivity_index(),
+            "reactivity index, case {i}"
+        );
+    }
+}
+
+#[test]
+fn oracle_agrees_on_witnesses() {
+    use temporal_properties::lang::witnesses;
+    for (aut, rec, per) in [
+        (witnesses::safety(), true, true),
+        (witnesses::guarantee(), true, true),
+        (witnesses::recurrence(), true, false),
+        (witnesses::persistence(), false, true),
+        (witnesses::reactivity_witness(1), false, false),
+    ] {
+        let oracle = Oracle::new(&aut);
+        assert_eq!(oracle.is_recurrence(), rec);
+        assert_eq!(oracle.is_persistence(), per);
+    }
+    let oracle = Oracle::new(&witnesses::reactivity_witness(2));
+    assert_eq!(oracle.reactivity_index(), 2);
+}
+
+#[test]
+fn cycle_enumeration_sanity() {
+    // The 2-state full flip-flop over {a,b}: cycles are {0}, {1}, {0,1}.
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    let b = sigma.symbol("b").unwrap();
+    let m = OmegaAutomaton::build(
+        &sigma,
+        2,
+        0,
+        |_, s| if s == b { 1 } else { 0 },
+        Acceptance::inf([1]),
+    );
+    let mut cycles = accessible_cycles(&m);
+    cycles.sort_by_key(|c| c.len());
+    assert_eq!(cycles.len(), 3);
+    assert_eq!(cycles[2].len(), 2);
+}

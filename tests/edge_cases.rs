@@ -1,0 +1,144 @@
+//! Edge cases across the workspace: degenerate automata, extreme
+//! alphabets, trivial languages, and De Morgan identities.
+
+use temporal_properties::automata::classify;
+use temporal_properties::lang::FinitaryProperty;
+use temporal_properties::prelude::*;
+
+#[test]
+fn sixty_four_symbol_alphabet() {
+    let names: Vec<String> = (0..64).map(|i| format!("s{i}")).collect();
+    let sigma = Alphabet::new(names).unwrap();
+    assert_eq!(sigma.len(), 64);
+    assert_eq!(sigma.full_set().len(), 64);
+    // A safety property over the big alphabet: never the last symbol.
+    let last = Symbol(63);
+    let m = OmegaAutomaton::build(
+        &sigma,
+        2,
+        0,
+        move |q, s| if q == 1 || s == last { 1 } else { 0 },
+        Acceptance::fin([1]),
+    );
+    let c = classify::classify(&m);
+    assert!(c.is_safety && !c.is_guarantee);
+    let w = Lasso::new(vec![], vec![Symbol(0)]);
+    assert!(m.accepts(&w));
+    let bad = Lasso::new(vec![Symbol(63)], vec![Symbol(0)]);
+    assert!(!m.accepts(&bad));
+}
+
+#[test]
+fn single_state_automata() {
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    for acc in [Acceptance::True, Acceptance::False, Acceptance::inf([0]), Acceptance::fin([0])] {
+        let m = OmegaAutomaton::build(&sigma, 1, 0, |_, _| 0, acc.clone());
+        let c = classify::classify(&m);
+        // A one-state automaton is either ∅ or Σ^ω: both clopen.
+        assert!(c.is_safety && c.is_guarantee, "acc = {acc:?}");
+        assert_eq!(c.obligation_index, Some(1));
+        assert_eq!(c.reactivity_index, 1);
+        assert!(m.is_empty() || m.is_universal());
+    }
+}
+
+#[test]
+fn de_morgan_on_automata() {
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    let b = sigma.symbol("b").unwrap();
+    let m = OmegaAutomaton::build(
+        &sigma,
+        2,
+        0,
+        |_, s| if s == b { 1 } else { 0 },
+        Acceptance::inf([1]),
+    );
+    let n = m.with_acceptance(Acceptance::fin([0]));
+    // ¬(M ∪ N) = ¬M ∩ ¬N and ¬(M ∩ N) = ¬M ∪ ¬N.
+    assert!(m
+        .union(&n)
+        .complement()
+        .equivalent(&m.complement().intersection(&n.complement())));
+    assert!(m
+        .intersection(&n)
+        .complement()
+        .equivalent(&m.complement().union(&n.complement())));
+    // Difference in terms of the primitives.
+    assert!(m.difference(&n).equivalent(&m.intersection(&n.complement())));
+}
+
+#[test]
+fn finitary_edge_cases() {
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    let empty = FinitaryProperty::empty(&sigma);
+    let full = FinitaryProperty::sigma_plus(&sigma);
+    assert!(empty.is_empty());
+    assert!(empty.complement().equivalent(&full));
+    assert!(full.complement().is_empty());
+    // A_f/E_f of the extremes.
+    assert!(empty.a_f().is_empty());
+    assert!(empty.e_f().is_empty());
+    assert!(full.a_f().equivalent(&full));
+    assert!(full.e_f().equivalent(&full));
+    // minex with the empty property is empty on both sides.
+    assert!(empty.minex(&full).is_empty());
+    assert!(full.minex(&empty).is_empty());
+    // Operators on the extremes.
+    use temporal_properties::lang::operators;
+    assert!(operators::a(&empty).is_empty()); // no non-empty prefix in ∅
+    assert!(operators::e(&empty).is_empty());
+    assert!(operators::r(&full).is_universal());
+    assert!(operators::p(&full).is_universal());
+    assert!(operators::a(&full).is_universal());
+}
+
+#[test]
+fn lasso_normalization_torture() {
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    // aaaa(aaab)^ω in several presentations.
+    let w1 = Lasso::parse(&sigma, "aaaa", "aaab").unwrap();
+    let w2 = Lasso::parse(&sigma, "aaaaaaa", "baaa").unwrap();
+    let w3 = Lasso::parse(&sigma, "aaaa", "aaabaaab").unwrap();
+    assert!(w1.same_word(&w2));
+    assert!(w1.same_word(&w3));
+    let w4 = Lasso::parse(&sigma, "aaa", "aaab").unwrap();
+    assert!(!w1.same_word(&w4));
+}
+
+#[test]
+fn formula_constants_compile() {
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    use temporal_properties::logic::to_automaton::compile_over;
+    let t = compile_over(&sigma, &Formula::True).unwrap();
+    assert!(t.is_universal());
+    let f = compile_over(&sigma, &Formula::False).unwrap();
+    assert!(f.is_empty());
+    // G true and F false.
+    let gt = compile_over(&sigma, &Formula::parse(&sigma, "G true").unwrap()).unwrap();
+    assert!(gt.is_universal());
+    let ff = compile_over(&sigma, &Formula::parse(&sigma, "F false").unwrap()).unwrap();
+    assert!(ff.is_empty());
+}
+
+#[test]
+fn property_of_extremes() {
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    let t = Property::parse(&sigma, "true").unwrap();
+    let r = t.report();
+    assert_eq!(r.class, HierarchyClass::Clopen);
+    assert!(r.is_liveness && r.is_uniform_liveness);
+    let f = Property::parse(&sigma, "false").unwrap();
+    let r = f.report();
+    assert_eq!(r.class, HierarchyClass::Clopen);
+    assert!(!r.is_liveness);
+}
+
+#[test]
+fn reduce_and_hoa_on_compiled_formulas() {
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    let p = Property::parse(&sigma, "G (a -> F b)").unwrap();
+    let reduced = p.automaton().reduce();
+    assert!(reduced.equivalent(p.automaton()));
+    let hoa = p.to_hoa();
+    assert!(hoa.contains(&format!("States: {}", p.automaton().num_states())));
+}

@@ -1,0 +1,255 @@
+//! Property-based tests of the hierarchy's core invariants, driven by
+//! proptest over random automata, finitary properties, formulas, and
+//! lasso words.
+
+use proptest::prelude::*;
+use temporal_properties::automata::acceptance::Acceptance;
+use temporal_properties::automata::classify;
+use temporal_properties::automata::omega::OmegaAutomaton;
+use temporal_properties::automata::streett::{StreettPair, StreettPairs};
+use temporal_properties::lang::{operators, FinitaryProperty};
+use temporal_properties::prelude::*;
+use temporal_properties::topology::{decomposition, density};
+
+fn sigma() -> Alphabet {
+    Alphabet::new(["a", "b"]).unwrap()
+}
+
+/// Strategy: a random deterministic Streett automaton over {a,b}.
+fn arb_streett(max_states: usize, pairs: usize) -> impl Strategy<Value = OmegaAutomaton> {
+    (2..=max_states).prop_flat_map(move |n| {
+        let delta = proptest::collection::vec(0..n as u32, n * 2);
+        let pair = || {
+            (
+                proptest::collection::vec(0..n, 0..=n),
+                proptest::collection::vec(0..n, 0..=n),
+            )
+        };
+        let pair_list = proptest::collection::vec((pair)(), pairs);
+        (delta, pair_list).prop_map(move |(delta, pair_list)| {
+            let pairs = StreettPairs(
+                pair_list
+                    .into_iter()
+                    .map(|(r, p)| StreettPair::new(r, p))
+                    .collect(),
+            );
+            let alphabet = sigma();
+            OmegaAutomaton::build(
+                &alphabet,
+                n,
+                0,
+                |q, s| delta[q as usize * 2 + s.index()],
+                pairs.acceptance(n),
+            )
+        })
+    })
+}
+
+/// Strategy: a random lasso over {a,b}.
+fn arb_lasso() -> impl Strategy<Value = Lasso> {
+    (
+        proptest::collection::vec(0..2u8, 0..6),
+        proptest::collection::vec(0..2u8, 1..5),
+    )
+        .prop_map(|(u, v)| {
+            Lasso::new(
+                u.into_iter().map(Symbol).collect(),
+                v.into_iter().map(Symbol).collect(),
+            )
+        })
+}
+
+/// Strategy: a random finitary property via a regex-free random DFA table.
+fn arb_finitary() -> impl Strategy<Value = FinitaryProperty> {
+    (2..=5usize).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0..n as u32, n * 2),
+            proptest::collection::vec(proptest::bool::ANY, n),
+        )
+            .prop_map(move |(delta, acc)| {
+                let alphabet = sigma();
+                let dfa = temporal_properties::automata::dfa::Dfa::build(
+                    &alphabet,
+                    n,
+                    0,
+                    |q, s| delta[q as usize * 2 + s.index()],
+                    acc.iter()
+                        .enumerate()
+                        .filter(|(_, &a)| a)
+                        .map(|(i, _)| i as u32),
+                );
+                FinitaryProperty::from_dfa(dfa)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Figure 1's lattice: the membership flags respect the inclusions.
+    #[test]
+    fn classification_respects_inclusion_lattice(aut in arb_streett(6, 2)) {
+        let c = classify::classify(&aut);
+        prop_assert!(!c.is_safety || c.is_obligation);
+        prop_assert!(!c.is_guarantee || c.is_obligation);
+        prop_assert_eq!(c.is_obligation, c.is_recurrence && c.is_persistence);
+        prop_assert!(!c.is_recurrence || c.is_simple_reactivity);
+        prop_assert!(!c.is_persistence || c.is_simple_reactivity);
+        prop_assert!(c.reactivity_index >= 1);
+        prop_assert!(!c.is_simple_reactivity || c.reactivity_index == 1);
+        if let Some(k) = c.obligation_index {
+            prop_assert!(k >= 1);
+        }
+    }
+
+    /// Classification is a language invariant: complement swaps the dual
+    /// classes.
+    #[test]
+    fn complement_swaps_dual_classes(aut in arb_streett(5, 2)) {
+        let c = classify::classify(&aut);
+        let cc = classify::classify(&aut.complement());
+        prop_assert_eq!(c.is_safety, cc.is_guarantee);
+        prop_assert_eq!(c.is_guarantee, cc.is_safety);
+        prop_assert_eq!(c.is_recurrence, cc.is_persistence);
+        prop_assert_eq!(c.is_persistence, cc.is_recurrence);
+        prop_assert_eq!(c.is_obligation, cc.is_obligation);
+        prop_assert_eq!(c.reactivity_index, cc.reactivity_index);
+    }
+
+    /// The safety closure is the smallest safety superset (on samples).
+    #[test]
+    fn safety_closure_properties(aut in arb_streett(5, 1)) {
+        let cl = classify::safety_closure(&aut);
+        prop_assert!(aut.is_subset_of(&cl));
+        prop_assert!(classify::is_safety(&cl));
+        // Idempotence.
+        prop_assert!(classify::safety_closure(&cl).equivalent(&cl));
+    }
+
+    /// Safety–liveness decomposition is always valid.
+    #[test]
+    fn decomposition_always_valid(aut in arb_streett(5, 2)) {
+        prop_assert!(decomposition::decomposition_is_valid(&aut));
+    }
+
+    /// Boolean structure of the automata algebra on sampled words.
+    #[test]
+    fn boolean_algebra_on_words(aut1 in arb_streett(4, 1), aut2 in arb_streett(4, 1), w in arb_lasso()) {
+        let in1 = aut1.accepts(&w);
+        let in2 = aut2.accepts(&w);
+        prop_assert_eq!(aut1.union(&aut2).accepts(&w), in1 || in2);
+        prop_assert_eq!(aut1.intersection(&aut2).accepts(&w), in1 && in2);
+        prop_assert_eq!(aut1.complement().accepts(&w), !in1);
+        prop_assert_eq!(aut1.difference(&aut2).accepts(&w), in1 && !in2);
+    }
+
+    /// The four operators sit in their classes for every finitary Φ.
+    #[test]
+    fn operators_land_in_their_classes(phi in arb_finitary()) {
+        prop_assert!(classify::is_safety(&operators::a(&phi)));
+        prop_assert!(classify::is_guarantee(&operators::e(&phi)));
+        prop_assert!(classify::is_recurrence(&operators::r(&phi)));
+        prop_assert!(classify::is_persistence(&operators::p(&phi)));
+    }
+
+    /// The operator dualities for every finitary Φ.
+    #[test]
+    fn operator_dualities(phi in arb_finitary()) {
+        prop_assert!(operators::a(&phi).complement().equivalent(&operators::e(&phi.complement())));
+        prop_assert!(operators::r(&phi).complement().equivalent(&operators::p(&phi.complement())));
+    }
+
+    /// The minex law R(Φ₁) ∩ R(Φ₂) = R(minex(Φ₁,Φ₂)).
+    #[test]
+    fn minex_law(f1 in arb_finitary(), f2 in arb_finitary()) {
+        prop_assert!(operators::r(&f1)
+            .intersection(&operators::r(&f2))
+            .equivalent(&operators::r(&f1.minex(&f2))));
+    }
+
+    /// Membership in A/E/R/P matches the prefix-counting definition on
+    /// sampled lassos: count the prefixes of w in Φ up to stabilization.
+    #[test]
+    fn operator_semantics_on_words(phi in arb_finitary(), w in arb_lasso()) {
+        // Drive Φ's DFA along w; by |u| + |Q|·|v| steps the acceptance
+        // pattern over loop offsets has stabilized.
+        let dfa = phi.dfa();
+        let spoke = w.spoke().len();
+        let cyc = w.cycle().len();
+        // The DFA state at loop entries becomes periodic within |Q| loop
+        // traversals, so everything past spoke + |Q|·cyc is periodic with
+        // period dividing |Q|·cyc; a window of that length taken at the
+        // very end is therefore a full period of the tail.
+        let horizon = spoke + 2 * dfa.num_states() * cyc;
+        let mut q = dfa.initial();
+        let mut hits = Vec::new(); // prefix lengths in Φ
+        for j in 0..horizon {
+            q = dfa.step(q, w.at(j));
+            hits.push(dfa.is_accepting(q));
+        }
+        // Tail pattern: does Φ hold for infinitely many prefixes /
+        // cofinitely many? Examine the final |Q|·|v| window.
+        let window = &hits[horizon - dfa.num_states() * cyc..];
+        let inf_many = window.iter().any(|&b| b);
+        let cof_many = window.iter().all(|&b| b);
+        prop_assert_eq!(operators::r(&phi).accepts(&w), inf_many);
+        prop_assert_eq!(operators::p(&phi).accepts(&w), cof_many);
+        prop_assert_eq!(operators::e(&phi).accepts(&w), hits.iter().any(|&b| b));
+        prop_assert_eq!(operators::a(&phi).accepts(&w), hits.iter().all(|&b| b));
+    }
+
+    /// Liveness (density) of the liveness extension, for any property.
+    #[test]
+    fn liveness_extension_is_dense(aut in arb_streett(5, 2)) {
+        let l = decomposition::liveness_extension(&aut);
+        prop_assert!(density::is_dense(&l));
+    }
+
+    /// Acceptance evaluation is consistent between the boolean condition
+    /// and its DNF.
+    #[test]
+    fn acceptance_dnf_consistency(aut in arb_streett(5, 2), w in arb_lasso()) {
+        let inf = aut.infinity_set(&w);
+        let direct = aut.acceptance().accepts_infinity_set(&inf);
+        let via_dnf = aut.acceptance().dnf().iter().any(|p| p.accepts_cycle(&inf));
+        prop_assert_eq!(direct, via_dnf);
+        prop_assert_eq!(direct, aut.accepts(&w));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Negation normal form preserves semantics on sampled lassos
+    /// (future-over-past fragment only).
+    #[test]
+    fn nnf_preserves_semantics(seed in 0u64..1000, w in arb_lasso()) {
+        use temporal_properties::logic::{rewrites, semantics};
+        let alphabet = sigma();
+        // A small pool of formulas, negated.
+        let sources = [
+            "G (a -> F b)", "a U b", "F G a", "G F b", "a W b",
+            "G (b -> Y a)", "F (a & O b)",
+        ];
+        let src = sources[(seed as usize) % sources.len()];
+        let f = Formula::parse(&alphabet, src).unwrap().not();
+        let g = rewrites::nnf(&f);
+        let lhs = semantics::holds(&f, &w);
+        let rhs = semantics::holds(&g, &w);
+        if let (Ok(l), Ok(r)) = (lhs, rhs) {
+            prop_assert_eq!(l, r, "nnf changed semantics of ¬({})", src);
+        }
+    }
+}
+
+/// Static sanity check that the acceptance constructors compose (not a
+/// proptest; exercises the Acceptance API surface from an integration
+/// context).
+#[test]
+fn acceptance_api_composes() {
+    let acc = Acceptance::inf([0])
+        .and(Acceptance::fin([1]).or(Acceptance::inf([2])))
+        .negated();
+    let atoms = acc.atom_sets();
+    assert_eq!(atoms.len(), 3);
+}
