@@ -311,7 +311,10 @@ mod tests {
             Acceptance::True.and(Acceptance::inf([0])),
             Acceptance::inf([0])
         );
-        assert_eq!(Acceptance::False.and(Acceptance::inf([0])), Acceptance::False);
+        assert_eq!(
+            Acceptance::False.and(Acceptance::inf([0])),
+            Acceptance::False
+        );
         assert_eq!(
             Acceptance::False.or(Acceptance::inf([0])),
             Acceptance::inf([0])

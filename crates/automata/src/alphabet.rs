@@ -298,9 +298,7 @@ impl SymbolSet {
     /// Iterates over the member symbols in index order.
     pub fn iter(&self) -> impl Iterator<Item = Symbol> + '_ {
         let bits = self.0;
-        (0..64u8)
-            .filter(move |b| bits & (1 << b) != 0)
-            .map(Symbol)
+        (0..64u8).filter(move |b| bits & (1 << b) != 0).map(Symbol)
     }
 }
 

@@ -1,0 +1,640 @@
+//! Shared memoized analysis context for one ω-automaton.
+//!
+//! Every decision procedure in this crate — classification, emptiness,
+//! safety closure, topology, counter-freedom — bottoms out in the same
+//! few graph computations: forward reachability, SCC decompositions of
+//! restricted subgraphs, the condensation DAG, and boolean products with
+//! other automata. Before this module each consumer recomputed them from
+//! scratch, so asking for a full classification cost several independent
+//! color-lattice traversals (`is_safety` built a product, `is_recurrence`
+//! and `is_persistence` each ran their own `ChainAnalysis`, …).
+//!
+//! [`Analysis`] owns one automaton and memoizes all of those intermediates
+//! behind interior mutability, so the context can be shared by reference
+//! (`&Analysis`) across the whole classification stack:
+//!
+//! * [`Analysis::sccs`] — SCC decompositions keyed by the allowed-set
+//!   restriction. The color-lattice points of [`ChainAnalysis`], the
+//!   per-disjunct restrictions of the emptiness check, and the liveness
+//!   computation all hit the *same* keys (a DNF disjunct's `Fin` set is a
+//!   union of acceptance atoms, so `reachable − fin` *is* a lattice
+//!   point), which is what makes the single-walk classification below
+//!   possible.
+//! * [`Analysis::condensation`] — the reachable condensation DAG with
+//!   per-component acceptance status, reused by the obligation-index DP
+//!   and available to the topology layer.
+//! * [`Analysis::classification`] — the **full verdict**: all six class
+//!   memberships plus the obligation and reactivity indices from one
+//!   shared color-lattice traversal. Safety and guarantee membership are
+//!   read off the per-anchor canonical-cycle statuses instead of building
+//!   closure products (see `classification` for the argument).
+//! * [`Analysis::product_with`] — pairwise products keyed by the other
+//!   operand, so repeated inclusion/equivalence queries against the same
+//!   automaton build the product once.
+//!
+//! The free functions in [`crate::classify`], [`crate::emptiness`], etc.
+//! remain as thin uncached wrappers (and as independent oracles for the
+//! cross-validation tests); [`Analysis`] is the engine underneath
+//! `hierarchy_core::Property`.
+//!
+//! All caches use `OnceLock`/`Mutex` interior mutability, so `Analysis`
+//! is `Send + Sync` and can back a shared `Property` value; the
+//! [`AnalysisStats`] counters record how many SCC passes actually ran
+//! versus how many were served from cache (the `TAB-DEC` experiment
+//! reports them).
+
+use crate::acceptance::Acceptance;
+use crate::bitset::BitSet;
+use crate::classify::{self, ChainAnalysis, Classification};
+use crate::counterfree::{self, CounterFreedom};
+use crate::emptiness;
+use crate::lasso::Lasso;
+use crate::omega::OmegaAutomaton;
+use crate::scc::SccDecomposition;
+use crate::StateId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Snapshot of the cache instrumentation counters of an [`Analysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisStats {
+    /// Tarjan passes actually executed.
+    pub scc_passes: u64,
+    /// SCC requests served from the memo table.
+    pub scc_hits: u64,
+    /// Boolean products actually constructed.
+    pub products_built: u64,
+    /// Product requests served from the memo table.
+    pub product_hits: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    scc_passes: AtomicU64,
+    scc_hits: AtomicU64,
+    products_built: AtomicU64,
+    product_hits: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> AnalysisStats {
+        AnalysisStats {
+            scc_passes: self.scc_passes.load(Ordering::Relaxed),
+            scc_hits: self.scc_hits.load(Ordering::Relaxed),
+            products_built: self.products_built.load(Ordering::Relaxed),
+            product_hits: self.product_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn from_snapshot(s: AnalysisStats) -> StatCells {
+        StatCells {
+            scc_passes: AtomicU64::new(s.scc_passes),
+            scc_hits: AtomicU64::new(s.scc_hits),
+            products_built: AtomicU64::new(s.products_built),
+            product_hits: AtomicU64::new(s.product_hits),
+        }
+    }
+}
+
+/// The boolean operation of a cached product (see
+/// [`Analysis::product_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProductOp {
+    /// `L(self) ∩ L(other)`.
+    Intersection,
+    /// `L(self) ∪ L(other)`.
+    Union,
+    /// `L(self) − L(other)`.
+    Difference,
+}
+
+/// Cache key identifying the *other* operand of a product: its transition
+/// table, initial state, and acceptance condition (the alphabet is forced
+/// equal to ours by an assertion).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProductKey {
+    delta: Vec<StateId>,
+    initial: StateId,
+    acceptance: Acceptance,
+    op: ProductOp,
+}
+
+impl ProductKey {
+    fn of(other: &OmegaAutomaton, op: ProductOp) -> ProductKey {
+        let mut delta = Vec::with_capacity(other.num_states() * other.alphabet().len());
+        for q in 0..other.num_states() as StateId {
+            for sym in other.alphabet().symbols() {
+                delta.push(other.step(q, sym));
+            }
+        }
+        ProductKey {
+            delta,
+            initial: other.initial(),
+            acceptance: other.acceptance().clone(),
+            op,
+        }
+    }
+}
+
+/// The condensation DAG of the reachable part of the automaton, with the
+/// acceptance status of every component.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// The underlying SCC decomposition (restricted to reachable states;
+    /// components in reverse topological order, successors first).
+    pub sccs: Arc<SccDecomposition>,
+    /// `succs[c]` lists the distinct successor components of `c` (every
+    /// inter-component edge goes from a higher index to a lower one).
+    pub succs: Vec<Vec<usize>>,
+    /// `status[c]` is `Some(accepting)` for components with a cycle and
+    /// `None` for transient components.
+    pub status: Vec<Option<bool>>,
+}
+
+/// A per-automaton memoized analysis context (see the module docs).
+///
+/// Construction is cheap; every intermediate is computed lazily on first
+/// use and shared afterwards. All caches sit behind interior mutability,
+/// so a shared `&Analysis` is all any consumer needs.
+#[derive(Debug)]
+pub struct Analysis {
+    aut: OmegaAutomaton,
+    stats: StatCells,
+    reachable: OnceLock<BitSet>,
+    sccs: Mutex<HashMap<Option<BitSet>, Arc<SccDecomposition>>>,
+    condensation: OnceLock<Arc<Condensation>>,
+    chains: OnceLock<Arc<ChainAnalysis>>,
+    live_for: Mutex<HashMap<Acceptance, Arc<BitSet>>>,
+    classification: OnceLock<Classification>,
+    counter_freedom: OnceLock<CounterFreedom>,
+    products: Mutex<HashMap<ProductKey, Arc<OmegaAutomaton>>>,
+}
+
+impl Clone for Analysis {
+    fn clone(&self) -> Self {
+        Analysis {
+            aut: self.aut.clone(),
+            stats: StatCells::from_snapshot(self.stats.snapshot()),
+            reachable: self.reachable.clone(),
+            sccs: Mutex::new(self.sccs.lock().unwrap().clone()),
+            condensation: self.condensation.clone(),
+            chains: self.chains.clone(),
+            live_for: Mutex::new(self.live_for.lock().unwrap().clone()),
+            classification: self.classification.clone(),
+            counter_freedom: self.counter_freedom.clone(),
+            products: Mutex::new(self.products.lock().unwrap().clone()),
+        }
+    }
+}
+
+impl Analysis {
+    /// Wraps `aut` with empty caches.
+    pub fn new(aut: OmegaAutomaton) -> Self {
+        Analysis {
+            aut,
+            stats: StatCells::default(),
+            reachable: OnceLock::new(),
+            sccs: Mutex::new(HashMap::new()),
+            condensation: OnceLock::new(),
+            chains: OnceLock::new(),
+            live_for: Mutex::new(HashMap::new()),
+            classification: OnceLock::new(),
+            counter_freedom: OnceLock::new(),
+            products: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The analyzed automaton.
+    pub fn automaton(&self) -> &OmegaAutomaton {
+        &self.aut
+    }
+
+    /// Forward-reachable states (computed once).
+    pub fn reachable(&self) -> &BitSet {
+        self.reachable.get_or_init(|| self.aut.reachable_states())
+    }
+
+    /// The SCC decomposition of the subgraph induced by `allowed`,
+    /// memoized per distinct restriction. Every consumer of this context
+    /// — the color-lattice walk, liveness, emptiness, the condensation —
+    /// routes its Tarjan runs through here, which is what makes their
+    /// restrictions coincide and the total pass count collapse.
+    pub fn sccs(&self, allowed: Option<&BitSet>) -> Arc<SccDecomposition> {
+        let key = allowed.cloned();
+        if let Some(hit) = self.sccs.lock().unwrap().get(&key) {
+            self.stats.scc_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock; a racing duplicate pass is harmless
+        // (last write wins, both results are identical).
+        self.stats.scc_passes.fetch_add(1, Ordering::Relaxed);
+        let dec = Arc::new(crate::scc::tarjan_scc(&self.aut, allowed));
+        self.sccs.lock().unwrap().insert(key, Arc::clone(&dec));
+        dec
+    }
+
+    /// The reachable condensation DAG with per-component acceptance
+    /// status. The SCC pass underneath is shared with [`Self::chains`]:
+    /// the full color set's lattice restriction *is* the reachable set.
+    pub fn condensation(&self) -> Arc<Condensation> {
+        Arc::clone(self.condensation.get_or_init(|| {
+            let reachable = self.reachable();
+            let sccs = self.sccs(Some(reachable));
+            let n_comp = sccs.len();
+            let status: Vec<Option<bool>> = (0..n_comp)
+                .map(|c| {
+                    sccs.has_cycle[c].then(|| {
+                        self.aut
+                            .acceptance()
+                            .accepts_infinity_set(&sccs.member_set(c))
+                    })
+                })
+                .collect();
+            let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_comp];
+            for q in reachable.iter() {
+                let cq = sccs.component[q];
+                for sym in self.aut.alphabet().symbols() {
+                    let ct = sccs.component[self.aut.step(q as StateId, sym) as usize];
+                    if ct != cq && !succs[cq].contains(&ct) {
+                        succs[cq].push(ct);
+                    }
+                }
+            }
+            Arc::new(Condensation {
+                sccs,
+                succs,
+                status,
+            })
+        }))
+    }
+
+    /// The per-anchor canonical-cycle analysis over the color lattice,
+    /// with its SCC passes routed through [`Self::sccs`]. Distinct
+    /// lattice points with identical restrictions (unused color
+    /// combinations) collapse to one pass.
+    pub fn chains(&self) -> Arc<ChainAnalysis> {
+        Arc::clone(self.chains.get_or_init(|| {
+            Arc::new(ChainAnalysis::new_with(
+                &self.aut,
+                self.reachable(),
+                |allowed| self.sccs(Some(allowed)),
+            ))
+        }))
+    }
+
+    /// The reachable live states under an arbitrary acceptance condition
+    /// over this automaton's structure: states (restricted to the
+    /// reachable part) from which an `acc`-accepting run can still start.
+    ///
+    /// With `acc = self.automaton().acceptance()` this agrees with
+    /// [`crate::emptiness::live_states`] on all reachable states (the free
+    /// version also reports unreachable live states, which no language
+    /// question can observe). Each DNF disjunct's restriction
+    /// `reachable − fin` is a color-lattice point, so the SCC passes here
+    /// are shared with [`Self::chains`].
+    pub fn live_reachable(&self, acc: &Acceptance) -> Arc<BitSet> {
+        if let Some(hit) = self.live_for.lock().unwrap().get(acc) {
+            return Arc::clone(hit);
+        }
+        let reachable = self.reachable();
+        let mut good = BitSet::with_capacity(self.aut.num_states());
+        for pair in acc.dnf() {
+            let mut allowed = reachable.clone();
+            allowed.difference_with(&pair.fin);
+            if allowed.is_empty() {
+                continue;
+            }
+            let sccs = self.sccs(Some(&allowed));
+            for c in 0..sccs.len() {
+                if !sccs.has_cycle[c] {
+                    continue;
+                }
+                let members = sccs.member_set(c);
+                if pair.infs.iter().all(|s| members.intersects(s)) {
+                    good.union_with(&members);
+                }
+            }
+        }
+        let mut live = emptiness::backward_closure(&self.aut, good);
+        live.intersect_with(reachable);
+        let live = Arc::new(live);
+        self.live_for
+            .lock()
+            .unwrap()
+            .insert(acc.clone(), Arc::clone(&live));
+        live
+    }
+
+    /// Reachable live states under the automaton's own acceptance.
+    pub fn live(&self) -> Arc<BitSet> {
+        self.live_reachable(&self.aut.acceptance().clone())
+    }
+
+    /// The **full verdict**: all six class memberships plus the
+    /// obligation and reactivity indices, from one shared color-lattice
+    /// traversal (computed once, then cached).
+    ///
+    /// Recurrence, persistence, obligation, simple reactivity, and the
+    /// reactivity index are Wagner-style chain queries on
+    /// [`Self::chains`], exactly as in [`crate::classify`]. Safety and
+    /// guarantee, which the free path decides with closure products, are
+    /// read off the same per-anchor statuses:
+    ///
+    /// * **safety** — `Π` equals its closure `A(Pref Π)` iff no *live*
+    ///   reachable state lies on a rejecting cycle: dead states are
+    ///   successor-closed, so a run of the closure automaton is accepted
+    ///   iff it stays live forever, and such a run escapes `Π` exactly
+    ///   when it can settle into a rejecting cycle of live states. The
+    ///   canonical per-anchor cycles cover all cycles' statuses, so this
+    ///   is "every anchor in [`Self::live`] has only accepting entries".
+    /// * **guarantee** — safety of the complement. The complement has the
+    ///   same atoms, hence the same canonical SCCs with negated statuses,
+    ///   and its live set is `live_reachable(acc.negated())`; so the
+    ///   check is "every co-live anchor has only rejecting entries".
+    pub fn classification(&self) -> &Classification {
+        self.classification.get_or_init(|| {
+            let chains = self.chains();
+            let statuses = chains.anchor_statuses();
+            let is_recurrence = !chains.has_chain(&[true, false]);
+            let is_persistence = !chains.has_chain(&[false, true]);
+            let is_obligation = is_recurrence && is_persistence;
+            let is_simple_reactivity = !chains.has_chain(&[false, true, false]);
+            let live = self.live();
+            let is_safety = live
+                .iter()
+                .all(|q| statuses[q].iter().all(|&(accepting, _)| accepting));
+            let co_live = self.live_reachable(&self.aut.acceptance().negated());
+            let is_guarantee = co_live
+                .iter()
+                .all(|q| statuses[q].iter().all(|&(accepting, _)| !accepting));
+            let obligation_index = is_obligation.then(|| self.obligation_index());
+            Classification {
+                is_safety,
+                is_guarantee,
+                is_obligation,
+                is_recurrence,
+                is_persistence,
+                is_simple_reactivity,
+                obligation_index,
+                reactivity_index: chains.alternating_index(false),
+            }
+        })
+    }
+
+    /// The obligation index (the `Obl_n` level), via the condensation DP
+    /// of [`crate::classify::obligation_index_of`] on the cached
+    /// condensation. Only meaningful when the language is an obligation.
+    pub fn obligation_index(&self) -> usize {
+        let cond = self.condensation();
+        let init = cond.sccs.component[self.aut.initial() as usize];
+        classify::obligation_index_from_condensation(&cond.succs, &cond.status, init)
+    }
+
+    /// The exact reactivity index (minimal Streett pair count).
+    pub fn reactivity_index(&self) -> usize {
+        self.classification().reactivity_index
+    }
+
+    /// The exact Rabin index: the reactivity index of the complement,
+    /// read off the *same* chain analysis — the complement's rejecting/
+    /// accepting alternations are ours with the roles swapped, so no
+    /// second lattice walk is needed.
+    pub fn rabin_index(&self) -> usize {
+        self.chains().alternating_index(true)
+    }
+
+    /// Whether the language is a safety property (from the full verdict).
+    pub fn is_safety(&self) -> bool {
+        self.classification().is_safety
+    }
+
+    /// Whether the language is a guarantee property.
+    pub fn is_guarantee(&self) -> bool {
+        self.classification().is_guarantee
+    }
+
+    /// Whether the language is an obligation property.
+    pub fn is_obligation(&self) -> bool {
+        self.classification().is_obligation
+    }
+
+    /// Whether the language is a recurrence property.
+    pub fn is_recurrence(&self) -> bool {
+        self.classification().is_recurrence
+    }
+
+    /// Whether the language is a persistence property.
+    pub fn is_persistence(&self) -> bool {
+        self.classification().is_persistence
+    }
+
+    /// Whether the language is a simple reactivity property.
+    pub fn is_simple_reactivity(&self) -> bool {
+        self.classification().is_simple_reactivity
+    }
+
+    /// The safety closure `A(Pref Π)` (language-equal to
+    /// [`crate::classify::safety_closure`]; the dead set may differ on
+    /// unreachable states, which no run from the initial state visits).
+    pub fn safety_closure(&self) -> OmegaAutomaton {
+        let dead = self.live().complement(self.aut.num_states());
+        self.aut.with_acceptance(Acceptance::Fin(dead))
+    }
+
+    /// Whether the language is dense in `Σ^ω` (every reachable state is
+    /// live) — the liveness test of the topology layer.
+    pub fn is_dense(&self) -> bool {
+        self.reachable().is_subset(&self.live())
+    }
+
+    /// Whether the language is empty (the initial state is not live).
+    pub fn is_empty(&self) -> bool {
+        !self.live().contains(self.aut.initial() as usize)
+    }
+
+    /// An accepted lasso, or `None` when the language is empty; the SCC
+    /// passes are shared with everything else in the context.
+    pub fn accepted_lasso(&self) -> Option<Lasso> {
+        for pair in self.aut.acceptance().dnf() {
+            let mut allowed = self.reachable().clone();
+            allowed.difference_with(&pair.fin);
+            if allowed.is_empty() {
+                continue;
+            }
+            let sccs = self.sccs(Some(&allowed));
+            for c in 0..sccs.len() {
+                if !sccs.has_cycle[c] {
+                    continue;
+                }
+                let members = sccs.member_set(c);
+                if pair.infs.iter().all(|s| members.intersects(s)) {
+                    return Some(emptiness::build_witness(&self.aut, &members, &pair));
+                }
+            }
+        }
+        None
+    }
+
+    /// The counter-freedom verdict (memoized; uses the default monoid
+    /// cap).
+    pub fn counter_freedom(&self) -> &CounterFreedom {
+        self.counter_freedom
+            .get_or_init(|| counterfree::check_omega(&self.aut, counterfree::DEFAULT_MONOID_CAP))
+    }
+
+    /// The boolean product of this automaton with `other`, memoized per
+    /// `(other, op)` pair, so repeated inclusion or equivalence queries
+    /// against the same operand build the product automaton once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ (as the underlying product does).
+    pub fn product_with(&self, other: &OmegaAutomaton, op: ProductOp) -> Arc<OmegaAutomaton> {
+        assert_eq!(
+            self.aut.alphabet(),
+            other.alphabet(),
+            "product operands must share an alphabet"
+        );
+        let key = ProductKey::of(other, op);
+        if let Some(hit) = self.products.lock().unwrap().get(&key) {
+            self.stats.product_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.stats.products_built.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(match op {
+            ProductOp::Intersection => self.aut.intersection(other),
+            ProductOp::Union => self.aut.union(other),
+            ProductOp::Difference => self.aut.difference(other),
+        });
+        self.products
+            .lock()
+            .unwrap()
+            .insert(key, Arc::clone(&built));
+        built
+    }
+
+    /// Language inclusion `L(self) ⊆ L(other)`, through the product
+    /// cache.
+    pub fn is_subset_of(&self, other: &OmegaAutomaton) -> bool {
+        self.product_with(other, ProductOp::Difference).is_empty()
+    }
+
+    /// Language equivalence, through the product cache for the forward
+    /// inclusion.
+    pub fn equivalent(&self, other: &OmegaAutomaton) -> bool {
+        self.is_subset_of(other) && other.difference(&self.aut).is_empty()
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> AnalysisStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    /// Last-symbol tracker over {a,b}.
+    fn last_sym(sigma: &Alphabet, acc: Acceptance) -> OmegaAutomaton {
+        let b = sigma.symbol("b").unwrap();
+        OmegaAutomaton::build(sigma, 2, 0, |_, s| if s == b { 1 } else { 0 }, acc)
+    }
+
+    #[test]
+    fn full_verdict_matches_free_functions() {
+        let sigma = ab();
+        let cases = [
+            last_sym(&sigma, Acceptance::inf([1])), // □◇b
+            last_sym(&sigma, Acceptance::fin([1])), // ◇□a
+            OmegaAutomaton::empty(&sigma),
+            OmegaAutomaton::universal(&sigma),
+        ];
+        for aut in cases {
+            let ctx = Analysis::new(aut.clone());
+            let free = classify::classify(&aut);
+            assert_eq!(ctx.classification(), &free);
+        }
+    }
+
+    #[test]
+    fn scc_passes_are_shared_across_queries() {
+        let sigma = ab();
+        let ctx = Analysis::new(last_sym(&sigma, Acceptance::inf([1])));
+        let _ = ctx.classification();
+        let passes_after_classify = ctx.stats().scc_passes;
+        // Everything else reuses the same lattice points.
+        let _ = ctx.safety_closure();
+        let _ = ctx.accepted_lasso();
+        let _ = ctx.condensation();
+        let _ = ctx.rabin_index();
+        assert_eq!(ctx.stats().scc_passes, passes_after_classify);
+        assert!(ctx.stats().scc_hits > 0);
+    }
+
+    #[test]
+    fn classification_is_cached() {
+        let sigma = ab();
+        let ctx = Analysis::new(last_sym(&sigma, Acceptance::inf([1])));
+        let first = ctx.classification().clone();
+        let passes = ctx.stats().scc_passes;
+        for _ in 0..10 {
+            assert_eq!(ctx.classification(), &first);
+        }
+        assert_eq!(ctx.stats().scc_passes, passes);
+    }
+
+    #[test]
+    fn product_cache_hits_on_repeat() {
+        let sigma = ab();
+        let ctx = Analysis::new(last_sym(&sigma, Acceptance::inf([1])));
+        let other = last_sym(&sigma, Acceptance::fin([1]));
+        assert!(!ctx.is_subset_of(&other));
+        assert!(!ctx.is_subset_of(&other));
+        let s = ctx.stats();
+        assert_eq!(s.products_built, 1);
+        assert_eq!(s.product_hits, 1);
+    }
+
+    #[test]
+    fn clone_preserves_caches() {
+        let sigma = ab();
+        let ctx = Analysis::new(last_sym(&sigma, Acceptance::inf([1])));
+        let verdict = ctx.classification().clone();
+        let cloned = ctx.clone();
+        let passes = cloned.stats().scc_passes;
+        assert_eq!(cloned.classification(), &verdict);
+        assert_eq!(cloned.stats().scc_passes, passes, "clone reuses caches");
+    }
+
+    #[test]
+    fn emptiness_and_liveness_agree_with_free_versions() {
+        let sigma = ab();
+        for acc in [
+            Acceptance::inf([1]),
+            Acceptance::fin([1]),
+            Acceptance::inf([1]).and(Acceptance::fin([1])),
+        ] {
+            let aut = last_sym(&sigma, acc);
+            let ctx = Analysis::new(aut.clone());
+            assert_eq!(ctx.is_empty(), aut.is_empty());
+            match (ctx.accepted_lasso(), aut.accepted_lasso()) {
+                (Some(w1), Some(w2)) => {
+                    assert!(aut.accepts(&w1) && aut.accepts(&w2));
+                }
+                (None, None) => {}
+                (a, b) => panic!("emptiness disagreement: {a:?} vs {b:?}"),
+            }
+            // live_reachable = free live ∩ reachable.
+            let mut free_live = emptiness::live_states(&aut);
+            free_live.intersect_with(ctx.reachable());
+            assert_eq!(*ctx.live(), free_live);
+        }
+    }
+}

@@ -115,29 +115,14 @@ impl Classification {
 }
 
 /// Fully classifies the language of `aut` in the safety–progress hierarchy.
+///
+/// This is a thin wrapper over the single-walk full verdict of
+/// [`crate::analysis::Analysis::classification`]; build an `Analysis`
+/// directly to share the underlying caches across further queries.
 pub fn classify(aut: &OmegaAutomaton) -> Classification {
-    let chains = ChainAnalysis::new(aut);
-    let is_recurrence = !chains.has_chain(&[true, false]);
-    let is_persistence = !chains.has_chain(&[false, true]);
-    let is_obligation = is_recurrence && is_persistence;
-    let is_simple_reactivity = !chains.has_chain(&[false, true, false]);
-    let safety = is_safety(aut);
-    let guarantee = is_safety(&aut.complement());
-    let obligation_index = if is_obligation {
-        Some(obligation_index_of(aut))
-    } else {
-        None
-    };
-    Classification {
-        is_safety: safety,
-        is_guarantee: guarantee,
-        is_obligation,
-        is_recurrence,
-        is_persistence,
-        is_simple_reactivity,
-        obligation_index,
-        reactivity_index: chains.reactivity_index(),
-    }
+    crate::analysis::Analysis::new(aut.clone())
+        .classification()
+        .clone()
 }
 
 /// The safety closure of the automaton's language: an automaton for
@@ -277,10 +262,7 @@ pub fn obligation_index_of(aut: &OmegaAutomaton) -> usize {
     // cycle, None for transient components.
     let status: Vec<Option<bool>> = (0..n_comp)
         .map(|c| {
-            sccs.has_cycle[c].then(|| {
-                aut.acceptance()
-                    .accepts_infinity_set(&sccs.member_set(c))
-            })
+            sccs.has_cycle[c].then(|| aut.acceptance().accepts_infinity_set(&sccs.member_set(c)))
         })
         .collect();
     // Condensation successor lists. Tarjan numbers components in reverse
@@ -296,6 +278,20 @@ pub fn obligation_index_of(aut: &OmegaAutomaton) -> usize {
             }
         }
     }
+    let init = sccs.component[aut.initial() as usize];
+    obligation_index_from_condensation(&comp_succs, &status, init)
+}
+
+/// The obligation-index DP over a condensation DAG (shared between
+/// [`obligation_index_of`] and the cached condensation of
+/// [`crate::analysis::Analysis`]). `comp_succs`/`status` follow Tarjan's
+/// reverse topological numbering (successors have smaller indices).
+pub(crate) fn obligation_index_from_condensation(
+    comp_succs: &[Vec<usize>],
+    status: &[Option<bool>],
+    init: usize,
+) -> usize {
+    let n_comp = status.len();
     // DP in topological order (increasing index = successors first):
     // down[c][phase] = max number of good→bad crossings on any path starting
     // at component c, where phase records the status of the previously seen
@@ -318,13 +314,13 @@ pub fn obligation_index_of(aut: &OmegaAutomaton) -> usize {
             down[c][phase] = gain + best_below;
         }
     }
-    let init = sccs.component[aut.initial() as usize];
     down[init][0].max(1)
 }
 
 /// Per-anchor canonical-cycle analysis over the color lattice (see module
 /// docs). Exposes the alternating-chain queries used by all classification
 /// procedures.
+#[derive(Debug, Clone)]
 pub struct ChainAnalysis {
     /// For each state `q`: the canonical cycles anchored at `q`, as
     /// `(accepting, lattice_mask)` pairs in increasing `lattice_mask` order,
@@ -346,6 +342,21 @@ impl ChainAnalysis {
     /// Panics if the acceptance condition has more than 16 distinct atom
     /// sets; the hierarchy constructions never produce that many.
     pub fn new(aut: &OmegaAutomaton) -> Self {
+        let reachable = aut.reachable_states();
+        Self::new_with(aut, &reachable, |allowed| {
+            std::sync::Arc::new(tarjan_scc(aut, Some(allowed)))
+        })
+    }
+
+    /// Like [`ChainAnalysis::new`], but with the reachable set supplied
+    /// and every SCC decomposition requested through `scc_of` — the hook
+    /// [`crate::analysis::Analysis`] uses to route the lattice walk
+    /// through its shared memo table.
+    pub fn new_with(
+        aut: &OmegaAutomaton,
+        reachable: &BitSet,
+        mut scc_of: impl FnMut(&BitSet) -> std::sync::Arc<crate::scc::SccDecomposition>,
+    ) -> Self {
         let atoms = aut.acceptance().atom_sets();
         assert!(
             atoms.len() <= 16,
@@ -354,7 +365,6 @@ impl ChainAnalysis {
         );
         let m = atoms.len();
         let n = aut.num_states();
-        let reachable = aut.reachable_states();
         let color: Vec<u32> = (0..n)
             .map(|q| {
                 let mut mask = 0u32;
@@ -373,7 +383,7 @@ impl ChainAnalysis {
             if allowed.is_empty() {
                 continue;
             }
-            let sccs = tarjan_scc(aut, Some(&allowed));
+            let sccs = scc_of(&allowed);
             for c in 0..sccs.len() {
                 if !sccs.has_cycle[c] {
                     continue;
@@ -402,12 +412,22 @@ impl ChainAnalysis {
     /// `B₁ ⊆ J₁ ⊆ … ⊆ Bₙ ⊆ Jₙ` (`B` rejecting, `J` accepting), but at
     /// least 1.
     pub fn reactivity_index(&self) -> usize {
+        self.alternating_index(false)
+    }
+
+    /// The maximal `n` admitting an alternating chain of `n` status pairs
+    /// starting with `first`: `first = false` is the reactivity index
+    /// (`(B,J)^n` chains), `first = true` the Rabin index of the language
+    /// (`(J,B)^n` chains — the complement's reactivity chains, since
+    /// complementation keeps the canonical cycles and flips every
+    /// status). At least 1 in both orientations.
+    pub fn alternating_index(&self, first: bool) -> usize {
         let mut n = 0usize;
         loop {
             let mut pattern = Vec::new();
             for _ in 0..=n {
-                pattern.push(false);
-                pattern.push(true);
+                pattern.push(first);
+                pattern.push(!first);
             }
             if self.has_chain(&pattern) {
                 n += 1;
@@ -415,6 +435,13 @@ impl ChainAnalysis {
                 return n.max(1);
             }
         }
+    }
+
+    /// The per-anchor canonical-cycle statuses: `statuses()[q]` lists the
+    /// `(accepting, lattice_mask)` entries of state `q` in increasing
+    /// mask order (empty for unreachable or acyclic anchors).
+    pub fn anchor_statuses(&self) -> &[Vec<(bool, u32)>] {
+        &self.anchor_statuses
     }
 
     /// Longest prefix of `pattern` realizable as an ascending cycle chain.
@@ -780,8 +807,8 @@ mod weak_tests {
     #[test]
     fn weakness_matches_obligation() {
         use crate::random::random_streett;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use crate::random::rng::SeedableRng;
+        use crate::random::rng::StdRng;
         let sigma = Alphabet::new(["a", "b"]).unwrap();
         let mut rng = StdRng::seed_from_u64(55);
         for _ in 0..40 {

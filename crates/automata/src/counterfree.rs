@@ -52,6 +52,14 @@ impl CounterFreedom {
 /// Default cap on the number of monoid elements explored before giving up.
 pub const DEFAULT_MONOID_CAP: usize = 1_000_000;
 
+/// [`check_omega`] through a shared [`crate::analysis::Analysis`]
+/// context: the verdict is memoized (at the default monoid cap), so
+/// repeated expressibility queries on one automaton explore the monoid
+/// once.
+pub fn check_omega_ctx(ctx: &crate::analysis::Analysis) -> CounterFreedom {
+    ctx.counter_freedom().clone()
+}
+
 /// Checks counter-freedom of a deterministic ω-automaton's transition
 /// structure (acceptance is irrelevant).
 ///
@@ -65,12 +73,7 @@ pub fn check_omega(aut: &OmegaAutomaton, monoid_cap: usize) -> CounterFreedom {
     let generators: Vec<(crate::alphabet::Symbol, Transform)> = aut
         .alphabet()
         .symbols()
-        .map(|sym| {
-            (
-                sym,
-                (0..n as StateId).map(|q| aut.step(q, sym)).collect(),
-            )
-        })
+        .map(|sym| (sym, (0..n as StateId).map(|q| aut.step(q, sym)).collect()))
         .collect();
     explore_monoid(n, &generators, monoid_cap)
 }
@@ -85,12 +88,7 @@ pub fn check_dfa(dfa: &Dfa, monoid_cap: usize) -> CounterFreedom {
     let generators: Vec<(crate::alphabet::Symbol, Transform)> = dfa
         .alphabet()
         .symbols()
-        .map(|sym| {
-            (
-                sym,
-                (0..n as StateId).map(|q| dfa.step(q, sym)).collect(),
-            )
-        })
+        .map(|sym| (sym, (0..n as StateId).map(|q| dfa.step(q, sym)).collect()))
         .collect();
     explore_monoid(n, &generators, monoid_cap)
 }
@@ -260,7 +258,13 @@ mod tests {
         assert!(!check_dfa(&d, DEFAULT_MONOID_CAP).is_counter_free());
         // "Contains b": counter-free.
         let b = sigma.symbol("b").unwrap();
-        let d2 = Dfa::build(&sigma, 2, 0, |q, s| if q == 1 || s == b { 1 } else { 0 }, [1]);
+        let d2 = Dfa::build(
+            &sigma,
+            2,
+            0,
+            |q, s| if q == 1 || s == b { 1 } else { 0 },
+            [1],
+        );
         assert!(check_dfa(&d2, DEFAULT_MONOID_CAP).is_counter_free());
     }
 
@@ -268,8 +272,11 @@ mod tests {
     fn counter_word_actually_counts() {
         let sigma = ab();
         let m = mod_counter(&sigma, 3);
-        if let CounterFreedom::Counter { word, state, period } =
-            check_omega(&m, DEFAULT_MONOID_CAP)
+        if let CounterFreedom::Counter {
+            word,
+            state,
+            period,
+        } = check_omega(&m, DEFAULT_MONOID_CAP)
         {
             // Applying the word `period` times returns to `state`, once
             // does not.

@@ -56,7 +56,10 @@ impl Dfa {
         I: IntoIterator<Item = StateId>,
     {
         assert!(num_states > 0, "a DFA needs at least one state");
-        assert!((initial as usize) < num_states, "initial state out of range");
+        assert!(
+            (initial as usize) < num_states,
+            "initial state out of range"
+        );
         let k = alphabet.len();
         let mut table = Vec::with_capacity(num_states * k);
         for q in 0..num_states {
@@ -440,7 +443,13 @@ mod tests {
     /// Words over {a,b} containing at least one `b`.
     fn contains_b(sigma: &Alphabet) -> Dfa {
         let b = sigma.symbol("b").unwrap();
-        Dfa::build(sigma, 2, 0, |q, s| if q == 1 || s == b { 1 } else { 0 }, [1])
+        Dfa::build(
+            sigma,
+            2,
+            0,
+            |q, s| if q == 1 || s == b { 1 } else { 0 },
+            [1],
+        )
     }
 
     /// Words of even length.

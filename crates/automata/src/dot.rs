@@ -66,7 +66,13 @@ mod tests {
     fn dfa_dot_contains_edges() {
         let sigma = Alphabet::new(["a", "b"]).unwrap();
         let b = sigma.symbol("b").unwrap();
-        let d = Dfa::build(&sigma, 2, 0, |q, s| if q == 1 || s == b { 1 } else { 0 }, [1]);
+        let d = Dfa::build(
+            &sigma,
+            2,
+            0,
+            |q, s| if q == 1 || s == b { 1 } else { 0 },
+            [1],
+        );
         let dot = dfa_to_dot(&d);
         assert!(dot.contains("digraph"));
         assert!(dot.contains("doublecircle"));

@@ -13,12 +13,28 @@
 
 use crate::acceptance::GeneralizedRabinPair;
 use crate::alphabet::Symbol;
+use crate::analysis::Analysis;
 use crate::bitset::BitSet;
 use crate::lasso::Lasso;
 use crate::omega::OmegaAutomaton;
 use crate::streett::StreettPairs;
 use crate::StateId;
 use std::collections::VecDeque;
+
+/// Returns a lasso accepted by the automaton, or `None` if its language is
+/// empty, reusing the SCC caches of a shared [`Analysis`] context.
+pub fn accepted_lasso_ctx(ctx: &Analysis) -> Option<Lasso> {
+    ctx.accepted_lasso()
+}
+
+/// The reachable live states through a shared [`Analysis`] context.
+///
+/// Unlike [`live_states`], the result is restricted to the reachable part
+/// of the automaton (the two versions agree there, and no language
+/// question can observe the unreachable difference).
+pub fn live_states_ctx(ctx: &Analysis) -> BitSet {
+    (*ctx.live()).clone()
+}
 
 /// Returns a lasso accepted by the automaton, or `None` if its language is
 /// empty.
@@ -89,8 +105,9 @@ pub fn backward_closure(aut: &OmegaAutomaton, targets: BitSet) -> BitSet {
 }
 
 /// Builds an accepted lasso whose loop lives inside `scc` (which avoids
-/// `pair.fin` and intersects every `pair.infs` set).
-fn build_witness(
+/// `pair.fin` and intersects every `pair.infs` set). Shared with the
+/// cached path in [`crate::analysis::Analysis::accepted_lasso`].
+pub(crate) fn build_witness(
     aut: &OmegaAutomaton,
     scc: &BitSet,
     pair: &GeneralizedRabinPair,
@@ -199,8 +216,26 @@ pub fn shortest_path_to_set(
 /// The acceptance carried by `aut` itself is ignored; only its transition
 /// structure is used.
 pub fn streett_nonempty_cycle(aut: &OmegaAutomaton, pairs: &StreettPairs) -> Option<BitSet> {
+    streett_refinement(aut, pairs, |allowed| {
+        std::sync::Arc::new(aut.sccs(Some(allowed)))
+    })
+}
+
+/// [`streett_nonempty_cycle`] through a shared [`Analysis`] context:
+/// every refinement's SCC pass lands in (and is served from) the
+/// context's memo table, so repeated queries with overlapping pair lists
+/// share work.
+pub fn streett_nonempty_cycle_ctx(ctx: &Analysis, pairs: &StreettPairs) -> Option<BitSet> {
+    streett_refinement(ctx.automaton(), pairs, |allowed| ctx.sccs(Some(allowed)))
+}
+
+fn streett_refinement(
+    aut: &OmegaAutomaton,
+    pairs: &StreettPairs,
+    mut scc_of: impl FnMut(&BitSet) -> std::sync::Arc<crate::scc::SccDecomposition>,
+) -> Option<BitSet> {
     let reachable = aut.reachable_states();
-    let sccs = aut.sccs(Some(&reachable));
+    let sccs = scc_of(&reachable);
     let mut stack: Vec<BitSet> = (0..sccs.len())
         .filter(|&c| sccs.has_cycle[c])
         .map(|c| sccs.member_set(c))
@@ -220,7 +255,7 @@ pub fn streett_nonempty_cycle(aut: &OmegaAutomaton, pairs: &StreettPairs) -> Opt
         if !violated {
             return Some(region);
         }
-        let inner = aut.sccs(Some(&refined));
+        let inner = scc_of(&refined);
         for c in 0..inner.len() {
             if inner.has_cycle[c] {
                 stack.push(inner.member_set(c));
@@ -315,8 +350,7 @@ mod tests {
         }]);
         let cyc = streett_nonempty_cycle(&m, &pairs).unwrap();
         assert!(
-            cyc == BitSet::from_iter([0])
-                || cyc.contains(1),
+            cyc == BitSet::from_iter([0]) || cyc.contains(1),
             "cycle {cyc:?} must satisfy the pair"
         );
     }

@@ -46,9 +46,7 @@ impl Lasso {
     /// loop part is empty.
     pub fn parse(alphabet: &Alphabet, spoke: &str, cycle: &str) -> Option<Self> {
         let conv = |s: &str| -> Option<Vec<Symbol>> {
-            s.chars()
-                .map(|c| alphabet.symbol(&c.to_string()))
-                .collect()
+            s.chars().map(|c| alphabet.symbol(&c.to_string())).collect()
         };
         let cycle = conv(cycle)?;
         if cycle.is_empty() {

@@ -23,6 +23,10 @@
 //!   property, and compute the exact obligation degree and reactivity index
 //!   (Wagner's alternating-chain analysis, implemented through a
 //!   color-lattice SCC construction).
+//! * [`analysis::Analysis`] — a per-automaton memoized context that shares
+//!   reachability, restricted SCC decompositions, the condensation DAG and
+//!   pairwise products across all of the above, turning a full
+//!   classification into a single color-lattice walk.
 //! * [`paper_checks`] — the paper's own *structural* checks for Streett
 //!   automata (closure of the bad region, etc.), kept separate so they can be
 //!   cross-validated against the exact semantic procedures.
@@ -51,6 +55,7 @@
 
 pub mod acceptance;
 pub mod alphabet;
+pub mod analysis;
 pub mod bitset;
 pub mod classify;
 pub mod counterfree;
@@ -75,6 +80,7 @@ pub use error::AutomatonError;
 pub mod prelude {
     pub use crate::acceptance::Acceptance;
     pub use crate::alphabet::{Alphabet, Symbol, SymbolSet};
+    pub use crate::analysis::{Analysis, AnalysisStats, ProductOp};
     pub use crate::bitset::BitSet;
     pub use crate::classify;
     pub use crate::dfa::Dfa;

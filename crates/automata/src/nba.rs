@@ -139,17 +139,15 @@ impl Nba {
         // Product graph: vertex (pos, q) for pos in 0..|v|.
         let vlen = word.cycle().len();
         let vid = |pos: usize, q: usize| pos * n + q;
-        let mut succs = vec![Vec::new(); vlen * n];
-        for pos in 0..vlen {
+        let graph = AdjGraph::from_fn(vlen * n, |v| {
+            let (pos, q) = (v as usize / n, v as usize % n);
             let sym = word.cycle()[pos];
             let npos = (pos + 1) % vlen;
-            for q in 0..n {
-                for &t in self.successors(q as StateId, sym) {
-                    succs[vid(pos, q)].push(vid(npos, t as usize) as StateId);
-                }
-            }
-        }
-        let graph = AdjGraph { succs };
+            self.successors(q as StateId, sym)
+                .iter()
+                .map(move |&t| vid(npos, t as usize) as StateId)
+                .collect::<Vec<_>>()
+        });
         // Reachable product vertices from the loop entries.
         let entries: Vec<usize> = current.iter().map(|q| vid(0, q)).collect();
         let mut reach = BitSet::with_capacity(vlen * n);
@@ -202,17 +200,13 @@ impl Nba {
             }
         }
         // An accepting state on a cycle within the reachable part.
-        let graph = AdjGraph {
-            succs: (0..n)
-                .map(|q| {
-                    let mut v = Vec::new();
-                    for sym in self.alphabet.symbols() {
-                        v.extend_from_slice(self.successors(q as StateId, sym));
-                    }
-                    v
-                })
-                .collect(),
-        };
+        let graph = AdjGraph::from_fn(n, |q| {
+            let mut v = Vec::new();
+            for sym in self.alphabet.symbols() {
+                v.extend_from_slice(self.successors(q, sym));
+            }
+            v
+        });
         let sccs = tarjan_scc(&graph, Some(&reach));
         for c in 0..sccs.len() {
             if !sccs.has_cycle[c] {
@@ -377,7 +371,13 @@ mod tests {
             |_, s| if s == b { 1 } else { 0 },
             Acceptance::inf([1]),
         );
-        for (u, v) in [("", "a"), ("", "b"), ("ab", "ba"), ("bb", "ab"), ("ba", "a")] {
+        for (u, v) in [
+            ("", "a"),
+            ("", "b"),
+            ("ab", "ba"),
+            ("bb", "ab"),
+            ("ba", "a"),
+        ] {
             let w = Lasso::parse(&sigma, u, v).unwrap();
             assert_eq!(m.accepts(&w), det.accepts(&w), "disagree on {u}({v})^ω");
         }

@@ -141,8 +141,7 @@ impl Nfa {
     /// Whether the NFA accepts the word (decided by explicit subset
     /// simulation; no determinization).
     pub fn accepts<I: IntoIterator<Item = Symbol>>(&self, word: I) -> bool {
-        let mut current =
-            self.epsilon_closure(&self.initial.iter().map(|&q| q as usize).collect());
+        let mut current = self.epsilon_closure(&self.initial.iter().map(|&q| q as usize).collect());
         for sym in word {
             let mut next = BitSet::new();
             for q in current.iter() {

@@ -73,7 +73,10 @@ impl OmegaAutomaton {
         F: FnMut(StateId, Symbol) -> StateId,
     {
         assert!(num_states > 0, "an ω-automaton needs at least one state");
-        assert!((initial as usize) < num_states, "initial state out of range");
+        assert!(
+            (initial as usize) < num_states,
+            "initial state out of range"
+        );
         let k = alphabet.len();
         let mut table = Vec::with_capacity(num_states * k);
         for q in 0..num_states {
@@ -177,7 +180,8 @@ impl OmegaAutomaton {
 
     /// Whether the automaton accepts the lasso word.
     pub fn accepts(&self, word: &Lasso) -> bool {
-        self.acceptance.accepts_infinity_set(&self.infinity_set(word))
+        self.acceptance
+            .accepts_infinity_set(&self.infinity_set(word))
     }
 
     /// States reachable from the initial state.
@@ -410,9 +414,9 @@ impl OmegaAutomaton {
                     class[trimmed.step(q as StateId, Symbol(s as u8)) as usize] as StateId;
             }
         }
-        let acceptance = trimmed.acceptance.map_sets(&|set: &BitSet| {
-            set.iter().map(|q| class[q]).collect()
-        });
+        let acceptance = trimmed
+            .acceptance
+            .map_sets(&|set: &BitSet| set.iter().map(|q| class[q]).collect());
         OmegaAutomaton {
             alphabet: trimmed.alphabet.clone(),
             num_states: num_classes,
@@ -641,9 +645,9 @@ mod tests {
 mod reduce_tests {
     use super::*;
     use crate::classify;
+    use crate::random::rng::SeedableRng;
+    use crate::random::rng::StdRng;
     use crate::random::{random_lasso, random_streett};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn reduce_preserves_language_on_random_automata() {

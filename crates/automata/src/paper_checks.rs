@@ -93,11 +93,7 @@ pub fn is_safety_shaped(aut: &OmegaAutomaton, recurrent: &BitSet, persistent: &B
 
 /// Whether a single-pair automaton has the paper's *guarantee shape*: no
 /// transition from a good state to a bad state.
-pub fn is_guarantee_shaped(
-    aut: &OmegaAutomaton,
-    recurrent: &BitSet,
-    persistent: &BitSet,
-) -> bool {
+pub fn is_guarantee_shaped(aut: &OmegaAutomaton, recurrent: &BitSet, persistent: &BitSet) -> bool {
     let g = recurrent.union(persistent);
     no_edge(aut, &g, &g.complement(aut.num_states()))
 }
@@ -214,16 +210,30 @@ pub fn safety_automaton(aut: &OmegaAutomaton) -> Option<OmegaAutomaton> {
     if !classify::is_safety(aut) {
         return None;
     }
-    let live = aut.live_states();
+    Some(safety_shaped_from_live(aut, &aut.live_states()))
+}
+
+/// [`safety_automaton`] through a shared [`crate::analysis::Analysis`]
+/// context: the safety verdict and the live set come from the context's
+/// caches. The result may keep fewer (unreachable) states than the free
+/// version but is language-equal.
+pub fn safety_automaton_ctx(ctx: &crate::analysis::Analysis) -> Option<OmegaAutomaton> {
+    if !ctx.is_safety() {
+        return None;
+    }
+    Some(safety_shaped_from_live(ctx.automaton(), &ctx.live()))
+}
+
+fn safety_shaped_from_live(aut: &OmegaAutomaton, live: &BitSet) -> OmegaAutomaton {
     if !live.contains(aut.initial() as usize) {
         // Empty language: a lone bad sink (safety-shaped, rejects all).
-        return Some(OmegaAutomaton::build(
+        return OmegaAutomaton::build(
             aut.alphabet(),
             1,
             0,
             |_, _| 0,
             Acceptance::Fin(BitSet::all(1)),
-        ));
+        );
     }
     let order: Vec<usize> = live.iter().collect();
     let mut dense = vec![StateId::MAX; aut.num_states()];
@@ -236,8 +246,7 @@ pub fn safety_automaton(aut: &OmegaAutomaton) -> Option<OmegaAutomaton> {
     let aut_c = aut.clone();
     let live_c = live.clone();
     let good: BitSet = (0..order.len()).collect();
-    let acceptance =
-        Acceptance::Inf(good).or(Acceptance::Fin(BitSet::from_iter([sink as usize])));
+    let acceptance = Acceptance::Inf(good).or(Acceptance::Fin(BitSet::from_iter([sink as usize])));
     let initial = dense[aut.initial() as usize];
     let delta = move |q: StateId, sym: Symbol| -> StateId {
         if q == sink {
@@ -250,7 +259,7 @@ pub fn safety_automaton(aut: &OmegaAutomaton) -> Option<OmegaAutomaton> {
             sink
         }
     };
-    Some(OmegaAutomaton::build(&alphabet, n, initial, delta, acceptance))
+    OmegaAutomaton::build(&alphabet, n, initial, delta, acceptance)
 }
 
 /// Prop 5.1 (guarantee direction): builds a *guarantee-shaped* automaton
@@ -269,15 +278,28 @@ pub fn guarantee_automaton(aut: &OmegaAutomaton) -> Option<OmegaAutomaton> {
     // Universal states = dead states of the complement.
     let co_live = aut.complement().live_states();
     let universal = co_live.complement(aut.num_states());
+    Some(guarantee_shaped_from_universal(aut, &universal))
+}
+
+/// [`guarantee_automaton`] through a shared [`crate::analysis::Analysis`]
+/// context: the guarantee verdict and the complement's live set come from
+/// the context (the latter is `live_reachable` of the negated acceptance,
+/// no complement automaton is built). Unreachable co-live states are
+/// folded into the sink, which cannot change the language.
+pub fn guarantee_automaton_ctx(ctx: &crate::analysis::Analysis) -> Option<OmegaAutomaton> {
+    if !ctx.is_guarantee() {
+        return None;
+    }
+    let aut = ctx.automaton();
+    let co_live = ctx.live_reachable(&aut.acceptance().negated());
+    let universal = co_live.complement(aut.num_states());
+    Some(guarantee_shaped_from_universal(aut, &universal))
+}
+
+fn guarantee_shaped_from_universal(aut: &OmegaAutomaton, universal: &BitSet) -> OmegaAutomaton {
     if universal.contains(aut.initial() as usize) {
         // Universal language: a lone good sink.
-        return Some(OmegaAutomaton::build(
-            aut.alphabet(),
-            1,
-            0,
-            |_, _| 0,
-            Acceptance::inf([0]),
-        ));
+        return OmegaAutomaton::build(aut.alphabet(), 1, 0, |_, _| 0, Acceptance::inf([0]));
     }
     let order: Vec<usize> = (0..aut.num_states())
         .filter(|q| !universal.contains(*q))
@@ -302,13 +324,13 @@ pub fn guarantee_automaton(aut: &OmegaAutomaton) -> Option<OmegaAutomaton> {
             dense[t]
         }
     };
-    Some(OmegaAutomaton::build(
+    OmegaAutomaton::build(
         &alphabet,
         n,
         initial,
         delta,
         Acceptance::inf([sink as usize]),
-    ))
+    )
 }
 
 /// States lying on some cycle that (a) is accepting for `acc` and (b) avoids
@@ -320,12 +342,40 @@ pub fn states_on_accepting_cycles_avoiding(
     avoid: &BitSet,
 ) -> BitSet {
     let reachable = aut.reachable_states();
+    accepting_cycle_states(aut, &reachable, acc, avoid, |allowed| {
+        std::sync::Arc::new(tarjan_scc(aut, Some(allowed)))
+    })
+}
+
+/// [`states_on_accepting_cycles_avoiding`] through a shared
+/// [`crate::analysis::Analysis`] context, so its restricted SCC passes
+/// land in (and are served from) the context's memo table.
+pub fn states_on_accepting_cycles_avoiding_ctx(
+    ctx: &crate::analysis::Analysis,
+    acc: &Acceptance,
+    avoid: &BitSet,
+) -> BitSet {
+    accepting_cycle_states(ctx.automaton(), ctx.reachable(), acc, avoid, |allowed| {
+        ctx.sccs(Some(allowed))
+    })
+}
+
+fn accepting_cycle_states(
+    aut: &OmegaAutomaton,
+    reachable: &BitSet,
+    acc: &Acceptance,
+    avoid: &BitSet,
+    mut scc_of: impl FnMut(&BitSet) -> std::sync::Arc<crate::scc::SccDecomposition>,
+) -> BitSet {
     let mut out = BitSet::with_capacity(aut.num_states());
     for pair in acc.dnf() {
         let mut allowed = reachable.clone();
         allowed.difference_with(&pair.fin);
         allowed.difference_with(avoid);
-        let sccs = tarjan_scc(aut, Some(&allowed));
+        if allowed.is_empty() {
+            continue;
+        }
+        let sccs = scc_of(&allowed);
         for c in 0..sccs.len() {
             if !sccs.has_cycle[c] {
                 continue;
@@ -350,10 +400,7 @@ pub fn states_on_accepting_cycles_avoiding(
 /// product reduces to plain Büchi.
 ///
 /// Returns `None` if the language is not a recurrence property.
-pub fn recurrence_automaton(
-    aut: &OmegaAutomaton,
-    pairs: &StreettPairs,
-) -> Option<OmegaAutomaton> {
+pub fn recurrence_automaton(aut: &OmegaAutomaton, pairs: &StreettPairs) -> Option<OmegaAutomaton> {
     let n = aut.num_states();
     let with_pairs = aut.with_acceptance(pairs.acceptance(n));
     if !classify::is_recurrence(&with_pairs) {
@@ -425,7 +472,11 @@ pub fn generalized_buchi_to_buchi(aut: &OmegaAutomaton, infs: &[BitSet]) -> Omeg
     let aut_c = aut.clone();
     let delta = move |s: StateId, sym: Symbol| -> StateId {
         let (q, j) = ((s as usize) % n, (s as usize) / n);
-        let j2 = if infs_owned[j].contains(q) { (j + 1) % k } else { j };
+        let j2 = if infs_owned[j].contains(q) {
+            (j + 1) % k
+        } else {
+            j
+        };
         id(aut_c.step(q as StateId, sym) as usize, j2)
     };
     // Accepting: awaiting the last set while standing on it (from such a
@@ -512,7 +563,10 @@ mod tests {
     fn structural_checks_agree_with_semantic() {
         let sigma = ab();
         for (aut, pairs) in [always_a(&sigma), eventually_b(&sigma), inf_b(&sigma)] {
-            assert_eq!(is_safety_structural(&aut, &pairs), classify::is_safety(&aut));
+            assert_eq!(
+                is_safety_structural(&aut, &pairs),
+                classify::is_safety(&aut)
+            );
             assert_eq!(
                 is_guarantee_structural(&aut, &pairs),
                 classify::is_guarantee(&aut)
@@ -524,15 +578,35 @@ mod tests {
     fn shape_predicates() {
         let sigma = ab();
         let (saf, p) = always_a(&sigma);
-        assert!(is_safety_shaped(&saf, &p.0[0].recurrent, &p.0[0].persistent));
-        assert!(!is_guarantee_shaped(&saf, &p.0[0].recurrent, &p.0[0].persistent));
+        assert!(is_safety_shaped(
+            &saf,
+            &p.0[0].recurrent,
+            &p.0[0].persistent
+        ));
+        assert!(!is_guarantee_shaped(
+            &saf,
+            &p.0[0].recurrent,
+            &p.0[0].persistent
+        ));
         let (gua, p) = eventually_b(&sigma);
-        assert!(is_guarantee_shaped(&gua, &p.0[0].recurrent, &p.0[0].persistent));
+        assert!(is_guarantee_shaped(
+            &gua,
+            &p.0[0].recurrent,
+            &p.0[0].persistent
+        ));
         let (rec, p) = inf_b(&sigma);
         assert!(is_recurrence_shaped(&p));
         assert!(!is_persistence_shaped(&p));
-        assert!(!is_safety_shaped(&rec, &p.0[0].recurrent, &p.0[0].persistent));
-        assert!(!is_guarantee_shaped(&rec, &p.0[0].recurrent, &p.0[0].persistent));
+        assert!(!is_safety_shaped(
+            &rec,
+            &p.0[0].recurrent,
+            &p.0[0].persistent
+        ));
+        assert!(!is_guarantee_shaped(
+            &rec,
+            &p.0[0].recurrent,
+            &p.0[0].persistent
+        ));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Random generators for automata, pair lists and lasso words, used by the
-//! property-based tests and the decision-procedure benchmarks (`TAB-DEC`).
+//! property-based tests and the decision-procedure benchmarks (`TAB-DEC`),
+//! plus the vendored PRNG ([`rng`]) that drives them without any external
+//! dependency.
 
 use crate::alphabet::Alphabet;
 use crate::bitset::BitSet;
@@ -8,7 +10,201 @@ use crate::lasso::Lasso;
 use crate::omega::OmegaAutomaton;
 use crate::streett::{StreettPair, StreettPairs};
 use crate::StateId;
-use rand::Rng;
+use rng::Rng;
+
+/// A small vendored PRNG: splitmix64 seeding feeding a xoshiro256\*\*
+/// generator (Blackman & Vigna's public-domain reference algorithms).
+///
+/// The surface mirrors the subset of `rand` 0.8 the workspace used —
+/// `Rng::{gen_range, gen_bool}`, `SeedableRng::seed_from_u64`, and the
+/// `StdRng` alias — so test and bench code reads identically while the
+/// build stays fully offline. Not cryptographically secure; statistical
+/// quality only.
+pub mod rng {
+    /// The splitmix64 step: used to expand a 64-bit seed into the
+    /// xoshiro256\*\* state vector.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A half-open or inclusive range that [`Rng::gen_range`] can sample
+    /// from uniformly.
+    pub trait SampleRange {
+        /// The sampled value type.
+        type Output;
+        /// Draws a uniform sample using the given generator.
+        fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+    }
+
+    impl SampleRange for core::ops::Range<usize> {
+        type Output = usize;
+        fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = (self.end - self.start) as u64;
+            self.start + (uniform_below(rng, span) as usize)
+        }
+    }
+
+    impl SampleRange for core::ops::RangeInclusive<usize> {
+        type Output = usize;
+        fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "cannot sample empty range");
+            let span = (hi - lo) as u64 + 1;
+            if span == 0 {
+                // Full u64-width inclusive range: any draw is in range.
+                return rng.next_u64() as usize;
+            }
+            lo + (uniform_below(rng, span) as usize)
+        }
+    }
+
+    /// Debiased uniform draw in `0..bound` by rejection sampling.
+    fn uniform_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// The generator interface: a raw 64-bit step plus the derived sampling
+    /// helpers the generators in [`super`] use.
+    pub trait Rng {
+        /// The next raw 64-bit output of the generator.
+        fn next_u64(&mut self) -> u64;
+
+        /// A uniform sample from `range` (half-open or inclusive).
+        fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Output
+        where
+            Self: Sized,
+        {
+            range.sample(self)
+        }
+
+        /// `true` with probability `p` (clamped to `[0, 1]`).
+        fn gen_bool(&mut self, p: f64) -> bool
+        where
+            Self: Sized,
+        {
+            assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+            // 53 random bits → a uniform float in [0, 1).
+            let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            unit < p
+        }
+    }
+
+    impl<R: Rng + ?Sized> Rng for &mut R {
+        fn next_u64(&mut self) -> u64 {
+            (**self).next_u64()
+        }
+    }
+
+    /// Deterministic construction from a 64-bit seed.
+    pub trait SeedableRng: Sized {
+        /// Builds a generator whose stream is a pure function of `seed`.
+        fn seed_from_u64(seed: u64) -> Self;
+    }
+
+    /// xoshiro256\*\* — 256 bits of state, period `2^256 − 1`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Xoshiro256StarStar {
+        s: [u64; 4],
+    }
+
+    /// The workspace's default generator (name kept parallel to
+    /// `rand::rngs::StdRng` so call sites read identically).
+    pub type StdRng = Xoshiro256StarStar;
+
+    impl SeedableRng for Xoshiro256StarStar {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Xoshiro256StarStar { s }
+        }
+    }
+
+    impl Rng for Xoshiro256StarStar {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn deterministic_and_seed_sensitive() {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            let mut c = StdRng::seed_from_u64(43);
+            let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+            let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+            let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+            assert_eq!(xs, ys);
+            assert_ne!(xs, zs);
+        }
+
+        #[test]
+        fn gen_range_respects_bounds() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut hit_lo = false;
+            let mut hit_hi = false;
+            for _ in 0..2000 {
+                let v = rng.gen_range(3..7usize);
+                assert!((3..7).contains(&v));
+                let w = rng.gen_range(0..=4usize);
+                assert!(w <= 4);
+                hit_lo |= w == 0;
+                hit_hi |= w == 4;
+            }
+            // Both inclusive endpoints are actually reachable.
+            assert!(hit_lo && hit_hi);
+        }
+
+        #[test]
+        fn gen_bool_tracks_probability() {
+            let mut rng = StdRng::seed_from_u64(9);
+            let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+            // ~2500 expected; allow a generous band.
+            assert!((2000..3000).contains(&hits), "got {hits}");
+            assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+            assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        }
+
+        #[test]
+        fn works_through_mut_references() {
+            fn draw<R: Rng>(mut r: R) -> usize {
+                r.gen_range(0..10usize)
+            }
+            let mut rng = StdRng::seed_from_u64(11);
+            let _ = draw(&mut rng);
+            let _ = draw(&mut rng);
+        }
+    }
+}
 
 /// A uniformly random complete DFA with `num_states` states; each state is
 /// accepting with probability `accept_p`.
@@ -22,8 +218,7 @@ pub fn random_dfa<R: Rng>(
         .map(|_| rng.gen_range(0..num_states) as StateId)
         .collect();
     let accepting: BitSet = (0..num_states).filter(|_| rng.gen_bool(accept_p)).collect();
-    Dfa::from_parts(alphabet, num_states, 0, table, accepting)
-        .expect("random table is well-formed")
+    Dfa::from_parts(alphabet, num_states, 0, table, accepting).expect("random table is well-formed")
 }
 
 /// A random deterministic transition structure (acceptance `True`), to be
@@ -48,10 +243,8 @@ pub fn random_pairs<R: Rng>(rng: &mut R, num_states: usize, k: usize, p: f64) ->
     StreettPairs(
         (0..k)
             .map(|_| {
-                let recurrent: Vec<usize> =
-                    (0..num_states).filter(|_| rng.gen_bool(p)).collect();
-                let persistent: Vec<usize> =
-                    (0..num_states).filter(|_| rng.gen_bool(p)).collect();
+                let recurrent: Vec<usize> = (0..num_states).filter(|_| rng.gen_bool(p)).collect();
+                let persistent: Vec<usize> = (0..num_states).filter(|_| rng.gen_bool(p)).collect();
                 StreettPair::new(recurrent, persistent)
             })
             .collect(),
@@ -94,9 +287,8 @@ pub fn random_lasso<R: Rng>(
 
 #[cfg(test)]
 mod tests {
+    use super::rng::{SeedableRng, StdRng};
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn ab() -> Alphabet {
         Alphabet::new(["a", "b"]).unwrap()

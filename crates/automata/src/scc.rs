@@ -24,6 +24,34 @@ pub struct AdjGraph {
     pub succs: Vec<Vec<StateId>>,
 }
 
+impl AdjGraph {
+    /// Builds an adjacency graph over states `0..n` by enumerating each
+    /// state's successors with `succs_of`. This is the shared constructor
+    /// for the ad-hoc product graphs the NBA and model-checking layers
+    /// build before running Tarjan.
+    pub fn from_fn<I>(n: usize, mut succs_of: impl FnMut(StateId) -> I) -> Self
+    where
+        I: IntoIterator<Item = StateId>,
+    {
+        AdjGraph {
+            succs: (0..n as StateId)
+                .map(|q| succs_of(q).into_iter().collect())
+                .collect(),
+        }
+    }
+
+    /// Materializes any [`Successors`] implementation into an explicit
+    /// adjacency list (useful to snapshot a derived graph once and reuse
+    /// it across many restricted SCC passes).
+    pub fn from_graph<G: Successors>(graph: &G) -> Self {
+        AdjGraph::from_fn(graph.num_states(), |q| {
+            let mut v = Vec::new();
+            graph.for_each_successor(q, &mut |t| v.push(t));
+            v
+        })
+    }
+}
+
 impl Successors for AdjGraph {
     fn num_states(&self) -> usize {
         self.succs.len()
@@ -166,6 +194,58 @@ pub fn tarjan_scc<G: Successors>(graph: &G, allowed: Option<&BitSet>) -> SccDeco
     }
 }
 
+/// A memoizing wrapper around [`tarjan_scc`] for one fixed graph: repeated
+/// decompositions under the same restriction are served from cache, and
+/// pass/hit counters record how much work was saved.
+///
+/// This is the graph-level sibling of [`crate::analysis::Analysis`] (which
+/// caches at the automaton level); the model checker uses it directly on
+/// product graphs, where the same restriction recurs across DNF disjuncts
+/// and fairness-refinement rounds.
+#[derive(Debug)]
+pub struct SccCache<G: Successors> {
+    graph: G,
+    memo: std::collections::HashMap<Option<BitSet>, std::sync::Arc<SccDecomposition>>,
+    passes: u64,
+    hits: u64,
+}
+
+impl<G: Successors> SccCache<G> {
+    /// Wraps `graph` with an empty cache.
+    pub fn new(graph: G) -> Self {
+        SccCache {
+            graph,
+            memo: std::collections::HashMap::new(),
+            passes: 0,
+            hits: 0,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// The SCC decomposition under `allowed`, computed at most once per
+    /// distinct restriction.
+    pub fn sccs(&mut self, allowed: Option<&BitSet>) -> std::sync::Arc<SccDecomposition> {
+        let key = allowed.cloned();
+        if let Some(hit) = self.memo.get(&key) {
+            self.hits += 1;
+            return std::sync::Arc::clone(hit);
+        }
+        self.passes += 1;
+        let dec = std::sync::Arc::new(tarjan_scc(&self.graph, allowed));
+        self.memo.insert(key, std::sync::Arc::clone(&dec));
+        dec
+    }
+
+    /// `(tarjan passes run, cache hits served)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.passes, self.hits)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +325,29 @@ mod tests {
         // Tarjan emits sinks first.
         assert_eq!(d.members[0], vec![2]);
         assert_eq!(d.members[2], vec![0]);
+    }
+
+    #[test]
+    fn from_fn_matches_manual_construction() {
+        let manual = graph(&[(0, 1), (1, 0), (1, 2)], 3);
+        let built = AdjGraph::from_fn(3, |q| manual.succs[q as usize].clone());
+        assert_eq!(built.succs, manual.succs);
+        let snap = AdjGraph::from_graph(&manual);
+        assert_eq!(snap.succs, manual.succs);
+    }
+
+    #[test]
+    fn scc_cache_reuses_decompositions() {
+        let g = graph(&[(0, 1), (1, 0), (1, 2), (2, 2)], 3);
+        let mut cache = SccCache::new(g);
+        let full1 = cache.sccs(None);
+        let full2 = cache.sccs(None);
+        assert_eq!(full1.len(), full2.len());
+        let allowed: BitSet = [0usize, 1].into_iter().collect();
+        let cut1 = cache.sccs(Some(&allowed));
+        let cut2 = cache.sccs(Some(&allowed));
+        assert_eq!(cut1.len(), 1);
+        assert_eq!(cut2.len(), 1);
+        assert_eq!(cache.stats(), (2, 2));
     }
 }

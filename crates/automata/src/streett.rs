@@ -141,10 +141,7 @@ mod tests {
 
     #[test]
     fn pairs_conjunction() {
-        let pairs = StreettPairs(vec![
-            StreettPair::new([0], []),
-            StreettPair::new([1], []),
-        ]);
+        let pairs = StreettPairs(vec![StreettPair::new([0], []), StreettPair::new([1], [])]);
         assert!(pairs.accepts_infinity_set(&set(&[0, 1])));
         assert!(!pairs.accepts_infinity_set(&set(&[0])));
         let acc = pairs.acceptance(2);

@@ -1,16 +1,17 @@
-//! Criterion benchmarks of the classification decision procedures
+//! Microbenchmarks of the classification decision procedures
 //! (experiments TAB-DEC, TAB-OBLK, TAB-REACTK: timing series).
+//!
+//! Run with `cargo bench -p hierarchy-bench --bench classification`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hierarchy_bench::microbench;
 use hierarchy_core::automata::alphabet::Alphabet;
+use hierarchy_core::automata::random::rng::{SeedableRng, StdRng};
 use hierarchy_core::automata::{classify, paper_checks, random};
 use hierarchy_core::lang::witnesses;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn classify_witnesses(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classify_witnesses");
+fn classify_witnesses() {
+    let mut group = microbench::group("classify_witnesses");
     group.sample_size(20);
     for (name, aut) in [
         ("safety", witnesses::safety()),
@@ -18,57 +19,51 @@ fn classify_witnesses(c: &mut Criterion) {
         ("obligation_simple", witnesses::obligation_simple()),
         ("reactivity_2", witnesses::reactivity_witness(2)),
     ] {
-        group.bench_function(name, |b| b.iter(|| classify::classify(black_box(&aut))));
+        group.bench_function(name, || classify::classify(black_box(&aut)));
     }
     group.finish();
 }
 
-fn decision_procedures_scaling(c: &mut Criterion) {
+fn decision_procedures_scaling() {
     let sigma = Alphabet::new(["a", "b"]).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
-    let mut group = c.benchmark_group("decision_procedures");
+    let mut group = microbench::group("decision_procedures");
     group.sample_size(10);
     for &n in &[8usize, 32, 128] {
         let (aut, pairs) = random::random_streett(&mut rng, &sigma, n, 2, 0.2);
-        group.bench_with_input(BenchmarkId::new("classify", n), &aut, |b, aut| {
-            b.iter(|| classify::classify(black_box(aut)))
+        group.bench_function(format!("classify/{n}"), || {
+            classify::classify(black_box(&aut))
         });
-        group.bench_with_input(
-            BenchmarkId::new("structural_safety", n),
-            &(aut.clone(), pairs.clone()),
-            |b, (aut, pairs)| {
-                b.iter(|| paper_checks::is_safety_structural(black_box(aut), black_box(pairs)))
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("is_safety_semantic", n), &aut, |b, aut| {
-            b.iter(|| classify::is_safety(black_box(aut)))
+        group.bench_function(format!("structural_safety/{n}"), || {
+            paper_checks::is_safety_structural(black_box(&aut), black_box(&pairs))
+        });
+        group.bench_function(format!("is_safety_semantic/{n}"), || {
+            classify::is_safety(black_box(&aut))
         });
     }
     group.finish();
 }
 
-fn hierarchy_indices(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy_indices");
+fn hierarchy_indices() {
+    let mut group = microbench::group("hierarchy_indices");
     group.sample_size(10);
     for k in [2usize, 4, 6] {
         let obl = witnesses::obligation_witness(k);
-        group.bench_with_input(BenchmarkId::new("obligation_index", k), &obl, |b, m| {
-            b.iter(|| classify::classify(black_box(m)).obligation_index)
+        group.bench_function(format!("obligation_index/{k}"), || {
+            classify::classify(black_box(&obl)).obligation_index
         });
     }
     for n in [1usize, 2, 3] {
         let re = witnesses::reactivity_witness(n);
-        group.bench_with_input(BenchmarkId::new("reactivity_index", n), &re, |b, m| {
-            b.iter(|| classify::reactivity_index(black_box(m)))
+        group.bench_function(format!("reactivity_index/{n}"), || {
+            classify::reactivity_index(black_box(&re))
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    classify_witnesses,
-    decision_procedures_scaling,
-    hierarchy_indices
-);
-criterion_main!(benches);
+fn main() {
+    classify_witnesses();
+    decision_procedures_scaling();
+    hierarchy_indices();
+}

@@ -1,44 +1,47 @@
-//! Criterion benchmarks of the construction pipeline: the A/E/R/P
+//! Microbenchmarks of the construction pipeline: the A/E/R/P
 //! operators, `minex` against the naive product (TAB-DUAL's timing facet),
 //! past-tester construction (TAB-TL), and the Prop 5.1 κ-automaton
 //! constructions.
+//!
+//! Run with `cargo bench -p hierarchy-bench --bench constructions`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hierarchy_bench::microbench;
 use hierarchy_core::automata::alphabet::Alphabet;
 use hierarchy_core::automata::paper_checks;
+use hierarchy_core::automata::random::rng::{SeedableRng, StdRng};
 use hierarchy_core::lang::{operators, FinitaryProperty};
 use hierarchy_core::logic::tester::Tester;
 use hierarchy_core::logic::to_automaton::compile_over;
 use hierarchy_core::logic::Formula;
 use std::hint::black_box;
 
-fn operators_bench(c: &mut Criterion) {
+fn operators_bench() {
     let sigma = Alphabet::new(["a", "b"]).unwrap();
     let phi = FinitaryProperty::parse(&sigma, "(a*b)(a*b)*a*").unwrap();
-    let mut group = c.benchmark_group("operators");
-    group.bench_function("A", |b| b.iter(|| operators::a(black_box(&phi))));
-    group.bench_function("E", |b| b.iter(|| operators::e(black_box(&phi))));
-    group.bench_function("R", |b| b.iter(|| operators::r(black_box(&phi))));
-    group.bench_function("P", |b| b.iter(|| operators::p(black_box(&phi))));
+    let mut group = microbench::group("operators");
+    group.bench_function("A", || operators::a(black_box(&phi)));
+    group.bench_function("E", || operators::e(black_box(&phi)));
+    group.bench_function("R", || operators::r(black_box(&phi)));
+    group.bench_function("P", || operators::p(black_box(&phi)));
     group.finish();
 }
 
-fn minex_vs_product(c: &mut Criterion) {
+fn minex_vs_product() {
     // R(Φ₁) ∩ R(Φ₂) two ways: the automaton product vs R(minex(Φ₁,Φ₂)).
     let sigma = Alphabet::new(["a", "b"]).unwrap();
     let f1 = FinitaryProperty::parse(&sigma, "(aa)(aa)*").unwrap();
     let f2 = FinitaryProperty::parse(&sigma, ".*b(ab)*").unwrap();
-    let mut group = c.benchmark_group("recurrence_intersection");
-    group.bench_function("via_product", |b| {
-        b.iter(|| operators::r(black_box(&f1)).intersection(&operators::r(black_box(&f2))))
+    let mut group = microbench::group("recurrence_intersection");
+    group.bench_function("via_product", || {
+        operators::r(black_box(&f1)).intersection(&operators::r(black_box(&f2)))
     });
-    group.bench_function("via_minex", |b| {
-        b.iter(|| operators::r(&black_box(&f1).minex(black_box(&f2))))
+    group.bench_function("via_minex", || {
+        operators::r(&black_box(&f1).minex(black_box(&f2)))
     });
     group.finish();
 }
 
-fn tester_construction(c: &mut Criterion) {
+fn tester_construction() {
     let sigma = Alphabet::new(["a", "b"]).unwrap();
     let formulas = [
         "b & Z H a",
@@ -46,49 +49,46 @@ fn tester_construction(c: &mut Criterion) {
         "O (a & Y (b & Y a))",
         "(!a B b) & O a",
     ];
-    let mut group = c.benchmark_group("past_tester");
+    let mut group = microbench::group("past_tester");
     for src in formulas {
         let f = Formula::parse(&sigma, src).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(src), &f, |b, f| {
-            b.iter(|| Tester::new(black_box(&sigma), std::slice::from_ref(black_box(f))))
+        group.bench_function(src, || {
+            Tester::new(black_box(&sigma), std::slice::from_ref(black_box(&f)))
         });
     }
     group.finish();
 }
 
-fn formula_compilation(c: &mut Criterion) {
+fn formula_compilation() {
     let sigma = Alphabet::new(["a", "b"]).unwrap();
-    let mut group = c.benchmark_group("compile_formula");
+    let mut group = microbench::group("compile_formula");
     for src in ["G (a -> F b)", "G F a -> G F b", "a U b", "G (a -> F G b)"] {
         let f = Formula::parse(&sigma, src).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(src), &f, |b, f| {
-            b.iter(|| compile_over(black_box(&sigma), black_box(f)))
-        });
+        group.bench_function(src, || compile_over(black_box(&sigma), black_box(&f)));
     }
     group.finish();
 }
 
-fn prop51_constructions(c: &mut Criterion) {
+fn prop51_constructions() {
     let sigma = Alphabet::new(["a", "b"]).unwrap();
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
-    let (aut, pairs) = hierarchy_core::automata::random::random_streett(&mut rng, &sigma, 24, 2, 0.25);
-    let mut group = c.benchmark_group("prop51");
+    let mut rng = StdRng::seed_from_u64(3);
+    let (aut, pairs) =
+        hierarchy_core::automata::random::random_streett(&mut rng, &sigma, 24, 2, 0.25);
+    let mut group = microbench::group("prop51");
     group.sample_size(20);
-    group.bench_function("safety_automaton", |b| {
-        b.iter(|| paper_checks::safety_automaton(black_box(&aut)))
+    group.bench_function("safety_automaton", || {
+        paper_checks::safety_automaton(black_box(&aut))
     });
-    group.bench_function("recurrence_automaton", |b| {
-        b.iter(|| paper_checks::recurrence_automaton(black_box(&aut), black_box(&pairs)))
+    group.bench_function("recurrence_automaton", || {
+        paper_checks::recurrence_automaton(black_box(&aut), black_box(&pairs))
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    operators_bench,
-    minex_vs_product,
-    tester_construction,
-    formula_compilation,
-    prop51_constructions
-);
-criterion_main!(benches);
+fn main() {
+    operators_bench();
+    minex_vs_product();
+    tester_construction();
+    formula_compilation();
+    prop51_constructions();
+}

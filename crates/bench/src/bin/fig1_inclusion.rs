@@ -42,7 +42,10 @@ fn main() {
     println!();
 
     // Every arrow of Figure 1, with strictness:
-    expect("safety ⊆ obligation, strictly", rows[0].is_obligation && !rows[2].is_safety);
+    expect(
+        "safety ⊆ obligation, strictly",
+        rows[0].is_obligation && !rows[2].is_safety,
+    );
     expect(
         "guarantee ⊆ obligation, strictly",
         rows[1].is_obligation && !rows[2].is_guarantee,

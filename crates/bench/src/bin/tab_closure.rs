@@ -4,9 +4,9 @@
 
 use hierarchy_bench::{expect, header};
 use hierarchy_core::automata::alphabet::Alphabet;
+use hierarchy_core::automata::random::rng::StdRng;
+use hierarchy_core::automata::random::rng::{Rng, SeedableRng};
 use hierarchy_core::lang::{operators, FinitaryProperty};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A random finitary property via a random DFA.
 fn random_phi(rng: &mut StdRng, sigma: &Alphabet) -> FinitaryProperty {
@@ -24,14 +24,14 @@ fn main() {
     let p2 = FinitaryProperty::parse(&sigma, "(aa)+").expect("regex");
     let m32 = p3.minex(&p2);
     let m23 = p2.minex(&p3);
-    println!("\nminex((a³)⁺, (a²)⁺) shortest member: {:?} symbols", m32
-        .shortest_member()
-        .map(|w| w.len()));
+    println!(
+        "\nminex((a³)⁺, (a²)⁺) shortest member: {:?} symbols",
+        m32.shortest_member().map(|w| w.len())
+    );
     expect(
         "minex((a³)⁺,(a²)⁺) = (a⁶)⁺a² + (a⁶)*a⁴ (paper prints (a⁶)*a²; a² has no Φ₁-prefix)",
         m32.equivalent(
-            &FinitaryProperty::parse(&sigma, "(aaaaaa)(aaaaaa)*aa + (aaaaaa)*aaaa")
-                .expect("regex")
+            &FinitaryProperty::parse(&sigma, "(aaaaaa)(aaaaaa)*aa + (aaaaaa)*aaaa").expect("regex"),
         ),
     );
     expect(
@@ -46,8 +46,12 @@ fn main() {
         let f1 = random_phi(&mut rng, &sigma);
         let f2 = random_phi(&mut rng, &sigma);
         // Dualities.
-        assert!(operators::a(&f1).complement().equivalent(&operators::e(&f1.complement())));
-        assert!(operators::r(&f1).complement().equivalent(&operators::p(&f1.complement())));
+        assert!(operators::a(&f1)
+            .complement()
+            .equivalent(&operators::e(&f1.complement())));
+        assert!(operators::r(&f1)
+            .complement()
+            .equivalent(&operators::p(&f1.complement())));
         // Guarantee closure.
         assert!(operators::e(&f1)
             .union(&operators::e(&f2))
@@ -73,9 +77,11 @@ fn main() {
         assert!(operators::p(&f1)
             .intersection(&operators::p(&f2))
             .equivalent(&operators::p(&f1.intersection(&f2))));
-        assert!(operators::p(&f1).union(&operators::p(&f2)).equivalent(&operators::p(
-            &f1.complement().minex(&f2.complement()).complement()
-        )));
+        assert!(operators::p(&f1)
+            .union(&operators::p(&f2))
+            .equivalent(&operators::p(
+                &f1.complement().minex(&f2.complement()).complement()
+            )));
         checked += 1;
     }
     expect(
@@ -92,6 +98,9 @@ fn main() {
         let direct = hierarchy_core::automata::classify::safety_closure(&aut);
         agree &= linguistic.equivalent(&direct);
     }
-    expect("A(Pref(Π)) agrees with the automata-view safety closure", agree);
+    expect(
+        "A(Pref(Π)) agrees with the automata-view safety closure",
+        agree,
+    );
     println!("\nTAB-DUAL reproduced.");
 }

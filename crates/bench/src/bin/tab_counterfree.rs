@@ -26,10 +26,16 @@ fn mod_counter(sigma: &Alphabet, n: usize) -> OmegaAutomaton {
 }
 
 fn main() {
-    header("TAB-CF", "counter-free vs counting automata (§5, Prop 5.3/5.4)");
+    header(
+        "TAB-CF",
+        "counter-free vs counting automata (§5, Prop 5.3/5.4)",
+    );
     let sigma = Alphabet::new(["a", "b"]).expect("alphabet");
 
-    println!("\n{:>4} {:>14} {:>10} {:>10}", "n", "verdict", "period", "time ms");
+    println!(
+        "\n{:>4} {:>14} {:>10} {:>10}",
+        "n", "verdict", "period", "time ms"
+    );
     for n in 2..=9 {
         let m = mod_counter(&sigma, n);
         let (v, ms) = timed(|| counterfree::check_omega(&m, counterfree::DEFAULT_MONOID_CAP));
@@ -44,7 +50,10 @@ fn main() {
             }
         }
     }
-    expect("every modulo-n counter is detected with the exact period", true);
+    expect(
+        "every modulo-n counter is detected with the exact period",
+        true,
+    );
 
     // All hierarchy witnesses are counter-free (they came from formulas /
     // star-free constructions).
@@ -59,7 +68,10 @@ fn main() {
     ]
     .iter()
     .all(|m| counterfree::check_omega(m, counterfree::DEFAULT_MONOID_CAP).is_counter_free());
-    expect("all hierarchy witnesses are counter-free (LTL-expressible)", all_cf);
+    expect(
+        "all hierarchy witnesses are counter-free (LTL-expressible)",
+        all_cf,
+    );
 
     // Monoid sizes for the witnesses (the cost driver of the check).
     println!("\nmonoid sizes:");

@@ -4,9 +4,11 @@
 
 use hierarchy_bench::{expect, header, timed};
 use hierarchy_core::automata::alphabet::Alphabet;
+use hierarchy_core::automata::analysis::Analysis;
+use hierarchy_core::automata::random::rng::SeedableRng;
+use hierarchy_core::automata::random::rng::StdRng;
 use hierarchy_core::automata::{classify, paper_checks, random};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::fmt::Write as _;
 
 fn main() {
     header("TAB-DEC", "decision procedures for Streett automata (§5.1)");
@@ -76,15 +78,103 @@ fn main() {
     );
 
     // --- Timing series: classification cost vs automaton size.
-    println!("\n{:>7} {:>6} {:>14} {:>14}", "states", "pairs", "classify ms", "safety-chk ms");
+    let mut timing_rows = Vec::new();
+    println!(
+        "\n{:>7} {:>6} {:>14} {:>14}",
+        "states", "pairs", "classify ms", "safety-chk ms"
+    );
     for &n in &[8usize, 16, 32, 64, 128, 256] {
         for &k in &[1usize, 2, 4] {
             let (aut, pairs) = random::random_streett(&mut rng, &sigma, n, k, 0.2);
             let (_, t_classify) = timed(|| classify::classify(&aut));
-            let (_, t_structural) =
-                timed(|| paper_checks::is_safety_structural(&aut, &pairs));
+            let (_, t_structural) = timed(|| paper_checks::is_safety_structural(&aut, &pairs));
             println!("{n:>7} {k:>6} {t_classify:>14.3} {t_structural:>14.3}");
+            timing_rows.push((n, k, t_classify, t_structural));
         }
     }
+
+    // --- Analysis-context counters: SCC passes when the six class
+    //     memberships plus the Rabin index are decided independently
+    //     (a fresh context per query, i.e. the pre-context behaviour)
+    //     versus through one shared full-verdict walk.
+    let mut ctx_rows = Vec::new();
+    println!(
+        "\n{:>7} {:>6} {:>12} {:>12} {:>10} {:>10}",
+        "states", "pairs", "indep pass", "shared pass", "scc hits", "budget"
+    );
+    for &(n, k) in &[(32usize, 2usize), (64, 2), (128, 4), (256, 4)] {
+        let (aut, _) = random::random_streett(&mut rng, &sigma, n, k, 0.2);
+        let mut independent = 0;
+        for query in [
+            |c: &Analysis| c.classification().is_safety,
+            |c: &Analysis| c.classification().is_guarantee,
+            |c: &Analysis| c.classification().is_recurrence,
+            |c: &Analysis| c.classification().is_persistence,
+            |c: &Analysis| c.classification().is_simple_reactivity,
+            |c: &Analysis| c.classification().reactivity_index >= 1,
+            |c: &Analysis| c.rabin_index() >= 1,
+        ] {
+            let fresh = Analysis::new(aut.clone());
+            let _ = query(&fresh);
+            independent += fresh.stats().scc_passes;
+        }
+        let shared = Analysis::new(aut.clone());
+        let _ = shared.classification();
+        let _ = shared.rabin_index();
+        let stats = shared.stats();
+        let budget = 1u64 << aut.acceptance().atom_sets().len();
+        println!(
+            "{n:>7} {k:>6} {independent:>12} {:>12} {:>10} {budget:>10}",
+            stats.scc_passes, stats.scc_hits
+        );
+        expect(
+            "shared full verdict stays within the color-lattice pass budget",
+            stats.scc_passes <= budget,
+        );
+        ctx_rows.push((n, k, independent, stats));
+    }
+
+    // --- Machine-readable artifact for downstream tooling.
+    let mut json = String::from("{\n  \"experiment\": \"TAB-DEC\",\n");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    json.push_str("  \"class_distribution\": {");
+    for (i, (name, n)) in counts.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(json, "{sep}\"{name}\": {n}");
+    }
+    json.push_str("},\n");
+    let _ = writeln!(
+        json,
+        "  \"single_pair_structural_sound\": {single_pair_sound},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"multi_pair_counterexample_found\": {multi_pair_counterexample},"
+    );
+    let _ = writeln!(json, "  \"constructions_exact\": {constructions_exact},");
+    json.push_str("  \"timing_ms\": [\n");
+    for (i, (n, k, tc, ts)) in timing_rows.iter().enumerate() {
+        let sep = if i + 1 == timing_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"states\": {n}, \"pairs\": {k}, \"classify\": {tc:.3}, \
+             \"structural_safety\": {ts:.3}}}{sep}"
+        );
+    }
+    json.push_str("  ],\n  \"analysis_context\": [\n");
+    for (i, (n, k, independent, stats)) in ctx_rows.iter().enumerate() {
+        let sep = if i + 1 == ctx_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"states\": {n}, \"pairs\": {k}, \
+             \"independent_scc_passes\": {independent}, \
+             \"shared_scc_passes\": {}, \"scc_hits\": {}}}{sep}",
+            stats.scc_passes, stats.scc_hits
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out = "BENCH_decision.json";
+    std::fs::write(out, &json).expect("write BENCH_decision.json");
+    println!("\nwrote {out}");
     println!("\nTAB-DEC reproduced (structural and semantic procedures agree; scaling above).");
 }

@@ -88,10 +88,10 @@ fn main() {
     // The first-order characterization χ_O^Φ (end of §2) agrees with the
     // operators on sampled lassos.
     {
-        use hierarchy_core::lang::firstorder;
         use hierarchy_core::automata::random::random_lasso;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use hierarchy_core::automata::random::rng::SeedableRng;
+        use hierarchy_core::automata::random::rng::StdRng;
+        use hierarchy_core::lang::firstorder;
         let mut rng = StdRng::seed_from_u64(2);
         let (a_aut, e_aut, r_aut, p_aut) = (
             operators::a(&sb),

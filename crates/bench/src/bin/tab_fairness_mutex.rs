@@ -14,7 +14,10 @@ fn holds(ts: &hierarchy_core::fts::system::TransitionSystem, sigma: &Alphabet, s
 }
 
 fn main() {
-    header("TAB-FAIR", "fairness classes and the mutual-exclusion programs");
+    header(
+        "TAB-FAIR",
+        "fairness classes and the mutual-exclusion programs",
+    );
 
     // --- The fairness requirement formulas and their classes.
     let tau = Alphabet::of_propositions(["en", "tk"]).expect("alphabet");
@@ -43,7 +46,10 @@ fn main() {
     println!("  accessibility P1  {:>8.2} ms", t2);
     println!("  accessibility P2  {:>8.2} ms", t3);
     expect("Peterson: mutual exclusion (safety)", ok_mutex);
-    expect("Peterson: accessibility (recurrence) for both processes", ok_acc1 && ok_acc2);
+    expect(
+        "Peterson: accessibility (recurrence) for both processes",
+        ok_acc1 && ok_acc2,
+    );
     expect(
         "Peterson: the under-specified safety-only spec admits it trivially \
          — the guarantee ◇c1 alone is false (a process may never request)",
@@ -55,7 +61,8 @@ fn main() {
     let (strong_sem, sigma) = programs::mux_sem(Fairness::Strong);
     expect(
         "MUX-SEM strong: accessibility holds for both",
-        holds(&strong_sem, &sigma, "G (t1 -> F c1)") && holds(&strong_sem, &sigma, "G (t2 -> F c2)"),
+        holds(&strong_sem, &sigma, "G (t1 -> F c1)")
+            && holds(&strong_sem, &sigma, "G (t2 -> F c2)"),
     );
     let (weak_sem, sigma) = programs::mux_sem(Fairness::Weak);
     let verdict = {
@@ -64,10 +71,7 @@ fn main() {
     };
     match &verdict {
         Verdict::Violated(cex) => {
-            println!(
-                "  weak grants starve process 2: loop {:?}",
-                cex.cycle
-            );
+            println!("  weak grants starve process 2: loop {:?}", cex.cycle);
         }
         Verdict::Holds => {}
     }

@@ -14,7 +14,10 @@ fn compiled(sigma: &Alphabet, src: &str) -> hierarchy_core::automata::omega::Ome
 }
 
 fn main() {
-    header("TAB-TL", "Sat(modality p) = operator(esat(p)), and the §4 equivalences");
+    header(
+        "TAB-TL",
+        "Sat(modality p) = operator(esat(p)), and the §4 equivalences",
+    );
     let sigma = Alphabet::new(["a", "b"]).expect("alphabet");
 
     // --- The four bridges, on several past formulas.
@@ -40,17 +43,33 @@ fn main() {
     // --- The paper's named equivalences, as exact language equalities.
     let pairs = [
         ("response", "G (a -> F b)", "G F (!a B b)"),
-        ("conditional guarantee", "a -> F b", "F (O (first & a) -> b)"),
+        (
+            "conditional guarantee",
+            "a -> F b",
+            "F (O (first & a) -> b)",
+        ),
         ("conditional safety", "a -> G b", "G (O (a & first) -> b)"),
-        ("conditional persistence", "G (a -> F G b)", "F G (O a -> b)"),
+        (
+            "conditional persistence",
+            "G (a -> F G b)",
+            "F G (O a -> b)",
+        ),
         ("safety conj.", "G a & G (a | b)", "G (a & (a | b))"),
         ("guarantee conj.", "F a & F b", "F (O a & O b)"),
         ("recurrence disj.", "G F a | G F b", "G F (a | b)"),
-        ("persistence conj.", "F G a & F G (a | b)", "F G (a & (a | b))"),
+        (
+            "persistence conj.",
+            "F G a & F G (a | b)",
+            "F G (a & (a | b))",
+        ),
         // □p ∨ □q ≡ □(⊡p ∨ ⊡q).
         ("safety disj.", "G a | G b", "G (H a | H b)"),
         // The recurrence conjunction law via the minex past formula.
-        ("recurrence conj. (minex)", "G F a & G F b", "G F (b & Y (!b S a))"),
+        (
+            "recurrence conj. (minex)",
+            "G F a & G F b",
+            "G F (b & Y (!b S a))",
+        ),
     ];
     for (name, lhs, rhs) in pairs {
         let l = compiled(&sigma, lhs);
@@ -73,7 +92,9 @@ fn main() {
         .clone()
         .and(Formula::parse(&sigma, "Y (!b S a)").expect("past"));
     let via_formula = esat(&sigma, &minex_formula).expect("past");
-    let via_operator = esat(&sigma, &p).expect("past").minex(&esat(&sigma, &q).expect("past"));
+    let via_operator = esat(&sigma, &p)
+        .expect("past")
+        .minex(&esat(&sigma, &q).expect("past"));
     expect(
         "esat(q ∧ ⊖((¬q) S p)) = minex(esat(p), esat(q))",
         via_formula.equivalent(&via_operator),

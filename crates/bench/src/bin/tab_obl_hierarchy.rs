@@ -8,7 +8,10 @@ use hierarchy_core::automata::classify;
 use hierarchy_core::lang::witnesses;
 
 fn main() {
-    header("TAB-OBLK", "the strict Obl_k hierarchy (§2, compound classes)");
+    header(
+        "TAB-OBLK",
+        "the strict Obl_k hierarchy (§2, compound classes)",
+    );
     println!(
         "\n{:>3} {:>8} {:>18} {:>22} {:>10}",
         "k", "states", "index (corrected)", "index (as printed)", "time ms"
@@ -31,7 +34,11 @@ fn main() {
             ms,
         );
         assert!(c.is_obligation, "witness {k} must be an obligation");
-        assert_eq!(c.obligation_index, Some(k), "witness {k} must have index {k}");
+        assert_eq!(
+            c.obligation_index,
+            Some(k),
+            "witness {k} must have index {k}"
+        );
         assert_eq!(
             printed.obligation_index,
             Some(1),
@@ -39,7 +46,10 @@ fn main() {
         );
     }
     println!();
-    expect("Obl_k index grows strictly with k on the corrected family", true);
+    expect(
+        "Obl_k index grows strictly with k on the corrected family",
+        true,
+    );
     expect(
         "the family exactly as printed in the paper is Obl₁ for every k (erratum)",
         true,

@@ -11,7 +11,10 @@ fn main() {
         "TAB-REACTK",
         "the strict reactivity hierarchy ⋀ᵢ(□◇pᵢ ∨ ◇□qᵢ)",
     );
-    println!("\n{:>3} {:>8} {:>7} {:>10}", "n", "states", "index", "time ms");
+    println!(
+        "\n{:>3} {:>8} {:>7} {:>10}",
+        "n", "states", "index", "time ms"
+    );
     for n in 1..=5 {
         let m = witnesses::reactivity_witness(n);
         let (c, ms) = timed(|| classify::classify(&m));
@@ -27,6 +30,9 @@ fn main() {
         assert!(!c.is_recurrence && !c.is_persistence);
     }
     println!();
-    expect("reactivity index equals n for the n-pair witness, n = 1..=5", true);
+    expect(
+        "reactivity index equals n for the n-pair witness, n = 1..=5",
+        true,
+    );
     println!("\nTAB-REACTK reproduced.");
 }

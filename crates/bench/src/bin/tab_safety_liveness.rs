@@ -4,11 +4,11 @@
 //! erratum found in the paper's example).
 
 use hierarchy_bench::{expect, header};
+use hierarchy_core::automata::random::rng::SeedableRng;
+use hierarchy_core::automata::random::rng::StdRng;
 use hierarchy_core::automata::{classify, random};
-use hierarchy_core::topology::{decomposition, density};
 use hierarchy_core::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hierarchy_core::topology::{decomposition, density};
 
 fn main() {
     header("TAB-SL", "the safety–liveness classification (§2–§3)");

@@ -1,7 +1,7 @@
 //! Experiment harness regenerating every figure- and table-like artifact
 //! of *A Hierarchy of Temporal Properties* (see DESIGN.md §4 for the
-//! experiment index), plus Criterion benchmarks of the decision
-//! procedures.
+//! experiment index), plus dependency-free microbenchmarks of the
+//! decision procedures (see [`microbench`]).
 //!
 //! Each experiment is a binary under `src/bin/` that prints the paper's
 //! artifact as reproduced by this library and asserts the expected shape;
@@ -9,6 +9,8 @@
 //! `for b in fig1_inclusion tab_examples …; do cargo run -p hierarchy-bench --bin $b; done`.
 
 use std::time::Instant;
+
+pub mod microbench;
 
 /// Times a closure, returning (result, elapsed milliseconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {

@@ -1,0 +1,118 @@
+//! A tiny, dependency-free microbenchmark harness with a Criterion-like
+//! surface (`group` / `bench_function` / `finish`), used by the
+//! `benches/` targets so `cargo bench` works with zero external crates.
+//!
+//! Methodology: each benchmark is auto-calibrated to a batch size whose
+//! wall time is comfortably above timer resolution, then `sample_size`
+//! batches are timed and the median, minimum, and mean per-iteration
+//! times reported. No statistical outlier analysis — these numbers are
+//! for order-of-magnitude tracking in EXPERIMENTS.md, not A/B testing.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time per calibrated batch.
+const BATCH_TARGET: Duration = Duration::from_millis(5);
+
+/// Default number of timed batches per benchmark.
+const DEFAULT_SAMPLES: usize = 20;
+
+/// A named collection of benchmarks, printed under a common heading.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+/// Opens a benchmark group (prints its heading immediately).
+pub fn group(name: impl Into<String>) -> Group {
+    let name = name.into();
+    println!("\n== bench group: {name}");
+    Group {
+        name,
+        samples: DEFAULT_SAMPLES,
+    }
+}
+
+impl Group {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Times `f`, printing median/min/mean per-iteration nanoseconds.
+    pub fn bench_function<T>(&mut self, id: impl AsRef<str>, mut f: impl FnMut() -> T) {
+        // Warm-up + calibration: find a batch size that runs ≥ BATCH_TARGET.
+        let mut batch = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= BATCH_TARGET || batch >= 1 << 20 {
+                break;
+            }
+            // Grow geometrically toward the target.
+            let grow = if elapsed.is_zero() {
+                8
+            } else {
+                (BATCH_TARGET.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 8) as usize
+            };
+            batch = batch.saturating_mul(grow);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "  {:<40} median {:>12}  min {:>12}  mean {:>12}  (x{batch} per batch)",
+            format!("{}/{}", self.name, id.as_ref()),
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(mean),
+        );
+    }
+
+    /// Ends the group (parallel to Criterion's API; prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut g = group("selftest");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("noop", || {
+            count += 1;
+            count
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,10 +1,11 @@
 //! The unified [`Property`] type and its classification report.
 
-use hierarchy_automata::classify::{self, Classification};
-use hierarchy_automata::counterfree::{self, CounterFreedom};
+use hierarchy_automata::alphabet::Alphabet;
+use hierarchy_automata::analysis::{Analysis, AnalysisStats, ProductOp};
+use hierarchy_automata::classify::Classification;
+use hierarchy_automata::counterfree::CounterFreedom;
 use hierarchy_automata::lasso::Lasso;
 use hierarchy_automata::omega::OmegaAutomaton;
-use hierarchy_automata::alphabet::Alphabet;
 use hierarchy_lang::{operators, FinitaryProperty};
 use hierarchy_logic::to_automaton::{self, CompileError};
 use hierarchy_logic::{Formula, ParseError, SyntacticClass};
@@ -134,12 +135,15 @@ impl std::error::Error for PropertyError {
 /// A temporal property: an ω-regular language together with everything the
 /// paper says about it.
 ///
-/// Internally a complete deterministic ω-automaton; constructors accept
-/// any of the paper's views (formulas, operator applications, raw
-/// automata).
+/// Internally a complete deterministic ω-automaton wrapped in a shared
+/// [`Analysis`] context, so repeated queries — `class()`, `report()`,
+/// `borel` names, decompositions, inclusion tests — are incremental:
+/// the SCC passes, live sets, products, and the full classification are
+/// computed once and reused. Constructors accept any of the paper's
+/// views (formulas, operator applications, raw automata).
 #[derive(Debug, Clone)]
 pub struct Property {
-    aut: OmegaAutomaton,
+    analysis: Analysis,
     formula: Option<Formula>,
 }
 
@@ -184,7 +188,11 @@ impl fmt::Display for PropertyReport {
         writeln!(
             f,
             "LTL-expressible: {}",
-            if self.is_counter_free { "yes (counter-free)" } else { "no (counting)" }
+            if self.is_counter_free {
+                "yes (counter-free)"
+            } else {
+                "no (counting)"
+            }
         )?;
         write!(f, "proof principle: {}", self.proof_principle)
     }
@@ -193,7 +201,10 @@ impl fmt::Display for PropertyReport {
 impl Property {
     /// Wraps a deterministic ω-automaton.
     pub fn from_automaton(aut: OmegaAutomaton) -> Self {
-        Property { aut, formula: None }
+        Property {
+            analysis: Analysis::new(aut),
+            formula: None,
+        }
     }
 
     /// Builds a property from a temporal formula.
@@ -203,10 +214,9 @@ impl Property {
     /// Returns [`PropertyError::Compile`] when the formula is outside the
     /// canonicalizable hierarchy fragment.
     pub fn from_formula(alphabet: &Alphabet, formula: &Formula) -> Result<Self, PropertyError> {
-        let aut =
-            to_automaton::compile_over(alphabet, formula).map_err(PropertyError::Compile)?;
+        let aut = to_automaton::compile_over(alphabet, formula).map_err(PropertyError::Compile)?;
         Ok(Property {
-            aut,
+            analysis: Analysis::new(aut),
             formula: Some(formula.clone()),
         })
     }
@@ -244,7 +254,20 @@ impl Property {
 
     /// The underlying automaton.
     pub fn automaton(&self) -> &OmegaAutomaton {
-        &self.aut
+        self.analysis.automaton()
+    }
+
+    /// The shared memoized analysis context backing this property. Use it
+    /// directly for lower-level cached queries (SCCs, condensation, live
+    /// sets) or to inspect the cache counters via [`Analysis::stats`].
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// A snapshot of the analysis-cache counters (SCC passes/hits,
+    /// products built/hits).
+    pub fn analysis_stats(&self) -> AnalysisStats {
+        self.analysis.stats()
     }
 
     /// The defining formula, when the property was built from one.
@@ -254,17 +277,18 @@ impl Property {
 
     /// The alphabet.
     pub fn alphabet(&self) -> &Alphabet {
-        self.aut.alphabet()
+        self.automaton().alphabet()
     }
 
     /// Membership of an ultimately periodic word.
     pub fn contains(&self, word: &Lasso) -> bool {
-        self.aut.accepts(word)
+        self.automaton().accepts(word)
     }
 
-    /// The exact semantic classification (computed fresh each call).
+    /// The exact semantic classification (computed once by the shared
+    /// [`Analysis`] context, then served from cache).
     pub fn classification(&self) -> Classification {
-        classify::classify(&self.aut)
+        self.analysis.classification().clone()
     }
 
     /// The strictest hierarchy class.
@@ -280,65 +304,74 @@ impl Property {
         PropertyReport {
             borel: classification.borel_name(),
             syntactic: self.formula.as_ref().and_then(SyntacticClass::of),
-            is_liveness: density::is_liveness(&self.aut),
-            is_uniform_liveness: density::is_uniform_liveness(&self.aut),
-            is_counter_free: counterfree::check_omega(
-                &self.aut,
-                counterfree::DEFAULT_MONOID_CAP,
-            )
-            .is_counter_free(),
+            is_liveness: density::is_liveness_ctx(&self.analysis),
+            is_uniform_liveness: density::is_uniform_liveness(self.automaton()),
+            is_counter_free: self.analysis.counter_freedom().is_counter_free(),
             proof_principle: class.proof_principle(),
             class,
             classification,
         }
     }
 
-    /// The safety–liveness decomposition `Π = Π_S ∩ Π_L`.
+    /// The safety–liveness decomposition `Π = Π_S ∩ Π_L` (through the
+    /// shared context: the live set behind the closure is computed once).
     pub fn safety_liveness_decomposition(&self) -> (Property, Property) {
-        let (s, l) = decomposition::decompose(&self.aut);
+        let (s, l) = decomposition::decompose_ctx(&self.analysis);
         (Property::from_automaton(s), Property::from_automaton(l))
     }
 
-    /// Union of two properties.
+    /// Union of two properties (the product is memoized per operand in
+    /// this property's context).
     pub fn union(&self, other: &Property) -> Property {
-        Property::from_automaton(self.aut.union(&other.aut))
+        Property::from_automaton(
+            (*self
+                .analysis
+                .product_with(other.automaton(), ProductOp::Union))
+            .clone(),
+        )
     }
 
-    /// Intersection of two properties.
+    /// Intersection of two properties (memoized per operand).
     pub fn intersection(&self, other: &Property) -> Property {
-        Property::from_automaton(self.aut.intersection(&other.aut))
+        Property::from_automaton(
+            (*self
+                .analysis
+                .product_with(other.automaton(), ProductOp::Intersection))
+            .clone(),
+        )
     }
 
     /// Complement.
     pub fn complement(&self) -> Property {
-        Property::from_automaton(self.aut.complement())
+        Property::from_automaton(self.automaton().complement())
     }
 
-    /// Language equivalence.
+    /// Language equivalence (the forward-inclusion product is memoized).
     pub fn equivalent(&self, other: &Property) -> bool {
-        self.aut.equivalent(&other.aut)
+        self.analysis.equivalent(other.automaton())
     }
 
-    /// Language inclusion.
+    /// Language inclusion (the difference product is memoized, so
+    /// repeated checks against the same operand are cheap).
     pub fn is_subset_of(&self, other: &Property) -> bool {
-        self.aut.is_subset_of(&other.aut)
+        self.analysis.is_subset_of(other.automaton())
     }
 
     /// Whether the counter-freedom test succeeds (the property is
-    /// temporal-logic expressible per \[Zuc86]).
+    /// temporal-logic expressible per \[Zuc86]); memoized in the context.
     pub fn counter_freedom(&self) -> CounterFreedom {
-        counterfree::check_omega(&self.aut, counterfree::DEFAULT_MONOID_CAP)
+        self.analysis.counter_freedom().clone()
     }
 
     /// A lasso distinguishing this property from `other`, if the languages
     /// differ.
     pub fn distinguishing_word(&self, other: &Property) -> Option<Lasso> {
-        self.aut.distinguishing_lasso(&other.aut)
+        self.automaton().distinguishing_lasso(other.automaton())
     }
 
     /// The property in HOA (Hanoi Omega-Automata) interchange format.
     pub fn to_hoa(&self) -> String {
-        hierarchy_automata::hoa::omega_to_hoa(&self.aut)
+        hierarchy_automata::hoa::omega_to_hoa(self.automaton())
     }
 }
 

@@ -170,26 +170,26 @@ impl ProgramBuilder {
             std::collections::HashMap::new();
         let mut order: Vec<Vec<usize>> = Vec::new();
         let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
-        let mut intern =
-            |vals: Vec<usize>,
-             ts: &mut TransitionSystem,
-             order: &mut Vec<Vec<usize>>,
-             queue: &mut std::collections::VecDeque<usize>| {
-                if let Some(&id) = ids.get(&vals) {
-                    return id;
-                }
-                let id = ts.add_state(observe(&vals, &self.alphabet));
-                ids.insert(vals.clone(), id);
-                order.push(vals);
-                queue.push_back(id);
-                id
-            };
+        let mut intern = |vals: Vec<usize>,
+                          ts: &mut TransitionSystem,
+                          order: &mut Vec<Vec<usize>>,
+                          queue: &mut std::collections::VecDeque<usize>| {
+            if let Some(&id) = ids.get(&vals) {
+                return id;
+            }
+            let id = ts.add_state(observe(&vals, &self.alphabet));
+            ids.insert(vals.clone(), id);
+            order.push(vals);
+            queue.push_back(id);
+            id
+        };
         for init in &self.inits {
             let id = intern(init.clone(), &mut ts, &mut order, &mut queue);
             ts.set_initial(id);
         }
         // Per-command edge lists, discovered by forward exploration.
-        let mut edges: Vec<Vec<(usize, usize)>> = self.commands.iter().map(|_| Vec::new()).collect();
+        let mut edges: Vec<Vec<(usize, usize)>> =
+            self.commands.iter().map(|_| Vec::new()).collect();
         while let Some(id) = queue.pop_front() {
             let vals = order[id].clone();
             for (ci, cmd) in self.commands.iter().enumerate() {
@@ -253,8 +253,18 @@ mod tests {
             next[var] = value;
             vec![next]
         };
-        p.command("req1", Fairness::None, move |v| v[pc1] == 0, move |v| set(v, pc1, 1));
-        p.command("req2", Fairness::None, move |v| v[pc2] == 0, move |v| set(v, pc2, 1));
+        p.command(
+            "req1",
+            Fairness::None,
+            move |v| v[pc1] == 0,
+            move |v| set(v, pc1, 1),
+        );
+        p.command(
+            "req2",
+            Fairness::None,
+            move |v| v[pc2] == 0,
+            move |v| set(v, pc2, 1),
+        );
         p.command(
             "grant1",
             grant_fairness,
@@ -267,8 +277,18 @@ mod tests {
             move |v| v[pc2] == 1 && v[pc1] != 2,
             move |v| set(v, pc2, 2),
         );
-        p.command("release1", Fairness::Weak, move |v| v[pc1] == 2, move |v| set(v, pc1, 0));
-        p.command("release2", Fairness::Weak, move |v| v[pc2] == 2, move |v| set(v, pc2, 0));
+        p.command(
+            "release1",
+            Fairness::Weak,
+            move |v| v[pc1] == 2,
+            move |v| set(v, pc1, 0),
+        );
+        p.command(
+            "release2",
+            Fairness::Weak,
+            move |v| v[pc2] == 2,
+            move |v| set(v, pc2, 0),
+        );
         p.command("idle", Fairness::None, |_| true, |v| vec![v.to_vec()]);
         (p.build().unwrap(), sigma)
     }
@@ -315,12 +335,20 @@ mod tests {
         let x = p.var("x", 2);
         p.init(&[0]);
         p.observe(|_, a| a.valuation_symbol(&[false, false, false, false]));
-        p.command("bad", Fairness::None, |_| true, move |v| {
-            let mut n = v.to_vec();
-            n[x] = 5;
-            vec![n]
-        });
-        assert!(matches!(p.build(), Err(BuildError::UpdateOutOfDomain { .. })));
+        p.command(
+            "bad",
+            Fairness::None,
+            |_| true,
+            move |v| {
+                let mut n = v.to_vec();
+                n[x] = 5;
+                vec![n]
+            },
+        );
+        assert!(matches!(
+            p.build(),
+            Err(BuildError::UpdateOutOfDomain { .. })
+        ));
         // Deadlock detected by validation.
         let mut p = ProgramBuilder::new(&sigma);
         p.var("x", 2);
@@ -343,13 +371,18 @@ mod tests {
         let x = p.var("x", 2);
         p.init(&[0]);
         p.observe(move |vals, alphabet| alphabet.valuation_symbol(&[vals[x] == 1]));
-        p.command("flip", Fairness::Weak, |_| true, |v| {
-            let mut zero = v.to_vec();
-            zero[0] = 0;
-            let mut one = v.to_vec();
-            one[0] = 1;
-            vec![zero, one]
-        });
+        p.command(
+            "flip",
+            Fairness::Weak,
+            |_| true,
+            |v| {
+                let mut zero = v.to_vec();
+                zero[0] = 0;
+                let mut one = v.to_vec();
+                one[0] = 1;
+                vec![zero, one]
+            },
+        );
         let ts = p.build().unwrap();
         let prop = spec(&sigma, "G F x");
         assert!(!verify(&ts, &prop).holds());

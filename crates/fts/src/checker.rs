@@ -20,7 +20,7 @@
 use crate::system::{Fairness, TransitionSystem};
 use hierarchy_automata::bitset::BitSet;
 use hierarchy_automata::omega::OmegaAutomaton;
-use hierarchy_automata::scc::{tarjan_scc, AdjGraph};
+use hierarchy_automata::scc::{AdjGraph, SccCache};
 use hierarchy_automata::StateId;
 use std::collections::{HashMap, VecDeque};
 
@@ -114,11 +114,21 @@ pub fn verify(ts: &TransitionSystem, property: &OmegaAutomaton) -> Verdict {
             .map(|(i, _)| i)
             .collect()
     };
+    // One memoized SCC substrate over the product graph, shared across the
+    // DNF disjuncts and the fairness-refinement rounds: the same
+    // restriction recurs whenever disjuncts share a `fin` set, and every
+    // pass/hit is counted for the stats-minded caller.
+    let mut sccs = SccCache::new(AdjGraph::from_fn(nodes.len(), |v| {
+        succs[v as usize]
+            .iter()
+            .map(|&(m, _)| m as StateId)
+            .collect::<Vec<_>>()
+    }));
     for disjunct in bad.acceptance().dnf() {
         let avoid = lift(&disjunct.fin);
         let infs: Vec<BitSet> = disjunct.infs.iter().map(&lift).collect();
         let allowed: BitSet = (0..nodes.len()).filter(|n| !avoid.contains(*n)).collect();
-        if let Some(cex) = fair_cycle_search(ts, &nodes, &succs, &allowed, &infs) {
+        if let Some(cex) = fair_cycle_search(ts, &nodes, &succs, &mut sccs, &allowed, &infs) {
             return Verdict::Violated(cex);
         }
     }
@@ -131,17 +141,12 @@ fn fair_cycle_search(
     ts: &TransitionSystem,
     nodes: &[(usize, StateId)],
     succs: &[Vec<(usize, usize)>],
+    scc_cache: &mut SccCache<AdjGraph>,
     allowed: &BitSet,
     infs: &[BitSet],
 ) -> Option<Counterexample> {
-    let graph = AdjGraph {
-        succs: succs
-            .iter()
-            .map(|row| row.iter().map(|&(m, _)| m as StateId).collect())
-            .collect(),
-    };
     let mut stack: Vec<BitSet> = {
-        let sccs = tarjan_scc(&graph, Some(allowed));
+        let sccs = scc_cache.sccs(Some(allowed));
         (0..sccs.len())
             .filter(|&c| sccs.has_cycle[c])
             .map(|c| sccs.member_set(c))
@@ -177,7 +182,7 @@ fn fair_cycle_search(
                     match has_edge {
                         Some(e) => required_edges.push(e),
                         None if disabled_exists => {} // a disabled node is toured anyway
-                        None => continue 'regions, // every cycle here is unfair
+                        None => continue 'regions,    // every cycle here is unfair
                     }
                 }
                 Fairness::Strong => {
@@ -195,7 +200,7 @@ fn fair_cycle_search(
             }
         }
         if must_refine {
-            let inner = tarjan_scc(&graph, Some(&refined));
+            let inner = scc_cache.sccs(Some(&refined));
             for c in 0..inner.len() {
                 if inner.has_cycle[c] {
                     stack.push(inner.member_set(c));
@@ -354,7 +359,11 @@ mod tests {
         ts.add_transition(
             "enter",
             vec![(t, c)],
-            if weak_entry { Fairness::Weak } else { Fairness::None },
+            if weak_entry {
+                Fairness::Weak
+            } else {
+                Fairness::None
+            },
         );
         ts.add_transition("leave", vec![(c, n)], Fairness::Weak);
         (ts, sigma)
@@ -399,8 +408,7 @@ mod tests {
         let v = verify(&ts, &spec(&sigma, "G !c"));
         match v {
             Verdict::Violated(cex) => {
-                let all: Vec<usize> =
-                    cex.stem.iter().chain(cex.cycle.iter()).copied().collect();
+                let all: Vec<usize> = cex.stem.iter().chain(cex.cycle.iter()).copied().collect();
                 assert!(all.contains(&2), "counterexample must reach c");
             }
             Verdict::Holds => panic!("□¬c should be violated"),

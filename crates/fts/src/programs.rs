@@ -60,39 +60,27 @@ pub fn peterson() -> (TransitionSystem, Alphabet) {
     };
 
     // Process 1.
-    let req1 = all(&mut |pc1, pc2, tb| {
-        (pc1 == 0).then(|| (id(0, pc2, tb), id(1, pc2, tb)))
-    });
+    let req1 = all(&mut |pc1, pc2, tb| (pc1 == 0).then(|| (id(0, pc2, tb), id(1, pc2, tb))));
     ts.add_transition("req1", req1, Fairness::None);
-    let turn1 = all(&mut |pc1, pc2, tb| {
-        (pc1 == 1).then(|| (id(1, pc2, tb), id(2, pc2, 1)))
-    });
+    let turn1 = all(&mut |pc1, pc2, tb| (pc1 == 1).then(|| (id(1, pc2, tb), id(2, pc2, 1))));
     ts.add_transition("set_turn1", turn1, Fairness::Weak);
     let enter1 = all(&mut |pc1, pc2, tb| {
         (pc1 == 2 && (pc2 == 0 || tb == 0)).then(|| (id(2, pc2, tb), id(3, pc2, tb)))
     });
     ts.add_transition("enter1", enter1, Fairness::Weak);
-    let exit1 = all(&mut |pc1, pc2, tb| {
-        (pc1 == 3).then(|| (id(3, pc2, tb), id(0, pc2, tb)))
-    });
+    let exit1 = all(&mut |pc1, pc2, tb| (pc1 == 3).then(|| (id(3, pc2, tb), id(0, pc2, tb))));
     ts.add_transition("exit1", exit1, Fairness::Weak);
 
     // Process 2 (symmetric; set_turn2 gives priority to process 1).
-    let req2 = all(&mut |pc1, pc2, tb| {
-        (pc2 == 0).then(|| (id(pc1, 0, tb), id(pc1, 1, tb)))
-    });
+    let req2 = all(&mut |pc1, pc2, tb| (pc2 == 0).then(|| (id(pc1, 0, tb), id(pc1, 1, tb))));
     ts.add_transition("req2", req2, Fairness::None);
-    let turn2 = all(&mut |pc1, pc2, tb| {
-        (pc2 == 1).then(|| (id(pc1, 1, tb), id(pc1, 2, 0)))
-    });
+    let turn2 = all(&mut |pc1, pc2, tb| (pc2 == 1).then(|| (id(pc1, 1, tb), id(pc1, 2, 0))));
     ts.add_transition("set_turn2", turn2, Fairness::Weak);
     let enter2 = all(&mut |pc1, pc2, tb| {
         (pc2 == 2 && (pc1 == 0 || tb == 1)).then(|| (id(pc1, 2, tb), id(pc1, 3, tb)))
     });
     ts.add_transition("enter2", enter2, Fairness::Weak);
-    let exit2 = all(&mut |pc1, pc2, tb| {
-        (pc2 == 3).then(|| (id(pc1, 3, tb), id(pc1, 0, tb)))
-    });
+    let exit2 = all(&mut |pc1, pc2, tb| (pc2 == 3).then(|| (id(pc1, 3, tb), id(pc1, 0, tb))));
     ts.add_transition("exit2", exit2, Fairness::Weak);
 
     // Idling (both processes may pause anywhere).
@@ -113,12 +101,7 @@ pub fn mux_sem(grant_fairness: Fairness) -> (TransitionSystem, Alphabet) {
     let mut ts = TransitionSystem::new(&sigma);
     for pc1 in 0..3 {
         for pc2 in 0..3 {
-            let s = ts.add_state(sigma.valuation_symbol(&[
-                pc1 == 2,
-                pc2 == 2,
-                pc1 == 1,
-                pc2 == 1,
-            ]));
+            let s = ts.add_state(sigma.valuation_symbol(&[pc1 == 2, pc2 == 2, pc1 == 1, pc2 == 1]));
             debug_assert_eq!(s, id(pc1, pc2));
         }
     }
@@ -139,13 +122,9 @@ pub fn mux_sem(grant_fairness: Fairness) -> (TransitionSystem, Alphabet) {
     let req2 = edges(&mut |pc1, pc2| (pc2 == 0).then(|| (id(pc1, 0), id(pc1, 1))));
     ts.add_transition("req2", req2, Fairness::None);
     // Grants require the semaphore to be free (no process in C).
-    let grant1 = edges(&mut |pc1, pc2| {
-        (pc1 == 1 && pc2 != 2).then(|| (id(1, pc2), id(2, pc2)))
-    });
+    let grant1 = edges(&mut |pc1, pc2| (pc1 == 1 && pc2 != 2).then(|| (id(1, pc2), id(2, pc2))));
     ts.add_transition("grant1", grant1, grant_fairness);
-    let grant2 = edges(&mut |pc1, pc2| {
-        (pc2 == 1 && pc1 != 2).then(|| (id(pc1, 1), id(pc1, 2)))
-    });
+    let grant2 = edges(&mut |pc1, pc2| (pc2 == 1 && pc1 != 2).then(|| (id(pc1, 1), id(pc1, 2))));
     ts.add_transition("grant2", grant2, grant_fairness);
     let rel1 = edges(&mut |pc1, pc2| (pc1 == 2).then(|| (id(2, pc2), id(0, pc2))));
     ts.add_transition("release1", rel1, Fairness::Weak);
@@ -172,7 +151,11 @@ pub fn token_ring(fair_pass: bool) -> (TransitionSystem, Alphabet) {
         debug_assert_eq!(s, pos);
     }
     ts.set_initial(0);
-    let fairness = if fair_pass { Fairness::Weak } else { Fairness::None };
+    let fairness = if fair_pass {
+        Fairness::Weak
+    } else {
+        Fairness::None
+    };
     ts.add_transition("pass0", vec![(0, 1)], fairness);
     ts.add_transition("pass1", vec![(1, 2)], fairness);
     ts.add_transition("pass2", vec![(2, 0)], fairness);

@@ -87,7 +87,10 @@ impl fmt::Display for SystemError {
                 write!(f, "state {state} has no outgoing edge (deadlock)")
             }
             SystemError::UnknownState { transition, state } => {
-                write!(f, "transition {transition:?} references unknown state {state}")
+                write!(
+                    f,
+                    "transition {transition:?} references unknown state {state}"
+                )
             }
         }
     }
@@ -161,7 +164,10 @@ impl TransitionSystem {
 
     /// Whether transition `t` is enabled in `state`.
     pub fn enabled(&self, t: usize, state: usize) -> bool {
-        self.transitions[t].edges.iter().any(|&(from, _)| from == state)
+        self.transitions[t]
+            .edges
+            .iter()
+            .any(|&(from, _)| from == state)
     }
 
     /// All successor states of `state` (over all transitions).

@@ -47,7 +47,10 @@ impl FinitaryProperty {
     ///
     /// Returns the parse error, if any.
     pub fn parse(alphabet: &Alphabet, pattern: &str) -> Result<Self, RegexError> {
-        Ok(Self::from_regex(alphabet, &Regex::parse(alphabet, pattern)?))
+        Ok(Self::from_regex(
+            alphabet,
+            &Regex::parse(alphabet, pattern)?,
+        ))
     }
 
     /// Builds a finitary property from a regex syntax tree.
@@ -202,7 +205,13 @@ impl FinitaryProperty {
             self.alphabet(),
             dfa.num_states(),
             dfa.initial(),
-            |q, s| if dfa.is_accepting(q) { q } else { dfa.step(q, s) },
+            |q, s| {
+                if dfa.is_accepting(q) {
+                    q
+                } else {
+                    dfa.step(q, s)
+                }
+            },
             dfa.accepting().iter().map(|q| q as StateId),
         );
         FinitaryProperty::from_dfa(out)
@@ -230,8 +239,8 @@ impl FinitaryProperty {
         let n1 = d1.num_states();
         let n2 = d2.num_states();
         let id = |q1: StateId, q2: StateId, pending: bool, acc: bool| -> StateId {
-            ((((q1 as usize * n2) + q2 as usize) * 2 + usize::from(pending)) * 2
-                + usize::from(acc)) as StateId
+            ((((q1 as usize * n2) + q2 as usize) * 2 + usize::from(pending)) * 2 + usize::from(acc))
+                as StateId
         };
         let start = id(d1.initial(), d2.initial(), false, false);
         let out = Dfa::build(
@@ -283,7 +292,9 @@ mod tests {
         assert!(!star.contains([]));
         assert!(star.contains_str("a").unwrap());
         assert!(star.equivalent(&prop(&sigma, "a+")));
-        assert!(FinitaryProperty::sigma_plus(&sigma).contains_str("b").unwrap());
+        assert!(FinitaryProperty::sigma_plus(&sigma)
+            .contains_str("b")
+            .unwrap());
         assert!(!FinitaryProperty::sigma_plus(&sigma).contains([]));
     }
 

@@ -82,8 +82,8 @@ mod tests {
     use crate::operators;
     use hierarchy_automata::alphabet::Alphabet;
     use hierarchy_automata::random::random_lasso;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_automata::random::rng::StdRng;
 
     fn ab() -> Alphabet {
         Alphabet::new(["a", "b"]).unwrap()

@@ -187,10 +187,7 @@ fn nfa_step(
 }
 
 fn u_initial_closure(nfa: &Nfa) -> Vec<StateId> {
-    nfa.initial_closure()
-        .iter()
-        .map(|q| q as StateId)
-        .collect()
+    nfa.initial_closure().iter().map(|q| q as StateId).collect()
 }
 
 fn v_entry_states(nfa: &Nfa) -> Vec<StateId> {
@@ -208,8 +205,8 @@ mod tests {
     use crate::operators;
     use hierarchy_automata::lasso::Lasso;
     use hierarchy_automata::random::random_lasso;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_automata::random::rng::StdRng;
 
     fn ab() -> Alphabet {
         Alphabet::new(["a", "b"]).unwrap()

@@ -255,9 +255,7 @@ mod tests {
                 "R union law failed on {p1},{p2}"
             );
             assert!(
-                r(&f1)
-                    .intersection(&r(&f2))
-                    .equivalent(&r(&f1.minex(&f2))),
+                r(&f1).intersection(&r(&f2)).equivalent(&r(&f1.minex(&f2))),
                 "R minex law failed on {p1},{p2}"
             );
         }
@@ -313,8 +311,7 @@ mod tests {
         assert!(!rec.equivalent(&safety_closure_linguistic(&rec)));
         // The two safety-closure implementations agree.
         for m in [&s, &rec] {
-            assert!(safety_closure_linguistic(m)
-                .equivalent(&classify::safety_closure(m)));
+            assert!(safety_closure_linguistic(m).equivalent(&classify::safety_closure(m)));
         }
     }
 

@@ -2,9 +2,9 @@
 //! to a minimal DFA.
 
 use crate::regex::Regex;
+use hierarchy_automata::alphabet::Alphabet;
 use hierarchy_automata::dfa::Dfa;
 use hierarchy_automata::nfa::Nfa;
-use hierarchy_automata::alphabet::Alphabet;
 use hierarchy_automata::StateId;
 
 /// Compiles a regex to an ε-NFA with a single initial and a single

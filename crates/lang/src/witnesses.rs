@@ -296,7 +296,7 @@ mod tests {
     fn obligation_witness_membership() {
         let sigma = sigma_abcd();
         let m = obligation_witness(2); // [(Π+(a+b)*)d]·Π
-        // Pure Π words (zero d-blocks):
+                                       // Pure Π words (zero d-blocks):
         assert!(m.accepts(&Lasso::parse(&sigma, "", "a").unwrap())); // a^ω
         assert!(m.accepts(&Lasso::parse(&sigma, "abbc", "d").unwrap()));
         // One block then Π:

@@ -58,10 +58,7 @@ impl Formula {
     /// neither.
     pub fn atom(alphabet: &Alphabet, name: &str) -> Option<Formula> {
         if let Some(idx) = alphabet.propositions().iter().position(|p| p == name) {
-            return Some(Formula::Atom(
-                name.to_string(),
-                alphabet.symbols_where(idx),
-            ));
+            return Some(Formula::Atom(name.to_string(), alphabet.symbols_where(idx)));
         }
         alphabet
             .symbol(name)
@@ -194,10 +191,9 @@ impl Formula {
     pub fn is_future(&self) -> bool {
         match self {
             Formula::True | Formula::False | Formula::Atom(..) => true,
-            Formula::Not(x)
-            | Formula::Next(x)
-            | Formula::Eventually(x)
-            | Formula::Always(x) => x.is_future(),
+            Formula::Not(x) | Formula::Next(x) | Formula::Eventually(x) | Formula::Always(x) => {
+                x.is_future()
+            }
             Formula::And(x, y) | Formula::Or(x, y) => x.is_future() && y.is_future(),
             Formula::Until(x, y) | Formula::WUntil(x, y) => x.is_future() && y.is_future(),
             Formula::Prev(_)

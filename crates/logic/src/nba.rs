@@ -96,8 +96,7 @@ pub fn translate(alphabet: &Alphabet, formula: &Formula) -> Result<Nba, NotFutur
             for g in &formulas {
                 let mut next_outcomes = Vec::new();
                 for (nexts, deferred) in &outcomes {
-                    for (extra_next, extra_deferred, feasible) in
-                        decompose(g, sym, &eventualities)
+                    for (extra_next, extra_deferred, feasible) in decompose(g, sym, &eventualities)
                     {
                         if !feasible {
                             continue;
@@ -119,10 +118,8 @@ pub fn translate(alphabet: &Alphabet, formula: &Formula) -> Result<Nba, NotFutur
                 continue;
             }
             for (nexts, deferred) in outcomes {
-                let next_obls: Obligations = nexts
-                    .iter()
-                    .map(|g| intern(g, &mut formula_of))
-                    .collect();
+                let next_obls: Obligations =
+                    nexts.iter().map(|g| intern(g, &mut formula_of)).collect();
                 // Advance the counter past non-deferred eventualities.
                 let (next_counter, next_flag) = if k == 0 {
                     (0, true)
@@ -276,8 +273,8 @@ mod tests {
     use crate::semantics::holds;
     use hierarchy_automata::lasso::Lasso;
     use hierarchy_automata::random::random_lasso;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_automata::random::rng::StdRng;
 
     fn letters() -> Alphabet {
         Alphabet::new(["a", "b"]).unwrap()

@@ -32,7 +32,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "formula error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "formula error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -172,10 +176,7 @@ impl P<'_> {
         while self.peek() == Some(&Token::Iff) {
             self.pos += 1;
             let right = self.implies()?;
-            left = left
-                .clone()
-                .implies(right.clone())
-                .and(right.implies(left));
+            left = left.clone().implies(right.clone()).and(right.implies(left));
         }
         Ok(left)
     }

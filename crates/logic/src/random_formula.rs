@@ -2,7 +2,7 @@
 
 use crate::ast::Formula;
 use hierarchy_automata::alphabet::Alphabet;
-use rand::Rng;
+use hierarchy_automata::random::rng::Rng;
 
 /// Options for [`random_formula`].
 #[derive(Debug, Clone, Copy)]
@@ -103,8 +103,8 @@ fn gen<R: Rng>(rng: &mut R, alphabet: &Alphabet, shape: FormulaShape, depth: usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_automata::random::rng::StdRng;
 
     #[test]
     fn generated_formulas_respect_shape() {

@@ -78,7 +78,10 @@ fn nnf_neg(f: &Formula) -> Formula {
 /// The paper's *response* law: `□(p → ◇q) ≡ □◇(¬p B q)` — there are
 /// infinitely many positions with no pending request.
 pub fn response(p: &Formula, q: &Formula) -> Formula {
-    nnf(&p.clone().not()).wsince(q.clone()).eventually().always()
+    nnf(&p.clone().not())
+        .wsince(q.clone())
+        .eventually()
+        .always()
 }
 
 /// The paper's *conditional safety* law: `p → □q ≡ □(⟐(p ∧ first) → q)`.
@@ -99,7 +102,10 @@ pub fn conditional_guarantee(p: &Formula, q: &Formula) -> Formula {
 /// The paper's *conditional persistence* law:
 /// `□(p → ◇□q) ≡ ◇□(⟐p → q)`.
 pub fn conditional_persistence(p: &Formula, q: &Formula) -> Formula {
-    nnf(&p.clone().once().not()).or(q.clone()).always().eventually()
+    nnf(&p.clone().once().not())
+        .or(q.clone())
+        .always()
+        .eventually()
 }
 
 /// Canonicalizes into the hierarchy grammar whenever the input fits the
@@ -195,9 +201,7 @@ fn unshift(f: &Formula) -> Option<(usize, Formula)> {
             return Some(0);
         }
         match f {
-            Formula::And(x, y) | Formula::Or(x, y) => {
-                Some(max_depth(x)?.max(max_depth(y)?))
-            }
+            Formula::And(x, y) | Formula::Or(x, y) => Some(max_depth(x)?.max(max_depth(y)?)),
             Formula::Next(x) => Some(1 + max_depth(x)?),
             _ => None,
         }
@@ -357,8 +361,8 @@ mod tests {
     use crate::semantics::holds;
     use hierarchy_automata::alphabet::Alphabet;
     use hierarchy_automata::random::random_lasso;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_automata::random::rng::StdRng;
 
     fn letters() -> Alphabet {
         Alphabet::new(["a", "b"]).unwrap()

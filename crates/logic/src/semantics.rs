@@ -95,10 +95,7 @@ pub fn evaluate(formula: &Formula, lasso: &Lasso) -> Result<Vec<bool>, Semantics
         // Snapshot at loop-entry positions: the previous row determines the
         // entire future of the forward recursion.
         if j >= spoke && (j - spoke).is_multiple_of(cycle) && j > 0 {
-            let snap: Vec<bool> = past_nodes
-                .iter()
-                .map(|&i| vals[j - 1][i])
-                .collect();
+            let snap: Vec<bool> = past_nodes.iter().map(|&i| vals[j - 1][i]).collect();
             if let Some(&first) = entry_snapshots.get(&snap) {
                 pre_period = first;
                 period = j - first;
@@ -131,12 +128,8 @@ pub fn evaluate(formula: &Formula, lasso: &Lasso) -> Result<Vec<bool>, Semantics
                     Formula::Or(x, y) => cur(x) || cur(y),
                     Formula::Prev(x) => prev(x).unwrap_or(false),
                     Formula::WPrev(x) => prev(x).unwrap_or(true),
-                    Formula::Since(x, y) => {
-                        cur(y) || (cur(x) && prev(order[i]).unwrap_or(false))
-                    }
-                    Formula::WSince(x, y) => {
-                        cur(y) || (cur(x) && prev(order[i]).unwrap_or(true))
-                    }
+                    Formula::Since(x, y) => cur(y) || (cur(x) && prev(order[i]).unwrap_or(false)),
+                    Formula::WSince(x, y) => cur(y) || (cur(x) && prev(order[i]).unwrap_or(true)),
                     Formula::Once(x) => cur(x) || prev(order[i]).unwrap_or(false),
                     Formula::Historically(x) => cur(x) && prev(order[i]).unwrap_or(true),
                     _ => unreachable!("future node in past phase"),
@@ -354,7 +347,7 @@ mod tests {
         assert!(holds_on("F (b & Y a)", "ab", "a"));
         assert!(holds_on("F (b & Y a)", "", "ab"));
         assert!(!holds_on("F (b & Y a)", "", "b")); // b's never preceded by a
-        // first: Z false holds only at position 0.
+                                                    // first: Z false holds only at position 0.
         assert!(holds_on("first", "a", "b"));
         assert!(!holds_on("X first", "a", "b"));
         // O / H
@@ -382,8 +375,8 @@ mod tests {
     fn response_equivalence_on_samples() {
         // □(a → ◇b) ≡ □◇(¬a B b) — the paper's response law.
         use hierarchy_automata::random::random_lasso;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use hierarchy_automata::random::rng::SeedableRng;
+        use hierarchy_automata::random::rng::StdRng;
         let sigma = letters();
         let lhs = Formula::parse(&sigma, "G (a -> F b)").unwrap();
         let rhs = Formula::parse(&sigma, "G F (!a B b)").unwrap();

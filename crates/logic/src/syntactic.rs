@@ -51,9 +51,7 @@ impl SyntacticClass {
             return Some(SyntacticClass::PastOrState);
         }
         match f {
-            Formula::And(x, y) => {
-                Some(Self::of_canonical(x)?.and(Self::of_canonical(y)?))
-            }
+            Formula::And(x, y) => Some(Self::of_canonical(x)?.and(Self::of_canonical(y)?)),
             Formula::Or(x, y) => Some(Self::of_canonical(x)?.or(Self::of_canonical(y)?)),
             Formula::Always(x) => match x.as_ref() {
                 Formula::Eventually(p) if p.is_past() => Some(SyntacticClass::Recurrence),

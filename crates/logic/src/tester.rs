@@ -88,7 +88,10 @@ impl std::fmt::Display for TesterError {
                 write!(f, "tester requires past formulas, got {formula}")
             }
             TesterError::TooLarge { nodes } => {
-                write!(f, "tester supports at most 64 past subformulas, got {nodes}")
+                write!(
+                    f,
+                    "tester supports at most 64 past subformulas, got {nodes}"
+                )
             }
         }
     }
@@ -290,8 +293,8 @@ mod tests {
     use crate::semantics;
     use hierarchy_automata::lasso::Lasso;
     use hierarchy_automata::random::random_lasso;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_automata::random::rng::StdRng;
 
     fn letters() -> Alphabet {
         Alphabet::new(["a", "b"]).unwrap()

@@ -104,9 +104,7 @@ fn plan(f: &Formula, tracked: &mut Vec<Formula>) -> Result<Plan, CompileError> {
             Box::new(plan(y, tracked)?),
         )),
         Formula::Always(x) => match x.as_ref() {
-            Formula::Eventually(p) if p.is_past() => {
-                Ok(Plan::InfWhere(track(p.as_ref().clone())))
-            }
+            Formula::Eventually(p) if p.is_past() => Ok(Plan::InfWhere(track(p.as_ref().clone()))),
             p if p.is_past() => {
                 // □p: never ⟐¬p.
                 let i = track(rewrites::nnf(&p.clone().not()).once());
@@ -117,9 +115,7 @@ fn plan(f: &Formula, tracked: &mut Vec<Formula>) -> Result<Plan, CompileError> {
             }),
         },
         Formula::Eventually(x) => match x.as_ref() {
-            Formula::Always(p) if p.is_past() => {
-                Ok(Plan::FinWhereNot(track(p.as_ref().clone())))
-            }
+            Formula::Always(p) if p.is_past() => Ok(Plan::FinWhereNot(track(p.as_ref().clone()))),
             p if p.is_past() => {
                 // ◇p: eventually ⟐p, which is monotone.
                 let i = track(p.clone().once());
@@ -187,8 +183,8 @@ mod tests {
     use hierarchy_automata::alphabet::Alphabet;
     use hierarchy_automata::classify;
     use hierarchy_automata::random::random_lasso;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_automata::random::rng::StdRng;
 
     fn letters() -> Alphabet {
         Alphabet::new(["a", "b"]).unwrap()

@@ -9,6 +9,7 @@
 //!   prefix that cannot be extended into `Π`.
 
 use crate::density;
+use hierarchy_automata::analysis::Analysis;
 use hierarchy_automata::classify;
 use hierarchy_automata::omega::OmegaAutomaton;
 
@@ -20,10 +21,23 @@ pub fn liveness_extension(aut: &OmegaAutomaton) -> OmegaAutomaton {
     aut.union(&escape)
 }
 
+/// [`liveness_extension`] through a shared [`Analysis`] context (the
+/// safety closure comes from the cached live set).
+pub fn liveness_extension_ctx(ctx: &Analysis) -> OmegaAutomaton {
+    let escape = ctx.safety_closure().complement();
+    ctx.automaton().union(&escape)
+}
+
 /// The safety–liveness decomposition `Π = Π_S ∩ Π_L` with
 /// `Π_S = A(Pref(Π))` and `Π_L = L(Π)`.
 pub fn decompose(aut: &OmegaAutomaton) -> (OmegaAutomaton, OmegaAutomaton) {
     (classify::safety_closure(aut), liveness_extension(aut))
+}
+
+/// [`decompose`] through a shared [`Analysis`] context: the live-state
+/// computation behind the safety closure runs once and serves both parts.
+pub fn decompose_ctx(ctx: &Analysis) -> (OmegaAutomaton, OmegaAutomaton) {
+    (ctx.safety_closure(), liveness_extension_ctx(ctx))
 }
 
 /// Checks the decomposition theorem for `aut`: the safety part is a safety
@@ -41,9 +55,9 @@ mod tests {
     use hierarchy_automata::acceptance::Acceptance;
     use hierarchy_automata::alphabet::Alphabet;
     use hierarchy_automata::random;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_automata::random::rng::StdRng;
     use hierarchy_lang::{operators, witnesses, FinitaryProperty};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn ab() -> Alphabet {
         Alphabet::new(["a", "b"]).unwrap()

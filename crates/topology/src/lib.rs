@@ -23,6 +23,6 @@
 
 pub mod closure;
 pub mod decomposition;
-pub mod normal_forms;
 pub mod density;
 pub mod metric;
+pub mod normal_forms;

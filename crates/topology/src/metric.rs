@@ -24,8 +24,7 @@ fn lcm(a: usize, b: usize) -> usize {
 /// (`max(|u₁|, |u₂|) + lcm(|v₁|, |v₂|)`) agree everywhere, so the search is
 /// bounded.
 pub fn first_difference(a: &Lasso, b: &Lasso) -> Option<usize> {
-    let horizon =
-        a.spoke().len().max(b.spoke().len()) + lcm(a.cycle().len(), b.cycle().len());
+    let horizon = a.spoke().len().max(b.spoke().len()) + lcm(a.cycle().len(), b.cycle().len());
     (0..horizon).find(|&j| a.at(j) != b.at(j))
 }
 

@@ -100,9 +100,8 @@ pub fn reactivity_cnf(aut: &OmegaAutomaton) -> Option<Vec<ReactivityClause>> {
             .iter()
             .map(|p| ReactivityClause {
                 recurrence: aut.with_acceptance(Acceptance::Inf(p.recurrent.clone())),
-                persistence: aut.with_acceptance(Acceptance::Fin(
-                    p.persistent.complement(aut.num_states()),
-                )),
+                persistence: aut
+                    .with_acceptance(Acceptance::Fin(p.persistent.complement(aut.num_states()))),
             })
             .collect(),
     )
@@ -128,9 +127,9 @@ pub fn is_simple_obligation(aut: &OmegaAutomaton) -> bool {
 mod tests {
     use super::*;
     use hierarchy_automata::random;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_automata::random::rng::StdRng;
     use hierarchy_lang::witnesses;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn simple_obligation_decomposes() {

@@ -47,14 +47,20 @@ fn main() {
     println!();
     for (name, aut) in [
         ("A(a⁺b*) = a^ω + a⁺b^ω", witnesses::safety()),
-        ("E(a⁺b*) = a·Σ^ω (clopen!)", witnesses::guarantee_paper_example()),
+        (
+            "E(a⁺b*) = a·Σ^ω (clopen!)",
+            witnesses::guarantee_paper_example(),
+        ),
         ("E(Σ*b) = ◇b", witnesses::guarantee()),
         ("R(Σ*b) = (a*b)^ω", witnesses::recurrence()),
         ("P(Σ*b) = Σ*b^ω", witnesses::persistence()),
         ("(a+b)*a^ω", witnesses::persistence_a()),
         ("a*b^ω + Σ*cΣ^ω", witnesses::obligation_simple()),
         ("Obl₃ witness", witnesses::obligation_witness(3)),
-        ("reactivity level 2 witness", witnesses::reactivity_witness(2)),
+        (
+            "reactivity level 2 witness",
+            witnesses::reactivity_witness(2),
+        ),
     ] {
         row(name, &Property::from_automaton(aut));
     }

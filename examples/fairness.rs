@@ -22,10 +22,7 @@ fn main() {
         "strong fairness is the stronger requirement — it implies weak: {}",
         strong.is_subset_of(&weak)
     );
-    println!(
-        "…and not conversely: {}",
-        !weak.is_subset_of(&strong)
-    );
+    println!("…and not conversely: {}", !weak.is_subset_of(&strong));
     println!();
 
     // --- The gap in action: MUX-SEM accessibility.
@@ -51,7 +48,9 @@ fn main() {
     let (ts, obs) = programs::mux_sem(Fairness::Weak);
     if let Verdict::Violated(cex) = verify(
         &ts,
-        Property::parse(&obs, "G (t2 -> F c2)").expect("compiles").automaton(),
+        Property::parse(&obs, "G (t2 -> F c2)")
+            .expect("compiles")
+            .automaton(),
     ) {
         println!("weak-fairness starvation loop (state = pc1*3+pc2):");
         println!("  stem : {:?}", cex.stem);

@@ -38,7 +38,12 @@ fn main() {
     let (peterson, sigma) = programs::peterson();
 
     // The faulty specification from the paper's introduction: safety only.
-    check(&peterson, &sigma, "mutual exclusion (safety)", "G !(c1 & c2)");
+    check(
+        &peterson,
+        &sigma,
+        "mutual exclusion (safety)",
+        "G !(c1 & c2)",
+    );
     // Its completion: accessibility, a response/recurrence property.
     check(&peterson, &sigma, "accessibility P1", "G (t1 -> F c1)");
     check(&peterson, &sigma, "accessibility P2", "G (t2 -> F c2)");

@@ -5,8 +5,8 @@
 
 use temporal_properties::automata::classify;
 use temporal_properties::lang::witnesses;
-use temporal_properties::topology::normal_forms;
 use temporal_properties::prelude::*;
+use temporal_properties::topology::normal_forms;
 
 fn main() {
     let sigma = Alphabet::new(["a", "b", "c"]).expect("alphabet");
@@ -36,7 +36,10 @@ fn main() {
     // --- Reactivity CNF of the level-2 witness: exactly two clauses.
     let react = witnesses::reactivity_witness(2);
     let cnf = normal_forms::reactivity_cnf(&react).expect("streett-convertible");
-    println!("\nreactivity level-2 witness: ⋂ of {} clauses (R(Φᵢ) ∪ P(Ψᵢ))", cnf.len());
+    println!(
+        "\nreactivity level-2 witness: ⋂ of {} clauses (R(Φᵢ) ∪ P(Ψᵢ))",
+        cnf.len()
+    );
     for (i, clause) in cnf.iter().enumerate() {
         println!(
             "  clause {}: R-part is {}, P-part is {}",

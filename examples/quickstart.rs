@@ -19,7 +19,10 @@ fn main() {
         ("strong fairness", "G F req -> G F ack"),
     ];
 
-    println!("{:<24} {:<22} {:<8} {:<9} formula", "spec", "class", "Borel", "live?");
+    println!(
+        "{:<24} {:<22} {:<8} {:<9} formula",
+        "spec", "class", "Borel", "live?"
+    );
     println!("{}", "-".repeat(100));
     for (name, src) in specs {
         let property = Property::parse(&sigma, src).expect("compiles");
@@ -43,7 +46,10 @@ fn main() {
     let good = Lasso::new(vec![idle], vec![req, ack]);
     let bad = Lasso::new(vec![idle, req], vec![idle]);
     println!();
-    println!("(idle)(req ack)^ω  ⊨ response: {}", response.contains(&good));
+    println!(
+        "(idle)(req ack)^ω  ⊨ response: {}",
+        response.contains(&good)
+    );
     println!("(idle req)(idle)^ω ⊨ response: {}", response.contains(&bad));
 
     // The paper's proof-principle guidance comes with the class.

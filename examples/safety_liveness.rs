@@ -7,8 +7,8 @@
 //!
 //! Run with `cargo run --example safety_liveness`.
 
-use temporal_properties::topology::{decomposition, density, metric};
 use temporal_properties::prelude::*;
+use temporal_properties::topology::{decomposition, density, metric};
 
 fn main() {
     let sigma = Alphabet::new(["a", "b"]).expect("alphabet");
@@ -21,12 +21,18 @@ fn main() {
     println!("a U b  =  (a W b) ∩ ◇b:");
     println!("  safety part  = a W b : {}", s.equivalent(&weak));
     println!("  liveness part ⊇ ◇b   : {}", ev_b.is_subset_of(&l));
-    println!("  recomposition exact  : {}", s.intersection(&l).equivalent(&until));
+    println!(
+        "  recomposition exact  : {}",
+        s.intersection(&l).equivalent(&until)
+    );
     println!();
 
     // Orthogonality: decompose one property from each class and classify
     // the parts.
-    println!("{:<28} {:<20} {:<22} dense?", "property", "class", "liveness part class");
+    println!(
+        "{:<28} {:<20} {:<22} dense?",
+        "property", "class", "liveness part class"
+    );
     println!("{}", "-".repeat(92));
     for (name, src) in [
         ("◇b", "F b"),

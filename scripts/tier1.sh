@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): offline release build, full test suite,
+# and formatting. Everything runs with --offline — the workspace has zero
+# external dependencies (the PRNG is vendored in automata/src/random.rs),
+# so a network-less container must pass this script end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test --offline --workspace --quiet
+cargo fmt --check
+
+echo "tier1: OK"

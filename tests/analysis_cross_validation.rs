@@ -1,0 +1,294 @@
+//! Cross-validation of the shared [`Analysis`] context against the
+//! uncached free functions, over random Streett automata, plus the
+//! cache-efficiency guarantees the context is supposed to deliver
+//! (ISSUE 1's acceptance criteria).
+//!
+//! The free functions decide each question independently — `is_safety`
+//! via a closure product, `is_recurrence`/`is_persistence` via their own
+//! chain analyses, `obligation_index_of` via a fresh condensation — so
+//! agreement here checks the context's single-walk full verdict (and in
+//! particular the anchor-status derivation of safety/guarantee) against
+//! genuinely different algorithms.
+
+use temporal_properties::automata::analysis::Analysis;
+use temporal_properties::automata::classify;
+use temporal_properties::automata::emptiness;
+use temporal_properties::automata::omega::OmegaAutomaton;
+use temporal_properties::automata::random::rng::{Rng, SeedableRng, StdRng};
+use temporal_properties::automata::streett::{StreettPair, StreettPairs};
+use temporal_properties::prelude::*;
+use temporal_properties::topology::{closure, decomposition, density};
+
+fn sigma() -> Alphabet {
+    Alphabet::new(["a", "b"]).unwrap()
+}
+
+/// A random deterministic Streett automaton over {a,b} with `n` states
+/// and `pairs` Streett pairs.
+fn rand_streett<R: Rng>(rng: &mut R, n: usize, pairs: usize) -> OmegaAutomaton {
+    let delta: Vec<u32> = (0..n * 2).map(|_| rng.gen_range(0..n) as u32).collect();
+    let rand_set = |rng: &mut R| -> Vec<usize> {
+        let len = rng.gen_range(0..=n.min(8));
+        (0..len).map(|_| rng.gen_range(0..n)).collect()
+    };
+    let pair_list: Vec<StreettPair> = (0..pairs)
+        .map(|_| {
+            let r = rand_set(rng);
+            let p = rand_set(rng);
+            StreettPair::new(r, p)
+        })
+        .collect();
+    let pairs = StreettPairs(pair_list);
+    let alphabet = sigma();
+    OmegaAutomaton::build(
+        &alphabet,
+        n,
+        0,
+        |q, s| delta[q as usize * 2 + s.index()],
+        pairs.acceptance(n),
+    )
+}
+
+/// ~200 random Streett automata, n ∈ {4..64}, pairs ∈ {1..4}: the
+/// context's full verdict must agree with every uncached free function.
+#[test]
+fn analysis_agrees_with_free_functions_on_random_streett() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for case in 0..200 {
+        let n = rng.gen_range(4..=64usize);
+        let pairs = rng.gen_range(1..=4usize);
+        let aut = rand_streett(&mut rng, n, pairs);
+        let ctx = Analysis::new(aut.clone());
+        let v = ctx.classification();
+
+        assert_eq!(
+            v.is_safety,
+            classify::is_safety(&aut),
+            "case {case}: safety"
+        );
+        assert_eq!(
+            v.is_guarantee,
+            classify::is_guarantee(&aut),
+            "case {case}: guarantee"
+        );
+        assert_eq!(
+            v.is_recurrence,
+            classify::is_recurrence(&aut),
+            "case {case}: recurrence"
+        );
+        assert_eq!(
+            v.is_persistence,
+            classify::is_persistence(&aut),
+            "case {case}: persistence"
+        );
+        assert_eq!(
+            v.is_obligation,
+            classify::is_obligation(&aut),
+            "case {case}: obligation"
+        );
+        assert_eq!(
+            v.is_simple_reactivity,
+            classify::is_simple_reactivity(&aut),
+            "case {case}: simple reactivity"
+        );
+        assert_eq!(
+            v.reactivity_index,
+            classify::reactivity_index(&aut),
+            "case {case}: reactivity index"
+        );
+        if v.is_obligation {
+            assert_eq!(
+                v.obligation_index,
+                Some(classify::obligation_index_of(&aut)),
+                "case {case}: obligation index"
+            );
+        }
+        assert_eq!(
+            ctx.rabin_index(),
+            classify::rabin_index(&aut),
+            "case {case}: rabin index"
+        );
+
+        // Emptiness / liveness agreement.
+        assert_eq!(ctx.is_empty(), aut.is_empty(), "case {case}: emptiness");
+        if let Some(w) = ctx.accepted_lasso() {
+            assert!(aut.accepts(&w), "case {case}: witness accepted");
+        }
+        let mut free_live = emptiness::live_states(&aut);
+        free_live.intersect_with(ctx.reachable());
+        assert_eq!(*ctx.live(), free_live, "case {case}: live set");
+
+        // The closure from the cached live set is language-equal to the
+        // free closure (they may differ on unreachable dead sets).
+        assert!(
+            ctx.safety_closure()
+                .equivalent(&classify::safety_closure(&aut)),
+            "case {case}: safety closure"
+        );
+    }
+}
+
+/// The topology ctx variants agree with their free counterparts.
+#[test]
+fn topology_ctx_variants_agree() {
+    let mut rng = StdRng::seed_from_u64(2025);
+    for case in 0..40 {
+        let n = rng.gen_range(3..=12usize);
+        let aut = rand_streett(&mut rng, n, 2);
+        let ctx = Analysis::new(aut.clone());
+        assert_eq!(
+            closure::is_closed_ctx(&ctx),
+            closure::is_closed(&aut),
+            "case {case}"
+        );
+        assert_eq!(
+            closure::is_open_ctx(&ctx),
+            closure::is_open(&aut),
+            "case {case}"
+        );
+        assert_eq!(
+            closure::is_g_delta_ctx(&ctx),
+            closure::is_g_delta(&aut),
+            "case {case}"
+        );
+        assert_eq!(
+            closure::is_f_sigma_ctx(&ctx),
+            closure::is_f_sigma(&aut),
+            "case {case}"
+        );
+        assert_eq!(
+            density::is_dense_ctx(&ctx),
+            density::is_dense(&aut),
+            "case {case}"
+        );
+        assert!(
+            closure::closure_ctx(&ctx).equivalent(&closure::closure(&aut)),
+            "case {case}"
+        );
+        let (s_ctx, l_ctx) = decomposition::decompose_ctx(&ctx);
+        let (s_free, l_free) = decomposition::decompose(&aut);
+        assert!(s_ctx.equivalent(&s_free), "case {case}: safety part");
+        assert!(l_ctx.equivalent(&l_free), "case {case}: liveness part");
+    }
+}
+
+/// Streett-refinement emptiness through the context agrees with the free
+/// version and reuses cached SCC passes across repeated queries.
+#[test]
+fn streett_refinement_ctx_agrees_and_caches() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    for _ in 0..30 {
+        let n = rng.gen_range(3..=10usize);
+        let aut = rand_streett(&mut rng, n, 1);
+        let rand_set = |rng: &mut StdRng| -> Vec<usize> {
+            let len = rng.gen_range(0..=n);
+            (0..len).map(|_| rng.gen_range(0..n)).collect()
+        };
+        let r = rand_set(&mut rng);
+        let p = rand_set(&mut rng);
+        let pairs = StreettPairs(vec![StreettPair::new(r, p)]);
+        let ctx = Analysis::new(aut.clone());
+        let free = emptiness::streett_nonempty_cycle(&aut, &pairs);
+        let via_ctx = emptiness::streett_nonempty_cycle_ctx(&ctx, &pairs);
+        assert_eq!(free.is_some(), via_ctx.is_some());
+        let passes = ctx.stats().scc_passes;
+        let again = emptiness::streett_nonempty_cycle_ctx(&ctx, &pairs);
+        assert_eq!(via_ctx, again);
+        assert_eq!(
+            ctx.stats().scc_passes,
+            passes,
+            "repeat query must be fully cached"
+        );
+    }
+}
+
+/// The full verdict runs strictly fewer SCC passes than the sum of the
+/// individual queries' passes on fresh contexts — the point of sharing
+/// the color-lattice walk.
+#[test]
+fn full_verdict_beats_sum_of_individual_queries() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let aut = rand_streett(&mut rng, 48, 3);
+
+    // Individual queries, each on a fresh context (so nothing is shared).
+    let mut sum_passes = 0;
+    for query in [
+        |c: &Analysis| c.classification().is_safety,
+        |c: &Analysis| c.classification().is_guarantee,
+        |c: &Analysis| c.classification().is_recurrence,
+        |c: &Analysis| c.classification().is_persistence,
+        |c: &Analysis| c.classification().is_simple_reactivity,
+        |c: &Analysis| c.classification().reactivity_index >= 1,
+        |c: &Analysis| c.rabin_index() >= 1,
+    ] {
+        let fresh = Analysis::new(aut.clone());
+        let _ = query(&fresh);
+        sum_passes += fresh.stats().scc_passes;
+    }
+
+    let shared = Analysis::new(aut.clone());
+    let _ = shared.classification();
+    let _ = shared.rabin_index();
+    let full_passes = shared.stats().scc_passes;
+    assert!(
+        full_passes < sum_passes,
+        "full verdict ({full_passes} passes) must beat independent \
+         queries ({sum_passes} passes)"
+    );
+}
+
+/// ISSUE 1 acceptance criterion: classifying a 256-state 4-pair random
+/// Streett automaton costs at most one SCC pass per color-lattice point
+/// (2^m for m acceptance atoms), verified through the stats API; repeated
+/// queries add zero passes.
+#[test]
+fn classification_stays_within_lattice_pass_budget() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let aut = rand_streett(&mut rng, 256, 4);
+    let m = aut.acceptance().atom_sets().len();
+    let ctx = Analysis::new(aut.clone());
+    let verdict = ctx.classification().clone();
+    let _ = ctx.rabin_index();
+    let _ = ctx.safety_closure();
+    let _ = ctx.accepted_lasso();
+    let stats = ctx.stats();
+    assert!(
+        stats.scc_passes <= 1 << m,
+        "{} SCC passes exceed the lattice budget 2^{m}",
+        stats.scc_passes
+    );
+    // Repeated queries are served entirely from cache.
+    let passes = ctx.stats().scc_passes;
+    for _ in 0..5 {
+        assert_eq!(ctx.classification(), &verdict);
+        let _ = ctx.safety_closure();
+        let _ = ctx.rabin_index();
+    }
+    assert_eq!(ctx.stats().scc_passes, passes, "no new passes on repeat");
+    assert!(ctx.stats().scc_hits > 0, "repeats must hit the cache");
+}
+
+/// Repeated Property-level queries hit the context caches: the second
+/// round of class/report/inclusion queries adds no SCC passes or product
+/// builds.
+#[test]
+fn property_queries_are_incremental() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let aut = rand_streett(&mut rng, 24, 2);
+    let other = Property::from_automaton(rand_streett(&mut rng, 8, 1));
+    let prop = Property::from_automaton(aut);
+
+    let _ = prop.class();
+    let _ = prop.classification().borel_name();
+    let _ = prop.is_subset_of(&other);
+    let first = prop.analysis_stats();
+
+    let _ = prop.class();
+    let _ = prop.classification().borel_name();
+    let _ = prop.is_subset_of(&other);
+    let second = prop.analysis_stats();
+
+    assert_eq!(first.scc_passes, second.scc_passes);
+    assert_eq!(first.products_built, second.products_built);
+    assert!(second.product_hits > first.product_hits);
+}

@@ -8,12 +8,12 @@
 //! Wagner/Landweber chain conditions literally, and compares against the
 //! production classifier on hundreds of random automata.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use temporal_properties::automata::bitset::BitSet;
 use temporal_properties::automata::classify;
 use temporal_properties::automata::omega::OmegaAutomaton;
 use temporal_properties::automata::random::random_streett;
+use temporal_properties::automata::random::rng::SeedableRng;
+use temporal_properties::automata::random::rng::StdRng;
 use temporal_properties::prelude::*;
 
 /// All accessible cycles (as state sets) of the automaton, by subset
@@ -84,32 +84,24 @@ impl Oracle {
 
     fn is_recurrence(&self) -> bool {
         // No accepting cycle inside a rejecting one.
-        !self.cycles.iter().any(|(j, ja)| {
-            *ja && self
-                .cycles
-                .iter()
-                .any(|(a, aa)| !*aa && j.is_subset(a))
-        })
+        !self
+            .cycles
+            .iter()
+            .any(|(j, ja)| *ja && self.cycles.iter().any(|(a, aa)| !*aa && j.is_subset(a)))
     }
 
     fn is_persistence(&self) -> bool {
-        !self.cycles.iter().any(|(b, ba)| {
-            !*ba && self
-                .cycles
-                .iter()
-                .any(|(j, ja)| *ja && b.is_subset(j))
-        })
+        !self
+            .cycles
+            .iter()
+            .any(|(b, ba)| !*ba && self.cycles.iter().any(|(j, ja)| *ja && b.is_subset(j)))
     }
 
     fn is_simple_reactivity(&self) -> bool {
         // No chain B ⊆ J ⊆ A with B, A rejecting and J accepting.
         !self.cycles.iter().any(|(j, ja)| {
             *ja && self.cycles.iter().any(|(b, ba)| {
-                !*ba && b.is_subset(j)
-                    && self
-                        .cycles
-                        .iter()
-                        .any(|(a, aa)| !*aa && j.is_subset(a))
+                !*ba && b.is_subset(j) && self.cycles.iter().any(|(a, aa)| !*aa && j.is_subset(a))
             })
         })
     }
@@ -148,7 +140,11 @@ fn classifier_matches_bruteforce_oracle() {
         let (aut, _) = random_streett(&mut rng, &sigma, 5, k, 0.35);
         let oracle = Oracle::new(&aut);
         let c = classify::classify(&aut);
-        assert_eq!(c.is_recurrence, oracle.is_recurrence(), "recurrence, case {i}");
+        assert_eq!(
+            c.is_recurrence,
+            oracle.is_recurrence(),
+            "recurrence, case {i}"
+        );
         assert_eq!(
             c.is_persistence,
             oracle.is_persistence(),

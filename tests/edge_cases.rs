@@ -31,7 +31,12 @@ fn sixty_four_symbol_alphabet() {
 #[test]
 fn single_state_automata() {
     let sigma = Alphabet::new(["a", "b"]).unwrap();
-    for acc in [Acceptance::True, Acceptance::False, Acceptance::inf([0]), Acceptance::fin([0])] {
+    for acc in [
+        Acceptance::True,
+        Acceptance::False,
+        Acceptance::inf([0]),
+        Acceptance::fin([0]),
+    ] {
         let m = OmegaAutomaton::build(&sigma, 1, 0, |_, _| 0, acc.clone());
         let c = classify::classify(&m);
         // A one-state automaton is either ∅ or Σ^ω: both clopen.
@@ -64,7 +69,9 @@ fn de_morgan_on_automata() {
         .complement()
         .equivalent(&m.complement().union(&n.complement())));
     // Difference in terms of the primitives.
-    assert!(m.difference(&n).equivalent(&m.intersection(&n.complement())));
+    assert!(m
+        .difference(&n)
+        .equivalent(&m.intersection(&n.complement())));
 }
 
 #[test]

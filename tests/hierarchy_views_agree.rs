@@ -81,8 +81,8 @@ fn classification_is_representation_independent() {
 
 #[test]
 fn formula_semantics_agree_with_compiled_automata_on_lassos() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use temporal_properties::automata::random::rng::SeedableRng;
+    use temporal_properties::automata::random::rng::StdRng;
     let sigma = sigma();
     let mut rng = StdRng::seed_from_u64(123);
     let formulas = [
@@ -140,12 +140,12 @@ fn borel_names_match_topology() {
         match borel {
             "Π₁" => assert!(closure::is_closed(p.automaton())),
             "Σ₁" => assert!(closure::is_open(p.automaton())),
-            "Π₂" => assert!(
-                closure::is_g_delta(p.automaton()) && !closure::is_f_sigma(p.automaton())
-            ),
-            "Σ₂" => assert!(
-                closure::is_f_sigma(p.automaton()) && !closure::is_g_delta(p.automaton())
-            ),
+            "Π₂" => {
+                assert!(closure::is_g_delta(p.automaton()) && !closure::is_f_sigma(p.automaton()))
+            }
+            "Σ₂" => {
+                assert!(closure::is_f_sigma(p.automaton()) && !closure::is_g_delta(p.automaton()))
+            }
             _ => unreachable!(),
         }
     }

@@ -5,8 +5,8 @@ use temporal_properties::automata::classify;
 use temporal_properties::automata::paper_checks;
 use temporal_properties::automata::streett::{StreettPair, StreettPairs};
 use temporal_properties::lang::{witnesses, FinitaryProperty};
-use temporal_properties::topology::density;
 use temporal_properties::prelude::*;
+use temporal_properties::topology::density;
 
 /// Erratum 1: the §2 guarantee example `E(a⁺b*)` over Σ = {a,b} is clopen.
 #[test]
@@ -29,8 +29,7 @@ fn erratum_2_minex_example() {
     // a² has no proper (a³)⁺-prefix:
     assert!(!m.contains_str("aa").unwrap());
     // The corrected language:
-    let corrected =
-        FinitaryProperty::parse(&sigma, "(aaaaaa)(aaaaaa)*aa + (aaaaaa)*aaaa").unwrap();
+    let corrected = FinitaryProperty::parse(&sigma, "(aaaaaa)(aaaaaa)*aa + (aaaaaa)*aaaa").unwrap();
     assert!(m.equivalent(&corrected));
     // The law the example illustrates is unaffected:
     use temporal_properties::lang::operators;
@@ -46,7 +45,11 @@ fn erratum_3_printed_obligation_family_collapses() {
         let printed = classify::classify(&witnesses::obligation_witness_as_printed(k));
         assert_eq!(printed.obligation_index, Some(1), "printed family k={k}");
         let corrected = classify::classify(&witnesses::obligation_witness(k));
-        assert_eq!(corrected.obligation_index, Some(k), "corrected family k={k}");
+        assert_eq!(
+            corrected.obligation_index,
+            Some(k),
+            "corrected family k={k}"
+        );
     }
 }
 
