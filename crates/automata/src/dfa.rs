@@ -72,7 +72,11 @@ impl Dfa {
                 table.push(t);
             }
         }
-        let accepting = accepting.into_iter().map(|s| s as usize).collect();
+        let accepting: BitSet = accepting.into_iter().map(|s| s as usize).collect();
+        debug_assert!(
+            accepting.iter().all(|q| q < num_states),
+            "accepting set must be a subset of the state set"
+        );
         Dfa {
             alphabet: alphabet.clone(),
             num_states,
@@ -114,6 +118,10 @@ impl Dfa {
                 states: num_states,
             });
         }
+        debug_assert!(
+            accepting.iter().all(|q| q < num_states),
+            "accepting set must be a subset of the state set"
+        );
         Ok(Dfa {
             alphabet: alphabet.clone(),
             num_states,

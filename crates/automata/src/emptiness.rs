@@ -333,8 +333,8 @@ mod tests {
             Acceptance::inf([2]),
         );
         assert_eq!(live_states(&m), BitSet::from_iter([0, 1, 2]));
-        // Make state 2 rejecting instead: nothing is live.
-        let m2 = m.with_acceptance(Acceptance::inf([5]));
+        // Make the acceptance unsatisfiable instead: nothing is live.
+        let m2 = m.with_acceptance(Acceptance::Inf(BitSet::new()));
         assert!(live_states(&m2).is_empty());
     }
 

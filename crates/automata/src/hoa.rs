@@ -24,7 +24,11 @@ use std::fmt::Write as _;
 pub fn omega_to_hoa(aut: &OmegaAutomaton) -> String {
     let n_sym = aut.alphabet().len();
     let ap_count = bits_needed(n_sym);
-    let atoms = aut.acceptance().atom_sets();
+    // The acceptance walk interns atom sets as it renders, so every index
+    // in the formula refers to a set collected in the same pass — there is
+    // no way for the two to fall out of sync.
+    let mut atoms: Vec<BitSet> = Vec::new();
+    let formula = acceptance_formula(aut.acceptance(), &mut atoms);
 
     let mut out = String::new();
     out.push_str("HOA: v1\n");
@@ -41,12 +45,7 @@ pub fn omega_to_hoa(aut: &OmegaAutomaton) -> String {
         }
     }
     out.push('\n');
-    let _ = writeln!(
-        out,
-        "Acceptance: {} {}",
-        atoms.len(),
-        acceptance_formula(aut.acceptance(), &atoms)
-    );
+    let _ = writeln!(out, "Acceptance: {} {}", atoms.len(), formula);
     out.push_str("properties: deterministic complete\n");
     out.push_str("--BODY--\n");
     for q in 0..aut.num_states() as StateId {
@@ -96,25 +95,35 @@ fn symbol_label(sym: Symbol, ap_count: usize) -> String {
         .join("&")
 }
 
-fn acceptance_formula(acc: &Acceptance, atoms: &[BitSet]) -> String {
-    let idx = |s: &BitSet| atoms.iter().position(|a| a == s).expect("atom present");
+/// Renders the acceptance formula, interning each distinct atom set into
+/// `atoms` on first sight (so a lookup can never miss).
+fn acceptance_formula(acc: &Acceptance, atoms: &mut Vec<BitSet>) -> String {
+    fn idx(atoms: &mut Vec<BitSet>, s: &BitSet) -> usize {
+        match atoms.iter().position(|a| a == s) {
+            Some(i) => i,
+            None => {
+                atoms.push(s.clone());
+                atoms.len() - 1
+            }
+        }
+    }
     match acc {
         Acceptance::True => "t".to_string(),
         Acceptance::False => "f".to_string(),
-        Acceptance::Inf(s) => format!("Inf({})", idx(s)),
-        Acceptance::Fin(s) => format!("Fin({})", idx(s)),
+        Acceptance::Inf(s) => format!("Inf({})", idx(atoms, s)),
+        Acceptance::Fin(s) => format!("Fin({})", idx(atoms, s)),
         Acceptance::And(xs) => {
-            let parts: Vec<String> = xs
-                .iter()
-                .map(|x| format!("({})", acceptance_formula(x, atoms)))
-                .collect();
+            let mut parts: Vec<String> = Vec::with_capacity(xs.len());
+            for x in xs {
+                parts.push(format!("({})", acceptance_formula(x, atoms)));
+            }
             parts.join(" & ")
         }
         Acceptance::Or(xs) => {
-            let parts: Vec<String> = xs
-                .iter()
-                .map(|x| format!("({})", acceptance_formula(x, atoms)))
-                .collect();
+            let mut parts: Vec<String> = Vec::with_capacity(xs.len());
+            for x in xs {
+                parts.push(format!("({})", acceptance_formula(x, atoms)));
+            }
             parts.join(" | ")
         }
     }

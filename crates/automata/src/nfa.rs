@@ -75,6 +75,10 @@ impl Nfa {
     /// Panics if either state is out of range.
     pub fn add_transition(&mut self, from: StateId, sym: Symbol, to: StateId) {
         assert!((to as usize) < self.num_states(), "state out of range");
+        debug_assert!(
+            (from as usize) < self.num_states(),
+            "source state out of range"
+        );
         self.transitions[from as usize][sym.index()].push(to);
     }
 
@@ -86,11 +90,16 @@ impl Nfa {
     pub fn add_epsilon(&mut self, from: StateId, to: StateId) {
         let eps = self.alphabet.len();
         assert!((to as usize) < self.num_states(), "state out of range");
+        debug_assert!(
+            (from as usize) < self.num_states(),
+            "source state out of range"
+        );
         self.transitions[from as usize][eps].push(to);
     }
 
     /// Marks a state as initial (an NFA may have several).
     pub fn set_initial(&mut self, q: StateId) {
+        debug_assert!((q as usize) < self.num_states(), "state out of range");
         if !self.initial.contains(&q) {
             self.initial.push(q);
         }
@@ -98,6 +107,7 @@ impl Nfa {
 
     /// Marks a state as accepting.
     pub fn add_accepting(&mut self, q: StateId) {
+        debug_assert!((q as usize) < self.num_states(), "state out of range");
         self.accepting.insert(q as usize);
     }
 

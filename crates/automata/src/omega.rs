@@ -89,6 +89,13 @@ impl OmegaAutomaton {
                 table.push(t);
             }
         }
+        debug_assert!(
+            acceptance
+                .atom_sets()
+                .iter()
+                .all(|s| s.iter().all(|q| q < num_states)),
+            "acceptance atom sets must be subsets of the state set"
+        );
         OmegaAutomaton {
             alphabet: alphabet.clone(),
             num_states,
@@ -130,6 +137,13 @@ impl OmegaAutomaton {
 
     /// Replaces the acceptance condition, keeping the transition structure.
     pub fn with_acceptance(&self, acceptance: Acceptance) -> OmegaAutomaton {
+        debug_assert!(
+            acceptance
+                .atom_sets()
+                .iter()
+                .all(|s| s.iter().all(|q| q < self.num_states)),
+            "acceptance atom sets must be subsets of the state set"
+        );
         let mut a = self.clone();
         a.acceptance = acceptance;
         a

@@ -43,6 +43,11 @@ impl StreettPair {
     /// The acceptance condition of this pair alone, over an automaton with
     /// `num_states` states: `Inf(R) ∨ Fin(Q − P)`.
     pub fn acceptance(&self, num_states: usize) -> Acceptance {
+        debug_assert!(
+            self.recurrent.iter().all(|q| q < num_states)
+                && self.persistent.iter().all(|q| q < num_states),
+            "Streett pair sets must be subsets of the state set"
+        );
         let outside_p = self.persistent.complement(num_states);
         Acceptance::Inf(self.recurrent.clone()).or(Acceptance::Fin(outside_p))
     }
@@ -96,6 +101,10 @@ pub fn buchi<I: IntoIterator<Item = usize>>(recurrent: I) -> Acceptance {
 /// persistence-automaton shape (`R = ∅`), i.e. `Fin(Q − P)`.
 pub fn co_buchi<I: IntoIterator<Item = usize>>(persistent: I, num_states: usize) -> Acceptance {
     let p: BitSet = persistent.into_iter().collect();
+    debug_assert!(
+        p.iter().all(|q| q < num_states),
+        "persistent set must be a subset of the state set"
+    );
     Acceptance::Fin(p.complement(num_states))
 }
 

@@ -25,7 +25,9 @@ fn model_check_peterson() {
     group.sample_size(20);
     for (name, src) in specs {
         let prop = Property::parse(&sigma, src).unwrap();
-        group.bench_function(name, || verify(black_box(&ts), black_box(prop.automaton())));
+        group.bench_function(name, || {
+            verify(black_box(&ts), black_box(prop.automaton())).expect("check")
+        });
     }
     group.finish();
 }
@@ -36,7 +38,9 @@ fn model_check_mux_sem() {
     for (name, fairness) in [("strong", Fairness::Strong), ("weak", Fairness::Weak)] {
         let (ts, sigma) = programs::mux_sem(fairness);
         let prop = Property::parse(&sigma, "G (t2 -> F c2)").unwrap();
-        group.bench_function(name, || verify(black_box(&ts), black_box(prop.automaton())));
+        group.bench_function(name, || {
+            verify(black_box(&ts), black_box(prop.automaton())).expect("check")
+        });
     }
     group.finish();
 }

@@ -10,7 +10,7 @@ use hierarchy_core::prelude::*;
 
 fn holds(ts: &hierarchy_core::fts::system::TransitionSystem, sigma: &Alphabet, src: &str) -> bool {
     let p = Property::parse(sigma, src).expect("spec compiles");
-    verify(ts, p.automaton()).holds()
+    verify(ts, p.automaton()).expect("check").holds()
 }
 
 fn main() {
@@ -67,7 +67,7 @@ fn main() {
     let (weak_sem, sigma) = programs::mux_sem(Fairness::Weak);
     let verdict = {
         let p = Property::parse(&sigma, "G (t2 -> F c2)").expect("ok");
-        verify(&weak_sem, p.automaton())
+        verify(&weak_sem, p.automaton()).expect("check")
     };
     match &verdict {
         Verdict::Violated(cex) => {

@@ -1,0 +1,76 @@
+//! TAB-LINT — lint-pass overhead on random deterministic Streett
+//! automata: the cost of a cold `lint_automaton` call (which builds its
+//! own analysis context) versus classification alone versus the marginal
+//! cost of `lint_automaton_ctx` on a context that has already classified
+//! the automaton — the intended usage inside the classification stack.
+
+use hierarchy_bench::{expect, header, timed};
+use hierarchy_core::automata::alphabet::Alphabet;
+use hierarchy_core::automata::analysis::Analysis;
+use hierarchy_core::automata::random;
+use hierarchy_core::automata::random::rng::{SeedableRng, StdRng};
+use hierarchy_core::lint::{lint_automaton, lint_automaton_ctx, registry};
+use std::fmt::Write as _;
+
+fn main() {
+    header("TAB-LINT", "lint-pass overhead on random Streett automata");
+    let sigma = Alphabet::new(["a", "b"]).expect("alphabet");
+    let mut rng = StdRng::seed_from_u64(20260805);
+
+    let mut rows = Vec::new();
+    let mut catalogued = true;
+    let mut ctx_cheaper_somewhere = false;
+    println!(
+        "\n{:>7} {:>6} {:>13} {:>13} {:>13} {:>9}",
+        "states", "pairs", "cold lint ms", "classify ms", "ctx lint ms", "findings"
+    );
+    for &n in &[64usize, 128, 256] {
+        for &k in &[1usize, 2] {
+            let (aut, _) = random::random_streett(&mut rng, &sigma, n, k, 0.2);
+
+            // (a) Cold: lint_automaton builds its own Analysis.
+            let (cold_diags, t_cold) = timed(|| lint_automaton(&aut));
+
+            // (b) Classification alone, on a fresh context.
+            let ctx = Analysis::new(aut.clone());
+            let (_, t_classify) = timed(|| ctx.classification());
+
+            // (c) Marginal: lint the already-classified context.
+            let (ctx_diags, t_ctx) = timed(|| lint_automaton_ctx(&ctx));
+
+            assert_eq!(
+                cold_diags, ctx_diags,
+                "ctx variant must agree with cold lint"
+            );
+            catalogued &= cold_diags.iter().all(|d| registry::rule(d.code).is_some());
+            ctx_cheaper_somewhere |= t_ctx < t_cold;
+            println!(
+                "{n:>7} {k:>6} {t_cold:>13.3} {t_classify:>13.3} {t_ctx:>13.3} {:>9}",
+                cold_diags.len()
+            );
+            rows.push((n, k, t_cold, t_classify, t_ctx, cold_diags.len()));
+        }
+    }
+
+    expect("every emitted code is in the rule catalogue", catalogued);
+    expect(
+        "linting an already-classified context beats a cold lint somewhere",
+        ctx_cheaper_somewhere,
+    );
+
+    let mut json = String::from("{\n  \"experiment\": \"TAB-LINT\",\n  \"rows\": [\n");
+    for (i, (n, k, t_cold, t_classify, t_ctx, findings)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"states\": {n}, \"pairs\": {k}, \"cold_lint_ms\": {t_cold:.3}, \
+             \"classify_ms\": {t_classify:.3}, \"ctx_lint_ms\": {t_ctx:.3}, \
+             \"findings\": {findings}}}{sep}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out = "BENCH_lint.json";
+    std::fs::write(out, &json).expect("write BENCH_lint.json");
+    println!("\nwrote {out}");
+    println!("\nTAB-LINT complete (lint overhead rides the shared analysis context).");
+}

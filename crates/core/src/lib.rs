@@ -36,11 +36,14 @@
 //! * [`topology`] — the Cantor metric, closure, density, the
 //!   safety–liveness decomposition;
 //! * [`fts`] — fair transition systems and the model checker, with
-//!   Peterson's algorithm and `MUX-SEM` as example programs.
+//!   Peterson's algorithm and `MUX-SEM` as example programs;
+//! * [`lint`] — `spec-lint`, static analysis for specifications across
+//!   all four substrates, with a stable rule catalogue and JSON output.
 
 pub use hierarchy_automata as automata;
 pub use hierarchy_fts as fts;
 pub use hierarchy_lang as lang;
+pub use hierarchy_lint as lint;
 pub use hierarchy_logic as logic;
 pub use hierarchy_topology as topology;
 

@@ -59,6 +59,23 @@ pub enum BuildError {
     NoObservation,
     /// No initial valuation was supplied.
     NoInitialValuation,
+    /// A variable was declared with an empty domain.
+    EmptyDomain {
+        /// The offending variable.
+        variable: String,
+    },
+    /// An initial valuation has the wrong number of values.
+    InitArity {
+        /// The number of declared variables.
+        expected: usize,
+        /// The number of values supplied.
+        got: usize,
+    },
+    /// An initial valuation assigns a value outside a variable's domain.
+    InitOutOfDomain {
+        /// The offending variable.
+        variable: String,
+    },
     /// A command produced a valuation outside the declared domains.
     UpdateOutOfDomain {
         /// The offending command.
@@ -73,6 +90,15 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::NoObservation => write!(f, "no observation function supplied"),
             BuildError::NoInitialValuation => write!(f, "no initial valuation supplied"),
+            BuildError::EmptyDomain { variable } => {
+                write!(f, "variable {variable:?} has an empty domain")
+            }
+            BuildError::InitArity { expected, got } => {
+                write!(f, "initial valuation has {got} values, expected {expected}")
+            }
+            BuildError::InitOutOfDomain { variable } => {
+                write!(f, "initial value for {variable:?} is outside its domain")
+            }
             BuildError::UpdateOutOfDomain { command } => {
                 write!(f, "command {command:?} produced an out-of-domain valuation")
             }
@@ -97,29 +123,19 @@ impl ProgramBuilder {
     }
 
     /// Declares a variable with domain `{0, …, domain−1}`; returns its
-    /// index into valuation slices.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `domain == 0`.
+    /// index into valuation slices. An empty domain is reported by
+    /// [`Self::build`] as [`BuildError::EmptyDomain`].
     pub fn var(&mut self, name: impl Into<String>, domain: usize) -> usize {
-        assert!(domain > 0, "variable domain must be non-empty");
         self.var_names.push(name.into());
         self.domains.push(domain);
         self.domains.len() - 1
     }
 
     /// Declares an initial valuation (one value per declared variable, in
-    /// declaration order).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the valuation length or values do not match the domains.
+    /// declaration order). Arity or domain mismatches are reported by
+    /// [`Self::build`] as [`BuildError::InitArity`] /
+    /// [`BuildError::InitOutOfDomain`].
     pub fn init(&mut self, valuation: &[usize]) {
-        assert_eq!(valuation.len(), self.domains.len(), "valuation arity");
-        for (v, d) in valuation.iter().zip(&self.domains) {
-            assert!(v < d, "initial value out of domain");
-        }
         self.inits.push(valuation.to_vec());
     }
 
@@ -161,9 +177,38 @@ impl ProgramBuilder {
     /// or a system that fails [`TransitionSystem::validate`] (e.g.
     /// deadlocks).
     pub fn build(&self) -> Result<TransitionSystem, BuildError> {
+        self.build_with_valuations().map(|(ts, _)| ts)
+    }
+
+    /// Like [`Self::build`], additionally returning the reachable
+    /// valuations in state order (`valuations[s]` is the valuation
+    /// interned as state `s`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::build`].
+    pub fn build_with_valuations(&self) -> Result<(TransitionSystem, Vec<Vec<usize>>), BuildError> {
         let observe = self.observe.as_ref().ok_or(BuildError::NoObservation)?;
+        if let Some(i) = self.domains.iter().position(|&d| d == 0) {
+            return Err(BuildError::EmptyDomain {
+                variable: self.var_names[i].clone(),
+            });
+        }
         if self.inits.is_empty() {
             return Err(BuildError::NoInitialValuation);
+        }
+        for init in &self.inits {
+            if init.len() != self.domains.len() {
+                return Err(BuildError::InitArity {
+                    expected: self.domains.len(),
+                    got: init.len(),
+                });
+            }
+            if let Some(i) = init.iter().zip(&self.domains).position(|(v, d)| v >= d) {
+                return Err(BuildError::InitOutOfDomain {
+                    variable: self.var_names[i].clone(),
+                });
+            }
         }
         let mut ts = TransitionSystem::new(&self.alphabet);
         let mut ids: std::collections::HashMap<Vec<usize>, usize> =
@@ -213,12 +258,17 @@ impl ProgramBuilder {
             ts.add_transition(cmd.name.clone(), edge_list, cmd.fairness);
         }
         ts.validate().map_err(BuildError::System)?;
-        Ok(ts)
+        Ok((ts, order))
     }
 
     /// The declared variable names, in index order.
     pub fn var_names(&self) -> &[String] {
         &self.var_names
+    }
+
+    /// The declared variable domains, in index order.
+    pub fn domains(&self) -> &[usize] {
+        &self.domains
     }
 }
 
@@ -301,8 +351,8 @@ mod tests {
             for src in ["G !(c1 & c2)", "G (t1 -> F c1)", "G (t2 -> F c2)"] {
                 let prop = spec(&sigma, src);
                 assert_eq!(
-                    verify(&built, &prop).holds(),
-                    verify(&explicit, &prop).holds(),
+                    verify(&built, &prop).expect("check").holds(),
+                    verify(&explicit, &prop).expect("check").holds(),
                     "builder/explicit disagree on {src} under {fairness:?}"
                 );
             }
@@ -358,6 +408,60 @@ mod tests {
             p.build(),
             Err(BuildError::System(SystemError::Deadlock { .. }))
         ));
+        // Declaration mistakes are deferred to build() instead of
+        // panicking at declaration time.
+        let mut p = ProgramBuilder::new(&sigma);
+        p.var("x", 0);
+        p.init(&[0]);
+        p.observe(|_, a| a.valuation_symbol(&[false, false, false, false]));
+        assert!(matches!(p.build(), Err(BuildError::EmptyDomain { .. })));
+        let mut p = ProgramBuilder::new(&sigma);
+        p.var("x", 2);
+        p.init(&[0, 1]);
+        p.observe(|_, a| a.valuation_symbol(&[false, false, false, false]));
+        assert!(matches!(
+            p.build(),
+            Err(BuildError::InitArity {
+                expected: 1,
+                got: 2
+            })
+        ));
+        let mut p = ProgramBuilder::new(&sigma);
+        p.var("x", 2);
+        p.init(&[2]);
+        p.observe(|_, a| a.valuation_symbol(&[false, false, false, false]));
+        assert!(matches!(p.build(), Err(BuildError::InitOutOfDomain { .. })));
+    }
+
+    #[test]
+    fn build_with_valuations_orders_by_state() {
+        let (built, sigma) = mux_sem_via_builder(Fairness::Strong);
+        let mut p = ProgramBuilder::new(&sigma);
+        let pc1 = p.var("pc1", 3);
+        p.init(&[0]);
+        p.observe(move |vals, alphabet| {
+            alphabet.valuation_symbol(&[vals[pc1] == 2, false, vals[pc1] == 1, false])
+        });
+        p.command(
+            "step",
+            Fairness::Weak,
+            |_| true,
+            move |v| {
+                let mut next = v.to_vec();
+                next[pc1] = (v[pc1] + 1) % 3;
+                vec![next]
+            },
+        );
+        let (ts, vals) = p.build_with_valuations().expect("builds");
+        assert_eq!(vals.len(), ts.num_states());
+        for (s, val) in vals.iter().enumerate() {
+            assert_eq!(
+                ts.observation(s),
+                sigma.valuation_symbol(&[val[0] == 2, false, val[0] == 1, false])
+            );
+        }
+        assert_eq!(p.domains(), &[3]);
+        assert_eq!(built.num_states(), 8);
     }
 
     #[test]
@@ -385,6 +489,6 @@ mod tests {
         );
         let ts = p.build().unwrap();
         let prop = spec(&sigma, "G F x");
-        assert!(!verify(&ts, &prop).holds());
+        assert!(!verify(&ts, &prop).expect("check").holds());
     }
 }

@@ -17,6 +17,7 @@
 //! whole SCC through the required edges — from which a lasso-shaped
 //! counterexample is extracted.
 
+use crate::error::CheckError;
 use crate::system::{Fairness, TransitionSystem};
 use hierarchy_automata::bitset::BitSet;
 use hierarchy_automata::omega::OmegaAutomaton;
@@ -53,17 +54,16 @@ pub struct Counterexample {
 /// Checks that every fair computation of `ts` (observed through its
 /// alphabet) satisfies the language of `property`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the system fails [`TransitionSystem::validate`] or the
-/// alphabets differ.
-pub fn verify(ts: &TransitionSystem, property: &OmegaAutomaton) -> Verdict {
-    ts.validate().expect("transition system must be valid");
-    assert_eq!(
-        ts.alphabet(),
-        property.alphabet(),
-        "system and property must share an alphabet"
-    );
+/// Returns [`CheckError::InvalidSystem`] when the system fails
+/// [`TransitionSystem::validate`] and [`CheckError::AlphabetMismatch`]
+/// when the system and property observe different alphabets.
+pub fn verify(ts: &TransitionSystem, property: &OmegaAutomaton) -> Result<Verdict, CheckError> {
+    ts.validate().map_err(CheckError::InvalidSystem)?;
+    if ts.alphabet() != property.alphabet() {
+        return Err(CheckError::AlphabetMismatch);
+    }
     let bad = property.complement();
 
     // Build the reachable product: node = (system state, automaton state
@@ -129,10 +129,10 @@ pub fn verify(ts: &TransitionSystem, property: &OmegaAutomaton) -> Verdict {
         let infs: Vec<BitSet> = disjunct.infs.iter().map(&lift).collect();
         let allowed: BitSet = (0..nodes.len()).filter(|n| !avoid.contains(*n)).collect();
         if let Some(cex) = fair_cycle_search(ts, &nodes, &succs, &mut sccs, &allowed, &infs) {
-            return Verdict::Violated(cex);
+            return Ok(Verdict::Violated(cex));
         }
     }
-    Verdict::Holds
+    Ok(Verdict::Holds)
 }
 
 /// Searches for a reachable fair cycle within `allowed` hitting every set
@@ -378,7 +378,7 @@ mod tests {
         let (ts, sigma) = simple_loop(true);
         // □¬(n ∧ c) is trivially a tautology per-state; check a real one:
         // □(c → ⊖t): entering c only from t.
-        let v = verify(&ts, &spec(&sigma, "G (c -> Y t)"));
+        let v = verify(&ts, &spec(&sigma, "G (c -> Y t)")).expect("check");
         assert!(v.holds());
     }
 
@@ -386,10 +386,12 @@ mod tests {
     fn response_needs_fairness() {
         // With weak fairness on `enter`, every request is served.
         let (ts, sigma) = simple_loop(true);
-        assert!(verify(&ts, &spec(&sigma, "G (t -> F c)")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G (t -> F c)"))
+            .expect("check")
+            .holds());
         // Without fairness the process may idle at t forever.
         let (ts, sigma) = simple_loop(false);
-        let v = verify(&ts, &spec(&sigma, "G (t -> F c)"));
+        let v = verify(&ts, &spec(&sigma, "G (t -> F c)")).expect("check");
         match v {
             Verdict::Violated(cex) => {
                 assert!(!cex.cycle.is_empty());
@@ -405,7 +407,7 @@ mod tests {
         let (ts, sigma) = simple_loop(true);
         // □¬c is false: the system does reach c under fairness… but also
         // without: any computation reaching c violates.
-        let v = verify(&ts, &spec(&sigma, "G !c"));
+        let v = verify(&ts, &spec(&sigma, "G !c")).expect("check");
         match v {
             Verdict::Violated(cex) => {
                 let all: Vec<usize> = cex.stem.iter().chain(cex.cycle.iter()).copied().collect();
@@ -437,12 +439,12 @@ mod tests {
         };
         // Strong fairness: both critical sections recur.
         let ts = build(Fairness::Strong);
-        assert!(verify(&ts, &spec(&sigma, "G F c1")).holds());
-        assert!(verify(&ts, &spec(&sigma, "G F c2")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G F c1")).expect("check").holds());
+        assert!(verify(&ts, &spec(&sigma, "G F c2")).expect("check").holds());
         // Weak fairness does NOT suffice: alternating idle→c1→idle→c1…
         // disables grant2 at c1, so grant2 is not continuously enabled.
         let ts = build(Fairness::Weak);
-        let v = verify(&ts, &spec(&sigma, "G F c2"));
+        let v = verify(&ts, &spec(&sigma, "G F c2")).expect("check");
         assert!(!v.holds(), "weak fairness admits starvation of process 2");
     }
 
@@ -450,7 +452,7 @@ mod tests {
     fn counterexample_is_a_real_computation() {
         let (ts, sigma) = simple_loop(false);
         let prop = spec(&sigma, "G (t -> F c)");
-        if let Verdict::Violated(cex) = verify(&ts, &prop) {
+        if let Verdict::Violated(cex) = verify(&ts, &prop).expect("check") {
             // Each consecutive pair is an edge of the system; the cycle
             // closes.
             let check_step = |a: usize, b: usize| ts.successors(a).contains(&b);

@@ -1,0 +1,58 @@
+//! Error types of the fts crate, collected in one place.
+//!
+//! [`SystemError`] (structural problems in an explicit system) and
+//! [`BuildError`] (guarded-command programs that cannot be enumerated)
+//! live next to their producers and are re-exported here; [`CheckError`]
+//! covers the model checker's own preconditions, so that handing an
+//! invalid system or a property over the wrong alphabet to
+//! [`crate::checker::verify`] is a recoverable error rather than a panic.
+
+use std::fmt;
+
+pub use crate::builder::BuildError;
+pub use crate::system::SystemError;
+
+/// Errors from [`crate::checker::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// The transition system failed [`crate::system::TransitionSystem::validate`].
+    InvalidSystem(SystemError),
+    /// The system and the property observe different alphabets.
+    AlphabetMismatch,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::InvalidSystem(e) => write!(f, "transition system invalid: {e}"),
+            CheckError::AlphabetMismatch => {
+                write!(f, "system and property must share an alphabet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckError::InvalidSystem(e) => Some(e),
+            CheckError::AlphabetMismatch => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CheckError::AlphabetMismatch
+            .to_string()
+            .contains("alphabet"));
+        let e = CheckError::InvalidSystem(SystemError::NoInitialState);
+        assert!(e.to_string().contains("invalid"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -22,5 +22,8 @@
 
 pub mod builder;
 pub mod checker;
+pub mod error;
 pub mod programs;
 pub mod system;
+
+pub use error::CheckError;

@@ -185,25 +185,33 @@ mod tests {
     fn peterson_mutual_exclusion() {
         let (ts, sigma) = peterson();
         // The paper's safety requirement □¬(in_C1 ∧ in_C2).
-        assert!(verify(&ts, &spec(&sigma, "G !(c1 & c2)")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G !(c1 & c2)"))
+            .expect("check")
+            .holds());
     }
 
     #[test]
     fn peterson_accessibility() {
         let (ts, sigma) = peterson();
         // The paper's response requirement □(in_Ti → ◇in_Ci).
-        assert!(verify(&ts, &spec(&sigma, "G (t1 -> F c1)")).holds());
-        assert!(verify(&ts, &spec(&sigma, "G (t2 -> F c2)")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G (t1 -> F c1)"))
+            .expect("check")
+            .holds());
+        assert!(verify(&ts, &spec(&sigma, "G (t2 -> F c2)"))
+            .expect("check")
+            .holds());
     }
 
     #[test]
     fn peterson_precedence() {
         let (ts, sigma) = peterson();
         // Entering the critical section requires having tried: □(c1 → ⟐t1).
-        assert!(verify(&ts, &spec(&sigma, "G (c1 -> O t1)")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G (c1 -> O t1)"))
+            .expect("check")
+            .holds());
         // But the converse guarantee ◇c1 alone is false (the process may
         // never request).
-        assert!(!verify(&ts, &spec(&sigma, "F c1")).holds());
+        assert!(!verify(&ts, &spec(&sigma, "F c1")).expect("check").holds());
     }
 
     #[test]
@@ -211,11 +219,15 @@ mod tests {
         // Strong fairness: accessibility for both processes.
         let (ts, sigma) = mux_sem(Fairness::Strong);
         assert!(ts.validate().is_ok());
-        assert!(verify(&ts, &spec(&sigma, "G (t1 -> F c1)")).holds());
-        assert!(verify(&ts, &spec(&sigma, "G (t2 -> F c2)")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G (t1 -> F c1)"))
+            .expect("check")
+            .holds());
+        assert!(verify(&ts, &spec(&sigma, "G (t2 -> F c2)"))
+            .expect("check")
+            .holds());
         // Weak fairness: process 2 can starve while process 1 cycles.
         let (ts, sigma) = mux_sem(Fairness::Weak);
-        let v = verify(&ts, &spec(&sigma, "G (t2 -> F c2)"));
+        let v = verify(&ts, &spec(&sigma, "G (t2 -> F c2)")).expect("check");
         match v {
             Verdict::Violated(cex) => {
                 // In the starvation loop process 2 stays trying (pc2 = 1).
@@ -224,7 +236,9 @@ mod tests {
             Verdict::Holds => panic!("weak fairness should admit starvation"),
         }
         // Mutual exclusion holds regardless.
-        assert!(verify(&ts, &spec(&sigma, "G !(c1 & c2)")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G !(c1 & c2)"))
+            .expect("check")
+            .holds());
     }
 
     #[test]
@@ -232,13 +246,17 @@ mod tests {
         let (ts, sigma) = token_ring(true);
         assert!(ts.validate().is_ok());
         // Everyone holds the token infinitely often.
-        assert!(verify(&ts, &spec(&sigma, "G F c1")).holds());
-        assert!(verify(&ts, &spec(&sigma, "G F c2")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G F c1")).expect("check").holds());
+        assert!(verify(&ts, &spec(&sigma, "G F c2")).expect("check").holds());
         // The holders alternate: c1 and c2 never coincide.
-        assert!(verify(&ts, &spec(&sigma, "G !(c1 & c2)")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G !(c1 & c2)"))
+            .expect("check")
+            .holds());
         // Without fairness the token can stall.
         let (stalled, sigma) = token_ring(false);
-        assert!(!verify(&stalled, &spec(&sigma, "G F c2")).holds());
+        assert!(!verify(&stalled, &spec(&sigma, "G F c2"))
+            .expect("check")
+            .holds());
     }
 
     #[test]
@@ -249,6 +267,8 @@ mod tests {
         // accessibility already; here we check the strong-fairness-style
         // reactivity formula □◇t1 → □◇c1 on MUX-SEM with strong grants.
         let (ts, sigma) = mux_sem(Fairness::Strong);
-        assert!(verify(&ts, &spec(&sigma, "G F t1 -> G F c1")).holds());
+        assert!(verify(&ts, &spec(&sigma, "G F t1 -> G F c1"))
+            .expect("check")
+            .holds());
     }
 }

@@ -1,0 +1,315 @@
+//! `spec-lint` — command-line front end of the lint crate.
+//!
+//! ```text
+//! spec-lint rules [--json]               list the rule catalogue
+//! spec-lint formula [OPTS] "<formula>"   lint a temporal formula
+//! spec-lint regex [OPTS] "<pattern>"     lint a regular expression and
+//!                                        the finitary property it denotes
+//! spec-lint examples [--json]            lint the paper's running examples
+//!
+//! OPTS:
+//!   --letters a,b,c    plain alphabet (default: a,b)
+//!   --props p,q        valuation alphabet over propositions
+//!   --json             machine-readable output
+//! ```
+//!
+//! Exit status: 0 when every linted artifact is clean (no errors, no
+//! warnings — `Info` findings are advisory), 1 when any error or warning
+//! fired, 2 on usage or parse errors.
+
+use hierarchy_automata::alphabet::Alphabet;
+use hierarchy_automata::omega::OmegaAutomaton;
+use hierarchy_fts::programs;
+use hierarchy_fts::system::Fairness;
+use hierarchy_lang::finitary::FinitaryProperty;
+use hierarchy_lang::regex::Regex;
+use hierarchy_lang::witnesses;
+use hierarchy_lint::diagnostic::{is_clean, json_escape, report_to_json};
+use hierarchy_lint::registry::CATALOGUE;
+use hierarchy_lint::{lint_finitary, lint_formula, lint_regex, lint_system, Diagnostic};
+use hierarchy_logic::ast::Formula;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rest = args.iter().map(String::as_str);
+    match rest.next() {
+        Some("rules") => cmd_rules(rest.collect()),
+        Some("formula") => cmd_formula(rest.collect()),
+        Some("regex") => cmd_regex(rest.collect()),
+        Some("examples") => cmd_examples(rest.collect()),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+const USAGE: &str = "\
+spec-lint: static analysis for hierarchy specifications
+
+USAGE:
+  spec-lint rules [--json]               list the rule catalogue
+  spec-lint formula [OPTS] \"<formula>\"   lint a temporal formula
+  spec-lint regex [OPTS] \"<pattern>\"     lint a regular expression
+  spec-lint examples [--json]            lint the paper's running examples
+
+OPTS:
+  --letters a,b,c    plain alphabet (default: a,b)
+  --props p,q        valuation alphabet over propositions
+  --json             machine-readable output
+
+Exit status: 0 clean, 1 findings at warning level or above, 2 usage error.
+";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("spec-lint: {message}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Shared flags of the linting subcommands.
+struct Opts {
+    json: bool,
+    alphabet: Alphabet,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: Vec<&str>) -> Result<Opts, String> {
+    let mut json = false;
+    let mut alphabet: Option<Alphabet> = None;
+    let mut positional = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => json = true,
+            "--letters" | "--props" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a comma-separated value"))?;
+                let names: Vec<&str> = value.split(',').filter(|s| !s.is_empty()).collect();
+                let sigma = if arg == "--letters" {
+                    Alphabet::new(names)
+                } else {
+                    Alphabet::of_propositions(names)
+                }
+                .map_err(|e| e.to_string())?;
+                alphabet = Some(sigma);
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown option {arg:?}")),
+            _ => positional.push(arg.to_string()),
+        }
+    }
+    Ok(Opts {
+        json,
+        alphabet: match alphabet {
+            Some(sigma) => sigma,
+            None => Alphabet::new(["a", "b"]).map_err(|e| e.to_string())?,
+        },
+        positional,
+    })
+}
+
+fn cmd_rules(args: Vec<&str>) -> ExitCode {
+    let json = args.contains(&"--json");
+    if args.iter().any(|a| *a != "--json") {
+        return usage_error("rules takes only --json");
+    }
+    if json {
+        let mut out = String::from("[");
+        for (i, r) in CATALOGUE.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"code\": \"{}\", \"name\": \"{}\", \"layer\": \"{}\", \
+                 \"severity\": \"{}\", \"summary\": \"{}\"}}",
+                r.code,
+                r.name,
+                r.layer,
+                r.severity,
+                json_escape(r.summary)
+            ));
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for r in CATALOGUE {
+            println!(
+                "{:<9} {:<8} {:<28} {}",
+                r.code,
+                r.severity.to_string(),
+                r.name,
+                r.summary
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_formula(args: Vec<&str>) -> ExitCode {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let [src] = opts.positional.as_slice() else {
+        return usage_error("formula takes exactly one formula argument");
+    };
+    let formula = match Formula::parse(&opts.alphabet, src) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("spec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = lint_formula(&opts.alphabet, &formula);
+    report(&[(src.clone(), diags)], opts.json)
+}
+
+fn cmd_regex(args: Vec<&str>) -> ExitCode {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let [pattern] = opts.positional.as_slice() else {
+        return usage_error("regex takes exactly one pattern argument");
+    };
+    let regex = match Regex::parse(&opts.alphabet, pattern) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("spec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut diags = lint_regex(&regex);
+    diags.extend(lint_finitary(&FinitaryProperty::from_regex(
+        &opts.alphabet,
+        &regex,
+    )));
+    report(&[(pattern.clone(), diags)], opts.json)
+}
+
+/// Lints the paper's running examples end to end: the mutual-exclusion
+/// specifications, a zoo of hierarchy formulas, the witness automata of
+/// each class, the finitary examples, and the example programs.
+fn cmd_examples(args: Vec<&str>) -> ExitCode {
+    let json = args.contains(&"--json");
+    if args.iter().any(|a| *a != "--json") {
+        return usage_error("examples takes only --json");
+    }
+    let mut suite: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+
+    // Temporal formulas over a plain three-letter alphabet. (Over just
+    // {a, b} the negation of one letter IS the other, which makes several
+    // textbook formulas trivially valid or vacuous — real findings, but
+    // not what a showcase of healthy specifications should contain.)
+    let abc = Alphabet::new(["a", "b", "c"]).expect("alphabet");
+    for src in [
+        "G a",
+        "F a",
+        "G F a",
+        "F G a",
+        "G a | F b",
+        "G F a | F G b",
+        "G (a -> F b)",
+        "a U b",
+        "G (b -> O a)",
+    ] {
+        let f = Formula::parse(&abc, src).expect(src);
+        suite.push((format!("formula {src:?}"), lint_formula(&abc, &f)));
+    }
+
+    // Mutual-exclusion specifications over the program propositions.
+    let props = Alphabet::of_propositions(["c1", "c2", "t1", "t2"]).expect("alphabet");
+    for src in ["G !(c1 & c2)", "G (t1 -> F c1)", "G (t2 -> F c2)"] {
+        let f = Formula::parse(&props, src).expect(src);
+        suite.push((format!("mutex spec {src:?}"), lint_formula(&props, &f)));
+    }
+
+    // The witness automata of every class of the hierarchy.
+    let automata: Vec<(String, OmegaAutomaton)> = vec![
+        ("witness safety".into(), witnesses::safety()),
+        ("witness guarantee".into(), witnesses::guarantee()),
+        ("witness recurrence".into(), witnesses::recurrence()),
+        ("witness persistence".into(), witnesses::persistence()),
+        ("witness obligation".into(), witnesses::obligation_simple()),
+        (
+            "witness obligation(2)".into(),
+            witnesses::obligation_witness(2),
+        ),
+        (
+            "witness reactivity(2)".into(),
+            witnesses::reactivity_witness(2),
+        ),
+    ];
+    for (name, aut) in &automata {
+        suite.push((name.clone(), hierarchy_lint::lint_automaton(aut)));
+    }
+
+    // Finitary examples, including the paper's Φ = a a* b*.
+    let ab = Alphabet::new(["a", "b"]).expect("alphabet");
+    for pattern in ["a a* b*", "a* b", "(a b) + a"] {
+        let regex = Regex::parse(&ab, pattern).expect(pattern);
+        let mut diags = lint_regex(&regex);
+        diags.extend(lint_finitary(&FinitaryProperty::from_regex(&ab, &regex)));
+        suite.push((format!("regex {pattern:?}"), diags));
+    }
+
+    // The example programs.
+    let (peterson, _) = programs::peterson();
+    let (mux, _) = programs::mux_sem(Fairness::Strong);
+    let (ring, _) = programs::token_ring(true);
+    suite.push(("program peterson".into(), lint_system(&peterson)));
+    suite.push(("program mux_sem".into(), lint_system(&mux)));
+    suite.push(("program token_ring".into(), lint_system(&ring)));
+
+    report(&suite, json)
+}
+
+/// Prints a suite report and computes the exit code.
+fn report(suite: &[(String, Vec<Diagnostic>)], json: bool) -> ExitCode {
+    let clean = suite.iter().all(|(_, diags)| is_clean(diags));
+    if json {
+        let mut out = String::from("[");
+        for (i, (name, diags)) in suite.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"artifact\": \"{}\", \"clean\": {}, \"diagnostics\": {}}}",
+                json_escape(name),
+                is_clean(diags),
+                report_to_json(diags)
+            ));
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        let mut findings = 0usize;
+        for (name, diags) in suite {
+            if suite.len() > 1 && diags.is_empty() {
+                continue;
+            }
+            if diags.is_empty() {
+                println!("{name}: clean");
+            }
+            for d in diags {
+                findings += 1;
+                println!("{name}: {d}");
+            }
+        }
+        let artifacts = suite.len();
+        println!(
+            "{artifacts} artifact{} checked, {findings} finding{}{}",
+            if artifacts == 1 { "" } else { "s" },
+            if findings == 1 { "" } else { "s" },
+            if clean { " (clean)" } else { "" }
+        );
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

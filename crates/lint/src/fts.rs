@@ -1,0 +1,246 @@
+//! Fair-transition-system lints (`FTS001`–`FTS004`).
+//!
+//! `lint_system` inspects a finished [`TransitionSystem`]: a transition
+//! with no edges at all (`FTS002`), a transition none of whose source
+//! states is reachable (`FTS001` — the transition can never be taken), and
+//! the aggravated form of the latter where the dead transition also
+//! carries a fairness requirement (`FTS003` — the scheduler is asked to be
+//! fair to something unschedulable, which silently weakens the fairness
+//! assumption to a no-op). `lint_program` builds a [`ProgramBuilder`] and
+//! additionally checks each declared variable against the reachable
+//! valuations (`FTS004`: a variable with a non-trivial domain that never
+//! changes).
+
+use crate::diagnostic::{Diagnostic, Location};
+use crate::registry::{self, RuleInfo};
+use hierarchy_fts::builder::{BuildError, ProgramBuilder};
+use hierarchy_fts::system::{Fairness, TransitionSystem};
+
+fn diag(rule: &RuleInfo, location: Location, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(rule.code, rule.severity, location, message)
+}
+
+/// States reachable from the initial states by any transition edge.
+fn reachable_states(ts: &TransitionSystem) -> Vec<bool> {
+    let mut seen = vec![false; ts.num_states()];
+    let mut stack: Vec<usize> = ts.initial_states().to_vec();
+    for &s in ts.initial_states() {
+        seen[s] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for t in ts.successors(s) {
+            if !seen[t] {
+                seen[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    seen
+}
+
+/// Lints a transition system.
+pub fn lint_system(ts: &TransitionSystem) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let reachable = reachable_states(ts);
+    for t in ts.transitions() {
+        if t.edges.is_empty() {
+            out.push(
+                diag(
+                    &registry::FTS002,
+                    Location::Transition(t.name.clone()),
+                    "the transition has no edges",
+                )
+                .with_suggestion("remove it or give it edges"),
+            );
+            continue; // FTS001/FTS003 would just restate this.
+        }
+        let enabled_somewhere = t.edges.iter().any(|&(from, _)| reachable[from]);
+        if enabled_somewhere {
+            continue;
+        }
+        if t.fairness == Fairness::None {
+            out.push(
+                diag(
+                    &registry::FTS001,
+                    Location::Transition(t.name.clone()),
+                    "the transition is never enabled in any reachable state",
+                )
+                .with_suggestion("its edges start only in unreachable states"),
+            );
+        } else {
+            let kind = match t.fairness {
+                Fairness::Weak => "weak (justice)",
+                Fairness::Strong => "strong (compassion)",
+                Fairness::None => unreachable!(),
+            };
+            out.push(
+                diag(
+                    &registry::FTS003,
+                    Location::Transition(t.name.clone()),
+                    format!(
+                        "a {kind} fairness requirement is attached to a transition that is \
+                         never enabled"
+                    ),
+                )
+                .with_suggestion("the requirement is vacuously met and constrains no computation"),
+            );
+        }
+    }
+    out
+}
+
+/// Builds the program and lints the result: `FTS004` constant variables
+/// plus all of [`lint_system`] on the underlying transition system.
+///
+/// # Errors
+///
+/// Propagates the builder's own [`BuildError`] (an ill-formed program is a
+/// build failure, not a lint finding).
+pub fn lint_program(program: &ProgramBuilder) -> Result<Vec<Diagnostic>, BuildError> {
+    let (ts, valuations) = program.build_with_valuations()?;
+    let mut out = Vec::new();
+    for (i, (name, &dom)) in program
+        .var_names()
+        .iter()
+        .zip(program.domains())
+        .enumerate()
+    {
+        if dom <= 1 {
+            continue; // a one-value domain is constant by declaration
+        }
+        let mut values = valuations.iter().map(|v| v[i]);
+        if let Some(first) = values.next() {
+            if values.all(|v| v == first) {
+                out.push(
+                    diag(
+                        &registry::FTS004,
+                        Location::Variable(name.clone()),
+                        format!(
+                            "declared over a domain of {dom} values but equal to {first} in \
+                             every reachable state"
+                        ),
+                    )
+                    .with_suggestion(
+                        "shrink the domain or fix the transitions that should \
+                                      update it",
+                    ),
+                );
+            }
+        }
+    }
+    out.extend(lint_system(&ts));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierarchy_automata::alphabet::Alphabet;
+    use hierarchy_fts::programs;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    /// A 3-state system: 0 ↔ 1 reachable, state 2 isolated.
+    fn toy(extra: impl FnOnce(&mut TransitionSystem)) -> TransitionSystem {
+        let sigma = Alphabet::new(["x", "y"]).unwrap();
+        let x = sigma.symbol("x").unwrap();
+        let y = sigma.symbol("y").unwrap();
+        let mut ts = TransitionSystem::new(&sigma);
+        for obs in [x, y, y] {
+            ts.add_state(obs);
+        }
+        ts.set_initial(0);
+        ts.add_transition("step", vec![(0, 1), (1, 0)], Fairness::Weak);
+        extra(&mut ts);
+        ts
+    }
+
+    #[test]
+    fn healthy_system_is_clean() {
+        let ts = toy(|_| {});
+        assert!(lint_system(&ts).is_empty());
+    }
+
+    #[test]
+    fn edgeless_transition_fires_fts002_only() {
+        let ts = toy(|ts| {
+            ts.add_transition("ghost", vec![], Fairness::Strong);
+        });
+        let diags = lint_system(&ts);
+        assert_eq!(codes(&diags), vec!["FTS002"]);
+        assert_eq!(diags[0].location, Location::Transition("ghost".to_string()));
+    }
+
+    #[test]
+    fn dead_unfair_transition_fires_fts001() {
+        let ts = toy(|ts| {
+            ts.add_transition("stuck", vec![(2, 2)], Fairness::None);
+        });
+        assert_eq!(codes(&lint_system(&ts)), vec!["FTS001"]);
+    }
+
+    #[test]
+    fn dead_fair_transition_fires_fts003() {
+        for fairness in [Fairness::Weak, Fairness::Strong] {
+            let ts = toy(|ts| {
+                ts.add_transition("stuck", vec![(2, 0)], fairness);
+            });
+            let diags = lint_system(&ts);
+            assert_eq!(codes(&diags), vec!["FTS003"], "{fairness:?}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn constant_variable_fires_fts004() {
+        // One live counter and one frozen flag with a two-value domain.
+        let sigma = Alphabet::new(["lo", "hi"]).unwrap();
+        let mut p = ProgramBuilder::new(&sigma);
+        let c = p.var("count", 3);
+        let _frozen = p.var("frozen", 2);
+        p.init(&[0, 0]);
+        p.command(
+            "tick",
+            Fairness::Weak,
+            |_| true,
+            move |v| {
+                let mut w = v.to_vec();
+                w[c] = (v[c] + 1) % 3;
+                vec![w]
+            },
+        );
+        p.observe(move |v, sigma| sigma.symbol(if v[c] == 2 { "hi" } else { "lo" }).unwrap());
+        let diags = lint_program(&p).unwrap();
+        assert_eq!(codes(&diags), vec!["FTS004"]);
+        assert_eq!(diags[0].location, Location::Variable("frozen".to_string()));
+    }
+
+    #[test]
+    fn healthy_program_is_clean() {
+        let sigma = Alphabet::new(["lo", "hi"]).unwrap();
+        let mut p = ProgramBuilder::new(&sigma);
+        let c = p.var("count", 3);
+        p.init(&[0]);
+        p.command(
+            "tick",
+            Fairness::Weak,
+            |_| true,
+            move |v| vec![vec![(v[c] + 1) % 3]],
+        );
+        p.observe(move |v, sigma| sigma.symbol(if v[c] == 2 { "hi" } else { "lo" }).unwrap());
+        assert!(lint_program(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn paper_programs_are_clean() {
+        for (name, (ts, _)) in [
+            ("peterson", programs::peterson()),
+            ("mux_sem", programs::mux_sem(Fairness::Strong)),
+            ("token_ring", programs::token_ring(true)),
+        ] {
+            let diags = lint_system(&ts);
+            assert!(diags.is_empty(), "{name}: {diags:?}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Finitary-language lints (`LANG001`–`LANG006`).
+//!
+//! Two syntactic rules walk [`Regex`] trees (`LANG001` empty
+//! subexpressions, `LANG002` nullable star bodies); the semantic rules
+//! decide emptiness and universality of a [`FinitaryProperty`] and the
+//! health of the paper's finitary-to-infinitary operators: `LANG005`
+//! flags a non-empty Φ whose safety closure `A(Φ)` is nevertheless empty
+//! (Φ has no prefix-closed word), and `LANG006` flags a degenerate
+//! `minex(Φ₁, Φ₂)` for non-empty operands, which makes the derived
+//! reactivity property `R(Φ₁) ∧ ¬R(Φ₂)`-style combinations collapse.
+
+use crate::diagnostic::{Diagnostic, Location};
+use crate::registry::{self, RuleInfo};
+use hierarchy_lang::finitary::FinitaryProperty;
+use hierarchy_lang::regex::Regex;
+
+fn diag(rule: &RuleInfo, location: Location, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(rule.code, rule.severity, location, message)
+}
+
+/// Lints a regular expression (purely structural; no automaton is built).
+pub fn lint_regex(regex: &Regex) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen1: Vec<String> = Vec::new();
+    let mut seen2: Vec<String> = Vec::new();
+    walk(regex, &mut |r| {
+        lang001(r, &mut seen1, &mut out);
+        lang002(r, &mut seen2, &mut out);
+    });
+    // The whole expression denoting ∅ deserves a root-level finding even
+    // when no literal `Empty` node exists at the top.
+    if denotes_empty(regex) && !matches!(regex, Regex::Empty) {
+        out.push(
+            diag(
+                &registry::LANG001,
+                Location::Root,
+                "the whole expression denotes the empty language",
+            )
+            .with_suggestion("every branch is killed by an empty factor"),
+        );
+    }
+    out
+}
+
+fn walk(r: &Regex, visit: &mut impl FnMut(&Regex)) {
+    visit(r);
+    match r {
+        Regex::Concat(xs) | Regex::Union(xs) => xs.iter().for_each(|x| walk(x, visit)),
+        Regex::Star(x) | Regex::Plus(x) => walk(x, visit),
+        _ => {}
+    }
+}
+
+/// Structural emptiness, without building a DFA.
+fn denotes_empty(r: &Regex) -> bool {
+    match r {
+        Regex::Empty => true,
+        Regex::Epsilon | Regex::Sym(_) | Regex::AnySym | Regex::Star(_) => false,
+        Regex::Concat(xs) => xs.iter().any(denotes_empty),
+        Regex::Union(xs) => xs.iter().all(denotes_empty),
+        Regex::Plus(x) => denotes_empty(x),
+    }
+}
+
+/// LANG001: literal `∅` nodes.
+fn lang001(r: &Regex, seen: &mut Vec<String>, out: &mut Vec<Diagnostic>) {
+    let trigger = match r {
+        Regex::Empty => Some("the empty-language constant appears in the expression"),
+        Regex::Concat(xs) if xs.iter().any(denotes_empty) => {
+            Some("a concatenation factor denotes the empty language, killing the product")
+        }
+        _ => None,
+    };
+    if let Some(msg) = trigger {
+        // Only report composite nodes once; `Empty` itself is reported at
+        // each distinct enclosing display form via the dedup key.
+        let label = r.to_string();
+        if !seen.contains(&label) {
+            seen.push(label.clone());
+            out.push(
+                diag(&registry::LANG001, Location::Fragment(label), msg)
+                    .with_suggestion("remove the empty branch"),
+            );
+        }
+    }
+}
+
+/// LANG002: `x*` or `x⁺` where `x` already matches ε.
+fn lang002(r: &Regex, seen: &mut Vec<String>, out: &mut Vec<Diagnostic>) {
+    let body = match r {
+        Regex::Star(x) | Regex::Plus(x) => x,
+        _ => return,
+    };
+    if body.matches_epsilon() {
+        let label = r.to_string();
+        if !seen.contains(&label) {
+            seen.push(label.clone());
+            out.push(
+                diag(
+                    &registry::LANG002,
+                    Location::Fragment(label),
+                    "the iterated body already matches the empty word",
+                )
+                .with_suggestion("drop the inner nullable iteration (e.g. (x*)* = x*)"),
+            );
+        }
+    }
+}
+
+/// Lints a finitary property: `LANG003` emptiness, `LANG004` universality,
+/// `LANG005` empty safety kernel.
+pub fn lint_finitary(phi: &FinitaryProperty) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if phi.is_empty() {
+        out.push(
+            diag(
+                &registry::LANG003,
+                Location::Root,
+                "the finitary property contains no word",
+            )
+            .with_suggestion("A, E, R, and P of the empty property are all degenerate"),
+        );
+        return out;
+    }
+    if phi.equivalent(&FinitaryProperty::sigma_plus(phi.alphabet())) {
+        out.push(diag(
+            &registry::LANG004,
+            Location::Root,
+            "the finitary property is all of Σ⁺",
+        ));
+    }
+    if phi.a_f().is_empty() {
+        out.push(
+            diag(
+                &registry::LANG005,
+                Location::Root,
+                "the property has no prefix-closed word: A(Φ) is the empty ω-property",
+            )
+            .with_suggestion(
+                "no infinite sequence has all its prefixes in Φ; if a safety property was \
+                 intended, close Φ under prefixes first",
+            ),
+        );
+    }
+    out
+}
+
+/// Lints a `minex` combination: `LANG006` when both operands are
+/// non-empty yet their minimal-extension product is empty.
+pub fn lint_minex(phi1: &FinitaryProperty, phi2: &FinitaryProperty) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !phi1.is_empty() && !phi2.is_empty() && phi1.minex(phi2).is_empty() {
+        out.push(
+            diag(
+                &registry::LANG006,
+                Location::Root,
+                "minex(Φ₁, Φ₂) is empty although both operands are non-empty",
+            )
+            .with_suggestion(
+                "after any Φ₁-word, no extension re-enters Φ₂; the derived reactivity \
+                 combination collapses",
+            ),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierarchy_automata::alphabet::Alphabet;
+
+    fn sigma() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn healthy_regexes_are_clean() {
+        let s = sigma();
+        for pat in ["a a* b*", "a* b", "(a b)*a", "a + b b"] {
+            let r = Regex::parse(&s, pat).unwrap();
+            assert!(lint_regex(&r).is_empty(), "{pat}: {:?}", lint_regex(&r));
+        }
+    }
+
+    #[test]
+    fn empty_subexpression_fires_lang001() {
+        // No surface syntax for ∅; build the tree directly.
+        let a = Regex::parse(&sigma(), "a").unwrap();
+        let r = Regex::Union(vec![Regex::Concat(vec![a, Regex::Empty]), Regex::AnySym]);
+        let diags = lint_regex(&r);
+        assert!(codes(&diags).contains(&"LANG001"), "{diags:?}");
+        assert!(!codes(&diags).contains(&"LANG002"));
+    }
+
+    #[test]
+    fn whole_empty_expression_reports_at_root() {
+        let r = Regex::Concat(vec![Regex::AnySym, Regex::Empty]);
+        let diags = lint_regex(&r);
+        assert!(
+            diags.iter().any(|d| d.location == Location::Root),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn nullable_star_body_fires_lang002() {
+        let s = sigma();
+        let r = Regex::parse(&s, "(a*)*").unwrap();
+        assert_eq!(codes(&lint_regex(&r)), vec!["LANG002"]);
+        let plus = Regex::Plus(Box::new(Regex::Epsilon));
+        assert_eq!(codes(&lint_regex(&plus)), vec!["LANG002"]);
+    }
+
+    #[test]
+    fn empty_property_fires_lang003_only() {
+        let phi = FinitaryProperty::empty(&sigma());
+        assert_eq!(codes(&lint_finitary(&phi)), vec!["LANG003"]);
+    }
+
+    #[test]
+    fn universal_property_fires_lang004() {
+        let phi = FinitaryProperty::sigma_plus(&sigma());
+        assert_eq!(codes(&lint_finitary(&phi)), vec!["LANG004"]);
+    }
+
+    #[test]
+    fn prefix_closed_properties_are_clean() {
+        let s = sigma();
+        // The paper's Φ = a a* b*: prefix-closed words abound.
+        let phi = FinitaryProperty::parse(&s, "a a* b*").unwrap();
+        assert!(lint_finitary(&phi).is_empty());
+    }
+
+    #[test]
+    fn no_prefix_closed_kernel_fires_lang005() {
+        let s = sigma();
+        // Every word ends in b but must start with a: no word has all its
+        // prefixes inside the property, so A(Φ) is empty.
+        let phi = FinitaryProperty::parse(&s, "a (a + b)* b").unwrap();
+        let diags = lint_finitary(&phi);
+        assert_eq!(codes(&diags), vec!["LANG005"], "{diags:?}");
+    }
+
+    #[test]
+    fn minex_lints() {
+        let s = sigma();
+        let phi1 = FinitaryProperty::parse(&s, "a a*").unwrap();
+        let phi2 = FinitaryProperty::parse(&s, "a* b").unwrap();
+        // After any a-word, appending b lands in Φ₂: healthy.
+        assert!(lint_minex(&phi1, &phi2).is_empty());
+        // Φ₂'s single word is shorter than Φ₁'s, so it extends nothing:
+        // minex is empty although both operands are non-empty.
+        let long = FinitaryProperty::parse(&s, "a a").unwrap();
+        let short = FinitaryProperty::parse(&s, "a").unwrap();
+        assert_eq!(codes(&lint_minex(&long, &short)), vec!["LANG006"]);
+        // Empty operands stay silent (LANG003's business, not LANG006's).
+        let empty = FinitaryProperty::empty(&s);
+        assert!(lint_minex(&FinitaryProperty::sigma_plus(&s), &empty).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! The rule catalogue: one [`RuleInfo`] per lint rule, grouped by the
+//! substrate layer it inspects. The catalogue is what `spec-lint rules`
+//! prints and what DESIGN.md documents; rule implementations live in the
+//! per-layer modules and must use these codes.
+
+use crate::diagnostic::Severity;
+use std::fmt;
+
+/// The substrate a rule inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Temporal-logic formulas (`hierarchy-logic`).
+    Logic,
+    /// Deterministic ω-automata (`hierarchy-automata`).
+    Automata,
+    /// Regular expressions and finitary properties (`hierarchy-lang`).
+    Lang,
+    /// Fair transition systems and programs (`hierarchy-fts`).
+    Fts,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Logic => write!(f, "logic"),
+            Layer::Automata => write!(f, "automata"),
+            Layer::Lang => write!(f, "lang"),
+            Layer::Fts => write!(f, "fts"),
+        }
+    }
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable code used in diagnostics (`LOGIC003`, `AUT006`, …).
+    pub code: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// The layer the rule belongs to.
+    pub layer: Layer,
+    /// The severity every diagnostic of this rule carries.
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+macro_rules! rules {
+    ($($konst:ident = $code:literal, $name:literal, $layer:ident, $sev:ident,
+       $summary:literal;)*) => {
+        $(
+            #[doc = $summary]
+            pub const $konst: RuleInfo = RuleInfo {
+                code: $code,
+                name: $name,
+                layer: Layer::$layer,
+                severity: Severity::$sev,
+                summary: $summary,
+            };
+        )*
+        /// Every rule, in catalogue order.
+        pub const CATALOGUE: &[RuleInfo] = &[$($konst),*];
+    };
+}
+
+rules! {
+    LOGIC001 = "LOGIC001", "unsatisfiable-formula", Logic, Error,
+        "the formula holds of no computation (its language is empty)";
+    LOGIC002 = "LOGIC002", "trivially-valid-formula", Logic, Warning,
+        "the formula holds of every computation (it constrains nothing)";
+    LOGIC003 = "LOGIC003", "vacuous-subformula", Logic, Warning,
+        "a subformula can be replaced by a constant without changing the property";
+    LOGIC004 = "LOGIC004", "constant-subformula", Logic, Warning,
+        "a literal constant (or an atom denoting one) appears in operand position";
+    LOGIC005 = "LOGIC005", "class-mismatch", Logic, Info,
+        "the formula sits strictly lower in the semantic hierarchy than it is written";
+    LOGIC006 = "LOGIC006", "redundant-past-operator", Logic, Warning,
+        "a past operator application collapses (O O p, H H p, true S p, true B p)";
+    LOGIC007 = "LOGIC007", "outside-hierarchy-grammar", Logic, Info,
+        "the formula cannot be canonicalized, so semantic lints were skipped";
+    AUT001 = "AUT001", "empty-language", Automata, Error,
+        "the automaton accepts nothing";
+    AUT002 = "AUT002", "universal-language", Automata, Info,
+        "the automaton accepts everything yet is not written as the universal automaton";
+    AUT003 = "AUT003", "unreachable-states", Automata, Warning,
+        "states unreachable from the initial state";
+    AUT004 = "AUT004", "mergeable-dead-states", Automata, Info,
+        "two or more reachable dead states could merge into one rejecting trap";
+    AUT005 = "AUT005", "constant-acceptance-atom", Automata, Warning,
+        "an acceptance atom is constant on every run (its set misses all reachable cycles)";
+    AUT006 = "AUT006", "redundant-streett-pair", Automata, Warning,
+        "dropping an acceptance conjunct provably leaves the language unchanged";
+    AUT007 = "AUT007", "transient-acceptance-states", Automata, Info,
+        "acceptance atoms mention states that lie on no reachable cycle";
+    LANG001 = "LANG001", "empty-subexpression", Lang, Warning,
+        "a regular (sub)expression denotes the empty language";
+    LANG002 = "LANG002", "nullable-star-body", Lang, Warning,
+        "a starred or plussed body already matches the empty word";
+    LANG003 = "LANG003", "empty-finitary-property", Lang, Warning,
+        "the finitary property contains no word";
+    LANG004 = "LANG004", "universal-finitary-property", Lang, Info,
+        "the finitary property is all of Sigma-plus";
+    LANG005 = "LANG005", "no-prefix-closed-kernel", Lang, Warning,
+        "the property is non-empty but has no prefix-closed word, so A(Phi) is empty";
+    LANG006 = "LANG006", "degenerate-minex", Lang, Warning,
+        "minex of two non-empty properties is empty, so R(Phi1) and R(Phi2) never co-occur";
+    FTS001 = "FTS001", "dead-transition", Fts, Warning,
+        "a transition is never enabled in any reachable state";
+    FTS002 = "FTS002", "no-edge-transition", Fts, Warning,
+        "a transition has no edges at all";
+    FTS003 = "FTS003", "unschedulable-fairness", Fts, Warning,
+        "a fairness requirement is attached to a transition that is never enabled";
+    FTS004 = "FTS004", "constant-variable", Fts, Warning,
+        "a program variable with a non-trivial domain takes a single value on all reachable states";
+}
+
+/// Looks up a rule by its code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    CATALOGUE.iter().find(|r| r.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_wellformed() {
+        for (i, r) in CATALOGUE.iter().enumerate() {
+            assert!(r.code.chars().all(|c| c.is_ascii_alphanumeric()));
+            assert!(!r.name.is_empty() && !r.summary.is_empty());
+            for other in &CATALOGUE[i + 1..] {
+                assert_ne!(r.code, other.code, "duplicate rule code");
+                assert_ne!(r.name, other.name, "duplicate rule name");
+            }
+        }
+        assert_eq!(CATALOGUE.len(), 24);
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        assert_eq!(rule("AUT006").unwrap().name, "redundant-streett-pair");
+        assert_eq!(rule("LOGIC005").unwrap().severity, Severity::Info);
+        assert!(rule("NOPE01").is_none());
+    }
+
+    #[test]
+    fn layers_cover_all_four_substrates() {
+        for layer in [Layer::Logic, Layer::Automata, Layer::Lang, Layer::Fts] {
+            assert!(CATALOGUE.iter().any(|r| r.layer == layer));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Seeded-defect sweep: inject a known defect into a random Streett
+//! automaton and assert that exactly the corresponding diagnostic starts
+//! firing — the lint report of the mutated automaton must equal the
+//! baseline report plus the injected rule's code, nothing else.
+//!
+//! Seeds whose baseline already contains the injected code are skipped
+//! (the defect would be masked); the sweep demands a minimum number of
+//! usable seeds per injection so the assertions cannot silently pass on
+//! an empty sample.
+
+use hierarchy_automata::acceptance::Acceptance;
+use hierarchy_automata::alphabet::Alphabet;
+use hierarchy_automata::analysis::Analysis;
+use hierarchy_automata::omega::OmegaAutomaton;
+use hierarchy_automata::random::random_streett;
+use hierarchy_automata::random::rng::{SeedableRng, StdRng};
+use hierarchy_lint::lint_automaton;
+use std::collections::BTreeSet;
+
+fn sigma() -> Alphabet {
+    Alphabet::new(["a", "b"]).unwrap()
+}
+
+fn codes(aut: &OmegaAutomaton) -> BTreeSet<&'static str> {
+    lint_automaton(aut).into_iter().map(|d| d.code).collect()
+}
+
+/// Asserts that `mutated` fires exactly `baseline ∪ {injected}`.
+fn assert_exactly_injected(
+    seed: u64,
+    injected: &'static str,
+    baseline: &BTreeSet<&'static str>,
+    mutated: &OmegaAutomaton,
+) {
+    let mut expected = baseline.clone();
+    expected.insert(injected);
+    let got = codes(mutated);
+    assert_eq!(
+        got, expected,
+        "seed {seed}: injecting a {injected} defect changed the report beyond {injected}"
+    );
+}
+
+#[test]
+fn injected_unreachable_state_fires_aut003() {
+    let sigma = sigma();
+    let mut usable = 0;
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (aut, _) = random_streett(&mut rng, &sigma, 10, 2, 0.5);
+        let baseline = codes(&aut);
+        if baseline.contains("AUT003") || baseline.contains("AUT001") {
+            continue; // masked, or short-circuited by emptiness
+        }
+        // One extra state, self-looping, reachable from nowhere.
+        let n = aut.num_states();
+        let mutated = OmegaAutomaton::build(
+            &sigma,
+            n + 1,
+            aut.initial(),
+            |q, s| {
+                if (q as usize) < n {
+                    aut.step(q, s)
+                } else {
+                    q
+                }
+            },
+            aut.acceptance().clone(),
+        );
+        assert_exactly_injected(seed, "AUT003", &baseline, &mutated);
+        usable += 1;
+    }
+    assert!(usable >= 5, "only {usable} usable seeds for AUT003");
+}
+
+#[test]
+fn injected_duplicate_conjunct_fires_aut006() {
+    let sigma = sigma();
+    let mut usable = 0;
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (aut, _) = random_streett(&mut rng, &sigma, 8, 2, 0.5);
+        let baseline = codes(&aut);
+        if baseline.contains("AUT006") || baseline.contains("AUT001") {
+            continue; // masked, or short-circuited by emptiness
+        }
+        let Acceptance::And(xs) = aut.acceptance() else {
+            continue;
+        };
+        // Duplicate the first Streett pair: dropping either copy now
+        // provably leaves the language unchanged.
+        let mut dup = xs.clone();
+        dup.push(xs[0].clone());
+        let mutated = aut.with_acceptance(Acceptance::And(dup));
+        assert_exactly_injected(seed, "AUT006", &baseline, &mutated);
+        usable += 1;
+    }
+    assert!(usable >= 5, "only {usable} usable seeds for AUT006");
+}
+
+/// Adds `state` to the first non-empty `Inf` atom of the condition.
+/// (Widening an empty atom would leave it cycle-free and fire `AUT005`
+/// rather than `AUT007`.)
+fn widen_first_inf(acc: &Acceptance, state: usize, done: &mut bool) -> Acceptance {
+    match acc {
+        Acceptance::Inf(s) if !*done && !s.is_empty() => {
+            *done = true;
+            let mut s = s.clone();
+            s.insert(state);
+            Acceptance::Inf(s)
+        }
+        Acceptance::And(xs) => {
+            Acceptance::And(xs.iter().map(|x| widen_first_inf(x, state, done)).collect())
+        }
+        Acceptance::Or(xs) => {
+            Acceptance::Or(xs.iter().map(|x| widen_first_inf(x, state, done)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+/// Restricts every atom set to `keep` (the reachable cyclic region).
+/// Language-preserving: infinity sets are subsets of `keep`, so both
+/// `Inf` and `Fin` atoms only ever observe states inside it.
+fn restrict_atoms(acc: &Acceptance, keep: &hierarchy_automata::bitset::BitSet) -> Acceptance {
+    match acc {
+        Acceptance::Inf(s) => Acceptance::Inf(s.intersection(keep)),
+        Acceptance::Fin(s) => Acceptance::Fin(s.intersection(keep)),
+        Acceptance::And(xs) => {
+            Acceptance::And(xs.iter().map(|x| restrict_atoms(x, keep)).collect())
+        }
+        Acceptance::Or(xs) => Acceptance::Or(xs.iter().map(|x| restrict_atoms(x, keep)).collect()),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn injected_transient_atom_state_fires_aut007() {
+    let sigma = sigma();
+    let mut usable = 0;
+    for seed in 0..80u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // k = 1 keeps the top-level condition free of droppable conjuncts,
+        // so AUT006 cannot be provoked as a side effect.
+        let (raw, _) = random_streett(&mut rng, &sigma, 12, 1, 0.4);
+        // Random atom sets almost always contain stray states already, so
+        // first sanitize the acceptance: restrict every atom to the
+        // reachable cyclic region (sound, see `restrict_atoms`), giving a
+        // baseline without AUT007.
+        let raw_ctx = Analysis::new(raw.clone());
+        let cond = raw_ctx.condensation();
+        let mut cyc = hierarchy_automata::bitset::BitSet::new();
+        for c in 0..cond.status.len() {
+            if cond.status[c].is_some() {
+                cyc.union_with(&cond.sccs.member_set(c));
+            }
+        }
+        let aut = raw.with_acceptance(restrict_atoms(raw.acceptance(), &cyc));
+        let baseline = codes(&aut);
+        if baseline.contains("AUT007") || baseline.contains("AUT001") {
+            continue;
+        }
+        // A reachable state on no cycle (a transient SCC of the
+        // condensation): after sanitizing, no atom mentions it.
+        let transient = (0..cond.status.len())
+            .filter(|&c| cond.status[c].is_none())
+            .flat_map(|c| cond.sccs.member_set(c).iter().collect::<Vec<_>>())
+            .next();
+        let Some(q) = transient else { continue };
+        let mut done = false;
+        let widened = widen_first_inf(aut.acceptance(), q, &mut done);
+        if !done {
+            continue; // no Inf atom in this condition
+        }
+        let ctx = Analysis::new(aut.clone());
+        let mutated = aut.with_acceptance(widened);
+        // Soundness of the rule itself: the language must be unchanged.
+        assert!(
+            ctx.equivalent(&mutated),
+            "seed {seed}: widening an Inf atom by a transient state changed the language"
+        );
+        assert_exactly_injected(seed, "AUT007", &baseline, &mutated);
+        usable += 1;
+    }
+    assert!(usable >= 5, "only {usable} usable seeds for AUT007");
+}
+
+#[test]
+fn injected_constant_atom_fires_aut005() {
+    let sigma = sigma();
+    let mut usable = 0;
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (aut, _) = random_streett(&mut rng, &sigma, 10, 1, 0.5);
+        let baseline = codes(&aut);
+        if baseline.contains("AUT005") || baseline.contains("AUT001") {
+            continue;
+        }
+        // Conjoin Inf(∅): an atom that misses every cycle by construction.
+        // Inf(∅) is unsatisfiable, so the conjunction empties the language
+        // — which is why the injection targets an Or instead: Φ ∨ Inf(∅)
+        // keeps the language and plants a constantly-false disjunct.
+        let mutated = aut.with_acceptance(Acceptance::Or(vec![
+            aut.acceptance().clone(),
+            Acceptance::Inf(hierarchy_automata::bitset::BitSet::new()),
+        ]));
+        assert_exactly_injected(seed, "AUT005", &baseline, &mutated);
+        usable += 1;
+    }
+    assert!(usable >= 5, "only {usable} usable seeds for AUT005");
+}

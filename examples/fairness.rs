@@ -30,7 +30,7 @@ fn main() {
     for fairness in [Fairness::None, Fairness::Weak, Fairness::Strong] {
         let (ts, obs) = programs::mux_sem(fairness);
         let spec = Property::parse(&obs, "G (t2 -> F c2)").expect("compiles");
-        let verdict = verify(&ts, spec.automaton());
+        let verdict = verify(&ts, spec.automaton()).expect("valid system and alphabet");
         let outcome = match &verdict {
             Verdict::Holds => "holds".to_string(),
             Verdict::Violated(cex) => format!(
@@ -46,7 +46,7 @@ fn main() {
     // The starvation loop idles between idle/c1 states; grant2 is enabled
     // only intermittently, so weak fairness tolerates never taking it.
     let (ts, obs) = programs::mux_sem(Fairness::Weak);
-    if let Verdict::Violated(cex) = verify(
+    if let Ok(Verdict::Violated(cex)) = verify(
         &ts,
         Property::parse(&obs, "G (t2 -> F c2)")
             .expect("compiles")

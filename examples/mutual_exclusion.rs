@@ -19,7 +19,7 @@ fn check(
 ) {
     let property = Property::parse(sigma, src).expect("spec compiles");
     let class = property.class();
-    let verdict = verify(ts, property.automaton());
+    let verdict = verify(ts, property.automaton()).expect("valid system and alphabet");
     match verdict {
         Verdict::Holds => println!("  ✓ {name:<28} [{class}]  {src}"),
         Verdict::Violated(cex) => {

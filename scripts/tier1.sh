@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test --offline --workspace --quiet
+cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
 
 echo "tier1: OK"

@@ -22,7 +22,7 @@ fn sigma() -> Alphabet {
 fn rand_streett<R: Rng>(rng: &mut R, max_states: usize, pairs: usize) -> OmegaAutomaton {
     let n = rng.gen_range(2..=max_states);
     let delta: Vec<u32> = (0..n * 2).map(|_| rng.gen_range(0..n) as u32).collect();
-    let mut rand_set = |rng: &mut R| -> Vec<usize> {
+    let rand_set = |rng: &mut R| -> Vec<usize> {
         let len = rng.gen_range(0..=n);
         (0..len).map(|_| rng.gen_range(0..n)).collect()
     };
