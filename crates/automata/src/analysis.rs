@@ -41,7 +41,12 @@
 //! is `Send + Sync` and can back a shared `Property` value; the
 //! [`AnalysisStats`] counters record how many SCC passes actually ran
 //! versus how many were served from cache (the `TAB-DEC` experiment
-//! reports them).
+//! reports them). One shared context is exactly what the parallel sweep
+//! of [`crate::par`] fans out over: the SCC memo keys each restriction to
+//! a once-cell, so concurrent workers never duplicate a Tarjan pass, and
+//! every cache lock recovers from poisoning (the caches hold only
+//! memoized pure results, so a panicking worker's lock leaves nothing
+//! half-mutated — see `lock_recover`).
 
 use crate::acceptance::Acceptance;
 use crate::bitset::BitSet;
@@ -54,7 +59,22 @@ use crate::scc::SccDecomposition;
 use crate::StateId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Locks a cache mutex, recovering from poisoning.
+///
+/// The caches only ever hold memoized results of pure computations, so a
+/// panic on another thread that happened to hold a cache lock cannot have
+/// left partial state behind that matters: whatever was inserted is a
+/// valid memo entry, and whatever wasn't will be recomputed. Recovering
+/// here keeps one panicking worker (e.g. inside a [`crate::par`] sweep)
+/// from cascading into unrelated `PoisonError` panics on every later
+/// cache access, which used to mask the original failure.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Snapshot of the cache instrumentation counters of an [`Analysis`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -152,6 +172,10 @@ pub struct Condensation {
     pub status: Vec<Option<bool>>,
 }
 
+/// One claimable slot of the per-restriction SCC memo: whoever inserts
+/// the cell computes the decomposition; same-key racers block on it.
+type SccCell = Arc<OnceLock<Arc<SccDecomposition>>>;
+
 /// A per-automaton memoized analysis context (see the module docs).
 ///
 /// Construction is cheap; every intermediate is computed lazily on first
@@ -162,7 +186,12 @@ pub struct Analysis {
     aut: OmegaAutomaton,
     stats: StatCells,
     reachable: OnceLock<BitSet>,
-    sccs: Mutex<HashMap<Option<BitSet>, Arc<SccDecomposition>>>,
+    /// Per-restriction decompositions. Each key owns a once-cell so that
+    /// concurrent workers asking for the *same* restriction block on one
+    /// computation instead of racing duplicate Tarjan passes — the
+    /// `scc_passes` counter is exact even under the parallel sweep, and
+    /// the `2^m` lattice budget holds for any number of threads.
+    sccs: Mutex<HashMap<Option<BitSet>, SccCell>>,
     condensation: OnceLock<Arc<Condensation>>,
     chains: OnceLock<Arc<ChainAnalysis>>,
     live_for: Mutex<HashMap<Acceptance, Arc<BitSet>>>,
@@ -177,13 +206,13 @@ impl Clone for Analysis {
             aut: self.aut.clone(),
             stats: StatCells::from_snapshot(self.stats.snapshot()),
             reachable: self.reachable.clone(),
-            sccs: Mutex::new(self.sccs.lock().unwrap().clone()),
+            sccs: Mutex::new(lock_recover(&self.sccs).clone()),
             condensation: self.condensation.clone(),
             chains: self.chains.clone(),
-            live_for: Mutex::new(self.live_for.lock().unwrap().clone()),
+            live_for: Mutex::new(lock_recover(&self.live_for).clone()),
             classification: self.classification.clone(),
             counter_freedom: self.counter_freedom.clone(),
-            products: Mutex::new(self.products.lock().unwrap().clone()),
+            products: Mutex::new(lock_recover(&self.products).clone()),
         }
     }
 }
@@ -221,17 +250,27 @@ impl Analysis {
     /// routes its Tarjan runs through here, which is what makes their
     /// restrictions coincide and the total pass count collapse.
     pub fn sccs(&self, allowed: Option<&BitSet>) -> Arc<SccDecomposition> {
-        let key = allowed.cloned();
-        if let Some(hit) = self.sccs.lock().unwrap().get(&key) {
+        // Claim (or find) the key's once-cell under the map lock, then
+        // compute outside it: workers on distinct restrictions run fully
+        // in parallel, while workers racing on the same restriction block
+        // on the cell and share the single pass.
+        let cell = {
+            let mut map = lock_recover(&self.sccs);
+            Arc::clone(
+                map.entry(allowed.cloned())
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let mut computed_here = false;
+        let dec = cell.get_or_init(|| {
+            computed_here = true;
+            self.stats.scc_passes.fetch_add(1, Ordering::Relaxed);
+            Arc::new(crate::scc::tarjan_scc(&self.aut, allowed))
+        });
+        if !computed_here {
             self.stats.scc_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
         }
-        // Compute outside the lock; a racing duplicate pass is harmless
-        // (last write wins, both results are identical).
-        self.stats.scc_passes.fetch_add(1, Ordering::Relaxed);
-        let dec = Arc::new(crate::scc::tarjan_scc(&self.aut, allowed));
-        self.sccs.lock().unwrap().insert(key, Arc::clone(&dec));
-        dec
+        Arc::clone(dec)
     }
 
     /// The reachable condensation DAG with per-component acceptance
@@ -273,9 +312,15 @@ impl Analysis {
     /// with its SCC passes routed through [`Self::sccs`]. Distinct
     /// lattice points with identical restrictions (unused color
     /// combinations) collapse to one pass.
+    ///
+    /// The lattice points fan out across the [`crate::par`] worker pool
+    /// (sharing this context — the per-key once-cells of [`Self::sccs`]
+    /// keep the pass count exact under concurrency), and the `OnceLock`
+    /// around the whole analysis guarantees at most one sweep even when
+    /// several threads ask for the verdict at once.
     pub fn chains(&self) -> Arc<ChainAnalysis> {
         Arc::clone(self.chains.get_or_init(|| {
-            Arc::new(ChainAnalysis::new_with(
+            Arc::new(ChainAnalysis::new_par(
                 &self.aut,
                 self.reachable(),
                 |allowed| self.sccs(Some(allowed)),
@@ -294,7 +339,7 @@ impl Analysis {
     /// `reachable − fin` is a color-lattice point, so the SCC passes here
     /// are shared with [`Self::chains`].
     pub fn live_reachable(&self, acc: &Acceptance) -> Arc<BitSet> {
-        if let Some(hit) = self.live_for.lock().unwrap().get(acc) {
+        if let Some(hit) = lock_recover(&self.live_for).get(acc) {
             return Arc::clone(hit);
         }
         let reachable = self.reachable();
@@ -319,10 +364,7 @@ impl Analysis {
         let mut live = emptiness::backward_closure(&self.aut, good);
         live.intersect_with(reachable);
         let live = Arc::new(live);
-        self.live_for
-            .lock()
-            .unwrap()
-            .insert(acc.clone(), Arc::clone(&live));
+        lock_recover(&self.live_for).insert(acc.clone(), Arc::clone(&live));
         live
     }
 
@@ -497,20 +539,19 @@ impl Analysis {
             "product operands must share an alphabet"
         );
         let key = ProductKey::of(other, op);
-        if let Some(hit) = self.products.lock().unwrap().get(&key) {
+        if let Some(hit) = lock_recover(&self.products).get(&key) {
             self.stats.product_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
+        // Compute outside the lock; a racing duplicate build is harmless
+        // (last write wins, both results are identical).
         self.stats.products_built.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(match op {
             ProductOp::Intersection => self.aut.intersection(other),
             ProductOp::Union => self.aut.union(other),
             ProductOp::Difference => self.aut.difference(other),
         });
-        self.products
-            .lock()
-            .unwrap()
-            .insert(key, Arc::clone(&built));
+        lock_recover(&self.products).insert(key, Arc::clone(&built));
         built
     }
 
@@ -611,6 +652,40 @@ mod tests {
         let passes = cloned.stats().scc_passes;
         assert_eq!(cloned.classification(), &verdict);
         assert_eq!(cloned.stats().scc_passes, passes, "clone reuses caches");
+    }
+
+    /// Regression: a worker panicking while it happens to hold a cache
+    /// lock used to poison the mutex, turning every later cache access
+    /// into an unrelated `PoisonError` panic that masked the original
+    /// failure. The caches hold only memoized pure results, so recovery
+    /// is sound — after the simulated worker death the context must keep
+    /// answering queries, with the same verdict a fresh context computes.
+    #[test]
+    fn cache_locks_recover_from_poisoning() {
+        let sigma = ab();
+        let aut = last_sym(&sigma, Acceptance::inf([1]));
+        let ctx = Analysis::new(aut.clone());
+
+        // Poison all three cache mutexes the way a dying worker would:
+        // panic while holding the guard.
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _sccs = lock_recover(&ctx.sccs);
+            let _live = lock_recover(&ctx.live_for);
+            let _products = lock_recover(&ctx.products);
+            panic!("worker dies holding the cache locks");
+        }));
+        assert!(died.is_err());
+        assert!(ctx.sccs.lock().is_err(), "mutex must actually be poisoned");
+
+        // Every cache-touching query must still work and agree with a
+        // fresh (never-poisoned) context.
+        let fresh = Analysis::new(aut.clone());
+        assert_eq!(ctx.classification(), fresh.classification());
+        assert_eq!(*ctx.live(), *fresh.live());
+        let other = last_sym(&sigma, Acceptance::fin([1]));
+        assert_eq!(ctx.is_subset_of(&other), fresh.is_subset_of(&other));
+        let cloned = ctx.clone();
+        assert_eq!(cloned.classification(), fresh.classification());
     }
 
     #[test]

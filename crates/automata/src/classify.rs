@@ -125,6 +125,30 @@ pub fn classify(aut: &OmegaAutomaton) -> Classification {
         .clone()
 }
 
+/// Classifies a batch of automata, fanning the suite out across the
+/// worker pool of [`crate::par`] (one automaton per work item; the
+/// lattice walk inside each item runs sequentially, so the pool is never
+/// oversubscribed).
+///
+/// Verdicts are returned in input order and are identical to calling
+/// [`classify`] on each automaton — the batch only changes the schedule,
+/// never the result. `spec-lint --jobs`, the seeded sweeps of
+/// `tab_decision`/`tab_lint`, and the `tab_parallel` scaling series all
+/// go through here.
+pub fn classify_suite(auts: &[OmegaAutomaton]) -> Vec<Classification> {
+    classify_suite_with(crate::par::thread_count(), auts)
+}
+
+/// [`classify_suite`] with an explicit worker count (the thread-scaling
+/// experiment pins 1/2/4/N workers).
+pub fn classify_suite_with(threads: usize, auts: &[OmegaAutomaton]) -> Vec<Classification> {
+    crate::par::map_with(threads, auts, |aut| {
+        crate::analysis::Analysis::new(aut.clone())
+            .classification()
+            .clone()
+    })
+}
+
 /// The safety closure of the automaton's language: an automaton for
 /// `A(Pref(Π))` — topologically, the closure of `Π` in `Σ^ω`.
 ///
@@ -259,12 +283,11 @@ pub fn obligation_index_of(aut: &OmegaAutomaton) -> usize {
     let sccs = tarjan_scc(aut, Some(&reachable));
     let n_comp = sccs.len();
     // Status of each component: Some(accepting) for components with a
-    // cycle, None for transient components.
-    let status: Vec<Option<bool>> = (0..n_comp)
-        .map(|c| {
-            sccs.has_cycle[c].then(|| aut.acceptance().accepts_infinity_set(&sccs.member_set(c)))
-        })
-        .collect();
+    // cycle, None for transient components. The per-component evaluations
+    // are independent, so they ride the worker pool.
+    let status: Vec<Option<bool>> = crate::par::map_indices(n_comp, |c| {
+        sccs.has_cycle[c].then(|| aut.acceptance().accepts_infinity_set(&sccs.member_set(c)))
+    });
     // Condensation successor lists. Tarjan numbers components in reverse
     // topological order, so every inter-component edge goes from a higher
     // index to a lower one.
@@ -343,7 +366,7 @@ impl ChainAnalysis {
     /// sets; the hierarchy constructions never produce that many.
     pub fn new(aut: &OmegaAutomaton) -> Self {
         let reachable = aut.reachable_states();
-        Self::new_with(aut, &reachable, |allowed| {
+        Self::new_par(aut, &reachable, |allowed| {
             std::sync::Arc::new(tarjan_scc(aut, Some(allowed)))
         })
     }
@@ -351,54 +374,42 @@ impl ChainAnalysis {
     /// Like [`ChainAnalysis::new`], but with the reachable set supplied
     /// and every SCC decomposition requested through `scc_of` — the hook
     /// [`crate::analysis::Analysis`] uses to route the lattice walk
-    /// through its shared memo table.
+    /// through its shared memo table. This variant accepts a stateful
+    /// `FnMut` and walks the lattice sequentially; it doubles as the
+    /// single-threaded oracle for the parallel sweep.
     pub fn new_with(
         aut: &OmegaAutomaton,
         reachable: &BitSet,
         mut scc_of: impl FnMut(&BitSet) -> std::sync::Arc<crate::scc::SccDecomposition>,
     ) -> Self {
-        let atoms = aut.acceptance().atom_sets();
-        assert!(
-            atoms.len() <= 16,
-            "acceptance condition has too many distinct atoms ({})",
-            atoms.len()
-        );
-        let m = atoms.len();
-        let n = aut.num_states();
-        let color: Vec<u32> = (0..n)
-            .map(|q| {
-                let mut mask = 0u32;
-                for (i, s) in atoms.iter().enumerate() {
-                    if s.contains(q) {
-                        mask |= 1 << i;
-                    }
-                }
-                mask
-            })
+        let walk = LatticeWalk::new(aut, reachable);
+        let points: Vec<LatticePoint> = (0..walk.point_count())
+            .map(|d| walk.point(d, &mut scc_of))
             .collect();
+        walk.merge(points)
+    }
 
-        let mut anchor_statuses: Vec<Vec<(bool, u32)>> = vec![Vec::new(); n];
-        for d in 0u32..(1u32 << m) {
-            let allowed: BitSet = reachable.iter().filter(|&q| color[q] & !d == 0).collect();
-            if allowed.is_empty() {
-                continue;
-            }
-            let sccs = scc_of(&allowed);
-            for c in 0..sccs.len() {
-                if !sccs.has_cycle[c] {
-                    continue;
-                }
-                let mut colors_mask = 0u32;
-                for &q in &sccs.members[c] {
-                    colors_mask |= color[q as usize];
-                }
-                let accepting = eval_on_colors(aut.acceptance(), colors_mask, &atoms);
-                for &q in &sccs.members[c] {
-                    anchor_statuses[q as usize].push((accepting, d));
-                }
-            }
-        }
-        ChainAnalysis { anchor_statuses }
+    /// The parallel lattice sweep: every color subset's restricted SCC
+    /// pass is an independent Tarjan run, so the `2^m` points fan out
+    /// across the worker pool of [`crate::par`] and the per-anchor
+    /// statuses are merged in mask order afterwards (the merge order is
+    /// what [`ChainAnalysis::has_chain`]'s DP relies on, so it stays
+    /// sequential and deterministic).
+    ///
+    /// `scc_of` must be shareable across workers; both the free
+    /// `tarjan_scc` closure of [`ChainAnalysis::new`] and the memo-table
+    /// hook of [`crate::analysis::Analysis::chains`] are (`Analysis` is
+    /// `Sync`, and its caches tolerate concurrent fills).
+    pub fn new_par(
+        aut: &OmegaAutomaton,
+        reachable: &BitSet,
+        scc_of: impl Fn(&BitSet) -> std::sync::Arc<crate::scc::SccDecomposition> + Sync,
+    ) -> Self {
+        let walk = LatticeWalk::new(aut, reachable);
+        let points = crate::par::map_indices(walk.point_count(), |d| {
+            walk.point(d, &mut |allowed: &BitSet| scc_of(allowed))
+        });
+        walk.merge(points)
     }
 
     /// Whether there is an ascending chain of accessible cycles
@@ -457,6 +468,104 @@ impl ChainAnalysis {
             }
         }
         best
+    }
+}
+
+/// One lattice point's contribution to the chain analysis: the restricted
+/// decomposition plus the indices and statuses of its canonical
+/// (cycle-bearing) components. `None` for points whose restriction is
+/// empty.
+type LatticePoint = Option<(
+    std::sync::Arc<crate::scc::SccDecomposition>,
+    Vec<(usize, bool)>,
+)>;
+
+/// The shared skeleton of the sequential and parallel lattice sweeps:
+/// per-state color masks plus the per-point computation and the
+/// order-sensitive merge. Points are independent (this is what
+/// [`ChainAnalysis::new_par`] exploits); the merge appends statuses in
+/// increasing mask order, the invariant the chain DP needs.
+struct LatticeWalk<'a> {
+    aut: &'a OmegaAutomaton,
+    reachable: &'a BitSet,
+    atoms: Vec<BitSet>,
+    color: Vec<u32>,
+}
+
+impl<'a> LatticeWalk<'a> {
+    fn new(aut: &'a OmegaAutomaton, reachable: &'a BitSet) -> Self {
+        let atoms = aut.acceptance().atom_sets();
+        assert!(
+            atoms.len() <= 16,
+            "acceptance condition has too many distinct atoms ({})",
+            atoms.len()
+        );
+        let color: Vec<u32> = (0..aut.num_states())
+            .map(|q| {
+                let mut mask = 0u32;
+                for (i, s) in atoms.iter().enumerate() {
+                    if s.contains(q) {
+                        mask |= 1 << i;
+                    }
+                }
+                mask
+            })
+            .collect();
+        LatticeWalk {
+            aut,
+            reachable,
+            atoms,
+            color,
+        }
+    }
+
+    fn point_count(&self) -> usize {
+        1usize << self.atoms.len()
+    }
+
+    fn point(
+        &self,
+        d: usize,
+        scc_of: &mut dyn FnMut(&BitSet) -> std::sync::Arc<crate::scc::SccDecomposition>,
+    ) -> LatticePoint {
+        let d = d as u32;
+        let allowed: BitSet = self
+            .reachable
+            .iter()
+            .filter(|&q| self.color[q] & !d == 0)
+            .collect();
+        if allowed.is_empty() {
+            return None;
+        }
+        let sccs = scc_of(&allowed);
+        let mut comps = Vec::new();
+        for c in 0..sccs.len() {
+            if !sccs.has_cycle[c] {
+                continue;
+            }
+            let mut colors_mask = 0u32;
+            for &q in &sccs.members[c] {
+                colors_mask |= self.color[q as usize];
+            }
+            comps.push((
+                c,
+                eval_on_colors(self.aut.acceptance(), colors_mask, &self.atoms),
+            ));
+        }
+        Some((sccs, comps))
+    }
+
+    fn merge(&self, points: Vec<LatticePoint>) -> ChainAnalysis {
+        let mut anchor_statuses: Vec<Vec<(bool, u32)>> = vec![Vec::new(); self.aut.num_states()];
+        for (d, point) in points.into_iter().enumerate() {
+            let Some((sccs, comps)) = point else { continue };
+            for (c, accepting) in comps {
+                for &q in &sccs.members[c] {
+                    anchor_statuses[q as usize].push((accepting, d as u32));
+                }
+            }
+        }
+        ChainAnalysis { anchor_statuses }
     }
 }
 

@@ -145,27 +145,56 @@ fn explore_monoid(
 
 /// Finds a periodic point of period > 1: a state `q` with `f^k(q) = q` for
 /// some minimal `k > 1`.
+///
+/// Runs in `O(n)` per transform (this sits on the monoid-exploration hot
+/// path, which calls it once per monoid element): a single colored-visited
+/// map is shared across all start states, so each state is walked exactly
+/// once. A walk that reaches territory colored by an earlier walk stops —
+/// the functional graph routes that trajectory into a cycle the earlier
+/// walk already examined. A walk that re-enters its *own* territory has
+/// found its cycle, whose length is the minimal period of every state on
+/// it (states on a `k`-cycle of a function satisfy `f^j(q) = q` iff
+/// `k | j`).
 fn counting_cycle(f: &Transform) -> Option<(StateId, usize)> {
+    counting_cycle_counted(f).0
+}
+
+/// [`counting_cycle`] instrumented with the number of trajectory steps
+/// taken — the complexity regression test pins this to `O(n)`.
+fn counting_cycle_counted(f: &Transform) -> (Option<(StateId, usize)>, usize) {
     let n = f.len();
-    for q0 in 0..n as StateId {
-        // Follow the trajectory; it enters a cycle within n steps.
-        let mut slow = q0;
-        let mut seen_at = vec![usize::MAX; n];
+    // walk_of[q]: the walk that first visited q (usize::MAX = unvisited);
+    // pos_of[q]: q's step index within that walk.
+    let mut walk_of = vec![usize::MAX; n];
+    let mut pos_of = vec![0usize; n];
+    let mut steps = 0usize;
+    for q0 in 0..n {
+        if walk_of[q0] != usize::MAX {
+            continue;
+        }
+        let mut q = q0;
         let mut i = 0usize;
         loop {
-            if seen_at[slow as usize] != usize::MAX {
-                let period = i - seen_at[slow as usize];
+            if walk_of[q] == q0 {
+                // Re-entered this walk's own territory: found its cycle.
+                let period = i - pos_of[q];
                 if period > 1 {
-                    return Some((slow, period));
+                    return (Some((q as StateId, period)), steps);
                 }
                 break;
             }
-            seen_at[slow as usize] = i;
-            slow = f[slow as usize];
+            if walk_of[q] != usize::MAX {
+                // Joined an earlier walk; its cycle was already checked.
+                break;
+            }
+            walk_of[q] = q0;
+            pos_of[q] = i;
+            q = f[q] as usize;
             i += 1;
+            steps += 1;
         }
     }
-    None
+    (None, steps)
 }
 
 #[cfg(test)]
@@ -266,6 +295,56 @@ mod tests {
             [1],
         );
         assert!(check_dfa(&d2, DEFAULT_MONOID_CAP).is_counter_free());
+    }
+
+    /// The minimal-period claim on a transform whose trajectory enters
+    /// its cycle mid-way: the reported state must lie ON the cycle and
+    /// the period must be the cycle length, not the tail-inclusive
+    /// distance.
+    #[test]
+    fn counting_cycle_minimal_period_with_tail() {
+        // 0 → 1 → 2 → 3 → 4 → 2: a 2-step tail into the 3-cycle {2,3,4}.
+        let f: Transform = vec![1, 2, 3, 4, 2];
+        let (found, _) = counting_cycle_counted(&f);
+        let (state, period) = found.expect("the 3-cycle is a counter");
+        assert_eq!(period, 3, "period is the cycle length");
+        assert!((2..=4).contains(&state), "reported state lies on the cycle");
+        // The period is minimal: applying f `period` times fixes `state`,
+        // applying it once does not.
+        let apply = |mut q: StateId, times: usize| {
+            for _ in 0..times {
+                q = f[q as usize];
+            }
+            q
+        };
+        assert_eq!(apply(state, period), state);
+        assert_ne!(apply(state, 1), state);
+        // Fixed points (period 1) are not counters, even behind a tail.
+        let g: Transform = vec![1, 2, 2];
+        assert_eq!(counting_cycle_counted(&g).0, None);
+        // A later walk joining an earlier walk's territory must not
+        // fabricate a period from mixed step indices.
+        let h: Transform = vec![0, 0, 1, 1]; // everything drains into fixed point 0
+        assert_eq!(counting_cycle_counted(&h).0, None);
+    }
+
+    /// Regression for the O(n²) re-walk: every start state used to
+    /// allocate a fresh `seen_at` vector and re-trace the trajectory, so
+    /// a long chain draining into a fixed point cost ~n²/2 steps. The
+    /// shared colored-visited map walks each state once: total steps are
+    /// bounded by n.
+    #[test]
+    fn counting_cycle_is_linear_in_states() {
+        let n = 512;
+        // Chain n-1 → n-2 → … → 1 → 0 ⟲ (fixed point): worst case for
+        // the old per-start re-walk (quadratic), linear for the new one.
+        let f: Transform = (0..n as StateId).map(|q| q.saturating_sub(1)).collect();
+        let (found, steps) = counting_cycle_counted(&f);
+        assert_eq!(found, None);
+        assert!(
+            steps <= n,
+            "expected O(n) trajectory steps, got {steps} for n={n}"
+        );
     }
 
     #[test]

@@ -39,14 +39,22 @@ pub fn omega_to_hoa(aut: &OmegaAutomaton) -> String {
     let _ = write!(out, "AP: {ap_count}");
     for i in 0..ap_count {
         if i < props.len() {
-            let _ = write!(out, " \"{}\"", props[i]);
+            let _ = write!(out, " {}", hoa_quote(&props[i]));
         } else {
             let _ = write!(out, " \"bit{i}\"");
         }
     }
     out.push('\n');
     let _ = writeln!(out, "Acceptance: {} {}", atoms.len(), formula);
-    out.push_str("properties: deterministic complete\n");
+    // `complete` may only be claimed when every AP valuation has an edge.
+    // The binary encoding introduces 2^ap_count valuations; when the
+    // alphabet size is not a power of two the padding valuations have no
+    // outgoing edges, so the exported automaton is not complete.
+    if n_sym == 1 << ap_count {
+        out.push_str("properties: deterministic complete\n");
+    } else {
+        out.push_str("properties: deterministic\n");
+    }
     out.push_str("--BODY--\n");
     for q in 0..aut.num_states() as StateId {
         // Acceptance-set membership of the state.
@@ -72,6 +80,22 @@ pub fn omega_to_hoa(aut: &OmegaAutomaton) -> String {
     }
     out.push_str("--END--\n");
     out
+}
+
+/// Renders an AP name as a double-quoted HOA string, escaping `"` and
+/// `\` per the HOA v1 grammar (the only two characters it treats
+/// specially inside quoted strings).
+fn hoa_quote(name: &str) -> String {
+    let mut quoted = String::with_capacity(name.len() + 2);
+    quoted.push('"');
+    for ch in name.chars() {
+        if ch == '"' || ch == '\\' {
+            quoted.push('\\');
+        }
+        quoted.push(ch);
+    }
+    quoted.push('"');
+    quoted
 }
 
 fn bits_needed(n: usize) -> usize {
@@ -178,6 +202,59 @@ mod tests {
         );
         let hoa = omega_to_hoa(&m);
         assert!(hoa.contains("Acceptance: 2 (Inf(0)) | (Fin(1))"));
+    }
+
+    /// Regression: AP names used to be written unescaped, so a
+    /// proposition named `a"b` or `a\b` produced a malformed HOA header.
+    #[test]
+    fn ap_names_with_quotes_and_backslashes_are_escaped() {
+        let sigma = Alphabet::of_propositions(["a\"b", "a\\b"]).unwrap();
+        let m = OmegaAutomaton::universal(&sigma);
+        let hoa = omega_to_hoa(&m);
+        assert!(
+            hoa.contains("AP: 2 \"a\\\"b\" \"a\\\\b\""),
+            "AP names must be escaped per the HOA v1 grammar, got:\n{hoa}"
+        );
+        // Every AP line token must still be a well-formed quoted string:
+        // an even number of unescaped quotes on the line.
+        let ap_line = hoa.lines().find(|l| l.starts_with("AP:")).unwrap();
+        let mut quotes = 0usize;
+        let mut escaped = false;
+        for ch in ap_line.chars() {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                quotes += 1;
+            }
+        }
+        assert_eq!(quotes % 2, 0, "unbalanced quotes in {ap_line:?}");
+    }
+
+    /// Regression: for alphabets whose size is not a power of two the
+    /// binary AP encoding has padding valuations with no outgoing edges,
+    /// so the export must not claim `complete`.
+    #[test]
+    fn non_power_of_two_alphabet_does_not_claim_complete() {
+        let sigma = Alphabet::new(["a", "b", "c"]).unwrap();
+        let m = OmegaAutomaton::universal(&sigma);
+        let hoa = omega_to_hoa(&m);
+        assert!(
+            hoa.contains("properties: deterministic\n"),
+            "determinism still holds, got:\n{hoa}"
+        );
+        assert!(
+            !hoa.contains("complete"),
+            "3 letters occupy 3 of the 4 two-bit valuations; the \
+             export is not complete:\n{hoa}"
+        );
+        // Power-of-two alphabets keep the claim.
+        for names in [vec!["a", "b"], vec!["a", "b", "c", "d"]] {
+            let sigma = Alphabet::new(names).unwrap();
+            let m = OmegaAutomaton::universal(&sigma);
+            assert!(omega_to_hoa(&m).contains("properties: deterministic complete\n"));
+        }
     }
 
     #[test]

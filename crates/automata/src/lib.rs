@@ -27,6 +27,11 @@
 //!   reachability, restricted SCC decompositions, the condensation DAG and
 //!   pairwise products across all of the above, turning a full
 //!   classification into a single color-lattice walk.
+//! * [`par`] — a zero-dependency scoped-thread worker pool
+//!   (`HIERARCHY_THREADS` sets the worker count) that fans the
+//!   color-lattice sweep and the batch classifier
+//!   ([`classify::classify_suite`]) out across cores; the `Analysis`
+//!   caches are thread-shared, so workers populate one memo table.
 //! * [`paper_checks`] — the paper's own *structural* checks for Streett
 //!   automata (closure of the bad region, etc.), kept separate so they can be
 //!   cross-validated against the exact semantic procedures.
@@ -68,6 +73,7 @@ pub mod nba;
 pub mod nfa;
 pub mod omega;
 pub mod paper_checks;
+pub mod par;
 pub mod random;
 pub mod scc;
 pub mod streett;

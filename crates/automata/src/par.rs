@@ -1,0 +1,241 @@
+//! A zero-dependency parallel execution layer for the classification
+//! stack: a scoped-thread worker pool over [`std::thread::scope`] with a
+//! chunked work queue.
+//!
+//! The exact classifier walks `O(2^m)` color-lattice points per
+//! automaton, and every point is an independent Tarjan pass; batch
+//! consumers (`spec-lint --jobs`, the seeded bench sweeps) additionally
+//! classify many independent automata in one invocation. Both axes
+//! parallelize embarrassingly, but the workspace is `--offline` with zero
+//! external dependencies, so instead of rayon this module provides the
+//! minimal primitive everything needs: an order-preserving parallel map.
+//!
+//! Design:
+//!
+//! * **Scoped workers** — every [`map`]/[`map_indices`] call spawns its
+//!   workers inside [`std::thread::scope`], so borrowed inputs (`&[T]`,
+//!   a shared [`crate::analysis::Analysis`]) flow into workers without
+//!   `Arc` plumbing, and no thread outlives the call.
+//! * **Chunked work queue** — workers claim contiguous index chunks from
+//!   a single `AtomicUsize` cursor (a few chunks per worker), which
+//!   balances uneven item costs without per-item contention.
+//! * **One level of parallelism** — workers set a thread-local flag, and
+//!   nested `map` calls run sequentially inside a worker. An outer batch
+//!   sweep (`classify_suite`) therefore parallelizes across automata
+//!   while each inner lattice walk stays sequential, instead of
+//!   oversubscribing the machine with `threads²` threads.
+//! * **Panic transparency** — a panicking worker re-raises its payload on
+//!   the caller thread after the scope joins, so the first failure
+//!   surfaces unchanged (see the poison-recovery notes on
+//!   [`crate::analysis::Analysis`] for why the caches stay usable).
+//!
+//! The worker count comes from the `HIERARCHY_THREADS` environment
+//! variable when set (a positive integer; `1` forces the sequential
+//! path), else from [`std::thread::available_parallelism`]. Explicit
+//! counts can be passed via the `_with` variants (the thread-scaling
+//! series of `tab_parallel` does).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set inside pool workers so nested maps degrade to sequential.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The effective worker count: `HIERARCHY_THREADS` when set to a positive
+/// integer, else the machine's available parallelism (1 if unknown).
+///
+/// Read on every call, so tests and experiments can re-point it between
+/// runs without rebuilding any context.
+pub fn thread_count() -> usize {
+    match std::env::var("HIERARCHY_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => available(),
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Whether the current thread is a pool worker (nested maps run
+/// sequentially there).
+pub fn in_worker() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
+/// Order-preserving parallel map over a slice with the default worker
+/// count ([`thread_count`]).
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_with(thread_count(), items, f)
+}
+
+/// Order-preserving parallel map over a slice with an explicit worker
+/// count.
+pub fn map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indices_with(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Order-preserving parallel map over `0..n` with the default worker
+/// count.
+pub fn map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    map_indices_with(thread_count(), n, f)
+}
+
+/// Order-preserving parallel map over `0..n`: `result[i] = f(i)`.
+///
+/// Spawns at most `threads` scoped workers pulling chunks of indices from
+/// a shared queue; with `threads <= 1`, a single item, or when already
+/// inside a pool worker it runs inline with no thread spawned at all.
+///
+/// # Panics
+///
+/// Re-raises the panic of the first observed panicking worker after all
+/// workers have been joined.
+pub fn map_indices_with<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.min(n);
+    if threads <= 1 || in_worker() {
+        return (0..n).map(f).collect();
+    }
+    // A few chunks per worker: large enough to amortize queue traffic,
+    // small enough that one expensive chunk does not straggle the scope.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    IN_POOL.with(|c| c.set(true));
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            produced.push((i, f(i)));
+                        }
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(produced) => {
+                    for (i, r) in produced {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is covered by exactly one chunk"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = map_with(threads, &items, |&x| x * x);
+            assert_eq!(out.len(), items.len());
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map_with(4, &empty, |x| *x).is_empty());
+        assert_eq!(map_with(4, &[7u8], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn workers_actually_run_concurrent_code_paths() {
+        // Each call increments a shared counter; the result must count
+        // every index exactly once regardless of interleaving.
+        let hits = AtomicU64::new(0);
+        let out = map_indices_with(4, 257, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_maps_degrade_to_sequential() {
+        // The inner map inside a worker must not spawn its own scope;
+        // observable effect: it still computes correctly.
+        let out = map_indices_with(4, 8, |i| {
+            assert!(in_worker());
+            map_indices_with(4, 8, |j| i * j).iter().sum::<usize>()
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 28);
+        }
+        assert!(!in_worker(), "flag is per-thread, caller is not a worker");
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            map_indices_with(4, 100, |i| {
+                if i == 37 {
+                    panic!("worker 37 dies");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn thread_count_honors_env_override() {
+        // Serialize with other env-reading tests by using a scoped name.
+        std::env::set_var("HIERARCHY_THREADS", "3");
+        assert_eq!(thread_count(), 3);
+        std::env::set_var("HIERARCHY_THREADS", "not-a-number");
+        assert!(thread_count() >= 1);
+        std::env::remove_var("HIERARCHY_THREADS");
+        assert!(thread_count() >= 1);
+    }
+}

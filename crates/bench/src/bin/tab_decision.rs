@@ -25,13 +25,26 @@ fn main() {
     let mut constructions_exact = true;
     let mut multi_pair_counterexample = false;
     let samples = 300;
-    for i in 0..samples {
+    // Pre-generate the seeded sample set, then classify the whole suite
+    // through the worker pool (honors HIERARCHY_THREADS; verdicts come
+    // back in input order, identical to per-automaton classify calls).
+    let cases: Vec<_> = (0..samples)
+        .map(|i| {
+            let k = if i % 2 == 0 { 1 } else { 2 };
+            random::random_streett(&mut rng, &sigma, 6, k, 0.3)
+        })
+        .collect();
+    let auts: Vec<_> = cases.iter().map(|(aut, _)| aut.clone()).collect();
+    let (verdicts, t_suite) = timed(|| classify::classify_suite(&auts));
+    println!(
+        "classified the {samples}-sample suite in {t_suite:.1} ms across {} worker(s)",
+        hierarchy_core::automata::par::thread_count()
+    );
+    for (i, ((aut, pairs), c)) in cases.iter().zip(&verdicts).enumerate() {
         let k = if i % 2 == 0 { 1 } else { 2 };
-        let (aut, pairs) = random::random_streett(&mut rng, &sigma, 6, k, 0.3);
-        let c = classify::classify(&aut);
         *counts.entry(c.strictest_class_name()).or_default() += 1;
-        let st_saf = paper_checks::is_safety_structural(&aut, &pairs);
-        let st_gua = paper_checks::is_guarantee_structural(&aut, &pairs);
+        let st_saf = paper_checks::is_safety_structural(aut, pairs);
+        let st_gua = paper_checks::is_guarantee_structural(aut, pairs);
         if k == 1 {
             if st_saf {
                 single_pair_sound &= c.is_safety;
@@ -42,21 +55,21 @@ fn main() {
         } else if (st_saf && !c.is_safety) || (st_gua && !c.is_guarantee) {
             multi_pair_counterexample = true;
         }
-        if paper_checks::is_recurrence_shaped(&pairs) {
+        if paper_checks::is_recurrence_shaped(pairs) {
             constructions_exact &= c.is_recurrence;
         }
-        if paper_checks::is_persistence_shaped(&pairs) {
+        if paper_checks::is_persistence_shaped(pairs) {
             constructions_exact &= c.is_persistence;
         }
         // The Prop 5.1 constructions are exact whenever they apply.
-        if let Some(dba) = paper_checks::recurrence_automaton(&aut, &pairs) {
-            constructions_exact &= dba.equivalent(&aut) && c.is_recurrence;
+        if let Some(dba) = paper_checks::recurrence_automaton(aut, pairs) {
+            constructions_exact &= dba.equivalent(aut) && c.is_recurrence;
         }
-        if let Some(saf) = paper_checks::safety_automaton(&aut) {
-            constructions_exact &= saf.equivalent(&aut);
+        if let Some(saf) = paper_checks::safety_automaton(aut) {
+            constructions_exact &= saf.equivalent(aut);
         }
-        if let Some(gua) = paper_checks::guarantee_automaton(&aut) {
-            constructions_exact &= gua.equivalent(&aut);
+        if let Some(gua) = paper_checks::guarantee_automaton(aut) {
+            constructions_exact &= gua.equivalent(aut);
         }
     }
     println!("\nclass distribution over {samples} random 6-state automata:");

@@ -9,7 +9,7 @@ use hierarchy_core::automata::alphabet::Alphabet;
 use hierarchy_core::automata::analysis::Analysis;
 use hierarchy_core::automata::random;
 use hierarchy_core::automata::random::rng::{SeedableRng, StdRng};
-use hierarchy_core::lint::{lint_automaton, lint_automaton_ctx, registry};
+use hierarchy_core::lint::{lint_automaton, lint_automaton_ctx, lint_suite, registry, Lintable};
 use std::fmt::Write as _;
 
 fn main() {
@@ -58,6 +58,28 @@ fn main() {
         ctx_cheaper_somewhere,
     );
 
+    // --- Batch linting through the worker pool: a seeded suite of small
+    //     automata linted at several job counts, asserted diagnostic-
+    //     identical to the sequential per-item lints.
+    let suite: Vec<_> = (0..24)
+        .map(|i| {
+            let k = 1 + i % 2;
+            random::random_streett(&mut rng, &sigma, 16, k, 0.25).0
+        })
+        .collect();
+    let sequential: Vec<_> = suite.iter().map(Lintable::lint).collect();
+    let mut batch_rows = Vec::new();
+    println!("\n{:>6} {:>13}", "jobs", "suite ms");
+    for jobs in [1usize, 2, 4] {
+        let (batched, t_batch) = timed(|| lint_suite(&suite, jobs));
+        expect(
+            "batched lint reports are identical to sequential lints",
+            batched == sequential,
+        );
+        println!("{jobs:>6} {t_batch:>13.3}");
+        batch_rows.push((jobs, t_batch));
+    }
+
     let mut json = String::from("{\n  \"experiment\": \"TAB-LINT\",\n  \"rows\": [\n");
     for (i, (n, k, t_cold, t_classify, t_ctx, findings)) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
@@ -66,6 +88,14 @@ fn main() {
             "    {{\"states\": {n}, \"pairs\": {k}, \"cold_lint_ms\": {t_cold:.3}, \
              \"classify_ms\": {t_classify:.3}, \"ctx_lint_ms\": {t_ctx:.3}, \
              \"findings\": {findings}}}{sep}"
+        );
+    }
+    json.push_str("  ],\n  \"batch_suite\": [\n");
+    for (i, (jobs, t_batch)) in batch_rows.iter().enumerate() {
+        let sep = if i + 1 == batch_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"jobs\": {jobs}, \"suite_ms\": {t_batch:.3}}}{sep}"
         );
     }
     json.push_str("  ]\n}\n");

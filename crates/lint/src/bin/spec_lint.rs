@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! spec-lint rules [--json]               list the rule catalogue
-//! spec-lint formula [OPTS] "<formula>"   lint a temporal formula
-//! spec-lint regex [OPTS] "<pattern>"     lint a regular expression and
-//!                                        the finitary property it denotes
-//! spec-lint examples [--json]            lint the paper's running examples
+//! spec-lint formula [OPTS] "<formula>"…  lint one or more temporal formulas
+//! spec-lint regex [OPTS] "<pattern>"…    lint one or more regular expressions
+//!                                        and the finitary properties they denote
+//! spec-lint examples [--json] [--jobs N] lint the paper's running examples
 //!
 //! OPTS:
 //!   --letters a,b,c    plain alphabet (default: a,b)
 //!   --props p,q        valuation alphabet over propositions
+//!   --jobs N           lint artifacts on N worker threads (default:
+//!                      HIERARCHY_THREADS, else the machine's cores)
 //!   --json             machine-readable output
 //! ```
 //!
@@ -19,6 +21,7 @@
 
 use hierarchy_automata::alphabet::Alphabet;
 use hierarchy_automata::omega::OmegaAutomaton;
+use hierarchy_automata::par;
 use hierarchy_fts::programs;
 use hierarchy_fts::system::Fairness;
 use hierarchy_lang::finitary::FinitaryProperty;
@@ -51,13 +54,15 @@ spec-lint: static analysis for hierarchy specifications
 
 USAGE:
   spec-lint rules [--json]               list the rule catalogue
-  spec-lint formula [OPTS] \"<formula>\"   lint a temporal formula
-  spec-lint regex [OPTS] \"<pattern>\"     lint a regular expression
-  spec-lint examples [--json]            lint the paper's running examples
+  spec-lint formula [OPTS] \"<formula>\"…  lint one or more temporal formulas
+  spec-lint regex [OPTS] \"<pattern>\"…    lint one or more regular expressions
+  spec-lint examples [--json] [--jobs N] lint the paper's running examples
 
 OPTS:
   --letters a,b,c    plain alphabet (default: a,b)
   --props p,q        valuation alphabet over propositions
+  --jobs N           lint artifacts on N worker threads (default:
+                     HIERARCHY_THREADS, else the machine's cores)
   --json             machine-readable output
 
 Exit status: 0 clean, 1 findings at warning level or above, 2 usage error.
@@ -73,17 +78,29 @@ fn usage_error(message: &str) -> ExitCode {
 struct Opts {
     json: bool,
     alphabet: Alphabet,
+    jobs: usize,
     positional: Vec<String>,
 }
 
 fn parse_opts(args: Vec<&str>) -> Result<Opts, String> {
     let mut json = false;
     let mut alphabet: Option<Alphabet> = None;
+    let mut jobs: Option<usize> = None;
     let mut positional = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg {
             "--json" => json = true,
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a thread count")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a positive integer, got {value:?}"))?;
+                if n == 0 {
+                    return Err("--jobs needs a positive integer".into());
+                }
+                jobs = Some(n);
+            }
             "--letters" | "--props" => {
                 let value = it
                     .next()
@@ -107,6 +124,7 @@ fn parse_opts(args: Vec<&str>) -> Result<Opts, String> {
             Some(sigma) => sigma,
             None => Alphabet::new(["a", "b"]).map_err(|e| e.to_string())?,
         },
+        jobs: jobs.unwrap_or_else(par::thread_count),
         positional,
     })
 }
@@ -153,18 +171,25 @@ fn cmd_formula(args: Vec<&str>) -> ExitCode {
         Ok(o) => o,
         Err(e) => return usage_error(&e),
     };
-    let [src] = opts.positional.as_slice() else {
-        return usage_error("formula takes exactly one formula argument");
-    };
-    let formula = match Formula::parse(&opts.alphabet, src) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("spec-lint: {e}");
-            return ExitCode::from(2);
+    if opts.positional.is_empty() {
+        return usage_error("formula takes one or more formula arguments");
+    }
+    // Parse everything up front (fail fast with exit 2), then fan the
+    // semantic lints out across the worker pool.
+    let mut formulas = Vec::with_capacity(opts.positional.len());
+    for src in &opts.positional {
+        match Formula::parse(&opts.alphabet, src) {
+            Ok(f) => formulas.push(f),
+            Err(e) => {
+                eprintln!("spec-lint: {e}");
+                return ExitCode::from(2);
+            }
         }
-    };
-    let diags = lint_formula(&opts.alphabet, &formula);
-    report(&[(src.clone(), diags)], opts.json)
+    }
+    let reports = par::map_with(opts.jobs, &formulas, |f| lint_formula(&opts.alphabet, f));
+    let suite: Vec<(String, Vec<Diagnostic>)> =
+        opts.positional.iter().cloned().zip(reports).collect();
+    report(&suite, opts.json)
 }
 
 fn cmd_regex(args: Vec<&str>) -> ExitCode {
@@ -172,33 +197,47 @@ fn cmd_regex(args: Vec<&str>) -> ExitCode {
         Ok(o) => o,
         Err(e) => return usage_error(&e),
     };
-    let [pattern] = opts.positional.as_slice() else {
-        return usage_error("regex takes exactly one pattern argument");
-    };
-    let regex = match Regex::parse(&opts.alphabet, pattern) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("spec-lint: {e}");
-            return ExitCode::from(2);
+    if opts.positional.is_empty() {
+        return usage_error("regex takes one or more pattern arguments");
+    }
+    let mut regexes = Vec::with_capacity(opts.positional.len());
+    for pattern in &opts.positional {
+        match Regex::parse(&opts.alphabet, pattern) {
+            Ok(r) => regexes.push(r),
+            Err(e) => {
+                eprintln!("spec-lint: {e}");
+                return ExitCode::from(2);
+            }
         }
-    };
-    let mut diags = lint_regex(&regex);
-    diags.extend(lint_finitary(&FinitaryProperty::from_regex(
-        &opts.alphabet,
-        &regex,
-    )));
-    report(&[(pattern.clone(), diags)], opts.json)
+    }
+    let reports = par::map_with(opts.jobs, &regexes, |regex| {
+        let mut diags = lint_regex(regex);
+        diags.extend(lint_finitary(&FinitaryProperty::from_regex(
+            &opts.alphabet,
+            regex,
+        )));
+        diags
+    });
+    let suite: Vec<(String, Vec<Diagnostic>)> =
+        opts.positional.iter().cloned().zip(reports).collect();
+    report(&suite, opts.json)
 }
 
 /// Lints the paper's running examples end to end: the mutual-exclusion
 /// specifications, a zoo of hierarchy formulas, the witness automata of
 /// each class, the finitary examples, and the example programs.
 fn cmd_examples(args: Vec<&str>) -> ExitCode {
-    let json = args.contains(&"--json");
-    if args.iter().any(|a| *a != "--json") {
-        return usage_error("examples takes only --json");
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    if !opts.positional.is_empty() {
+        return usage_error("examples takes only --json and --jobs");
     }
-    let mut suite: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    // Each entry is a named deferred lint; the whole suite fans out
+    // across the worker pool below.
+    type LintJob = (String, Box<dyn Fn() -> Vec<Diagnostic> + Sync>);
+    let mut jobs: Vec<LintJob> = Vec::new();
 
     // Temporal formulas over a plain three-letter alphabet. (Over just
     // {a, b} the negation of one letter IS the other, which makes several
@@ -217,14 +256,22 @@ fn cmd_examples(args: Vec<&str>) -> ExitCode {
         "G (b -> O a)",
     ] {
         let f = Formula::parse(&abc, src).expect(src);
-        suite.push((format!("formula {src:?}"), lint_formula(&abc, &f)));
+        let sigma = abc.clone();
+        jobs.push((
+            format!("formula {src:?}"),
+            Box::new(move || lint_formula(&sigma, &f)),
+        ));
     }
 
     // Mutual-exclusion specifications over the program propositions.
     let props = Alphabet::of_propositions(["c1", "c2", "t1", "t2"]).expect("alphabet");
     for src in ["G !(c1 & c2)", "G (t1 -> F c1)", "G (t2 -> F c2)"] {
         let f = Formula::parse(&props, src).expect(src);
-        suite.push((format!("mutex spec {src:?}"), lint_formula(&props, &f)));
+        let sigma = props.clone();
+        jobs.push((
+            format!("mutex spec {src:?}"),
+            Box::new(move || lint_formula(&sigma, &f)),
+        ));
     }
 
     // The witness automata of every class of the hierarchy.
@@ -243,28 +290,40 @@ fn cmd_examples(args: Vec<&str>) -> ExitCode {
             witnesses::reactivity_witness(2),
         ),
     ];
-    for (name, aut) in &automata {
-        suite.push((name.clone(), hierarchy_lint::lint_automaton(aut)));
+    for (name, aut) in automata {
+        jobs.push((name, Box::new(move || hierarchy_lint::lint_automaton(&aut))));
     }
 
     // Finitary examples, including the paper's Φ = a a* b*.
     let ab = Alphabet::new(["a", "b"]).expect("alphabet");
     for pattern in ["a a* b*", "a* b", "(a b) + a"] {
         let regex = Regex::parse(&ab, pattern).expect(pattern);
-        let mut diags = lint_regex(&regex);
-        diags.extend(lint_finitary(&FinitaryProperty::from_regex(&ab, &regex)));
-        suite.push((format!("regex {pattern:?}"), diags));
+        let sigma = ab.clone();
+        jobs.push((
+            format!("regex {pattern:?}"),
+            Box::new(move || {
+                let mut diags = lint_regex(&regex);
+                diags.extend(lint_finitary(&FinitaryProperty::from_regex(&sigma, &regex)));
+                diags
+            }),
+        ));
     }
 
     // The example programs.
     let (peterson, _) = programs::peterson();
     let (mux, _) = programs::mux_sem(Fairness::Strong);
     let (ring, _) = programs::token_ring(true);
-    suite.push(("program peterson".into(), lint_system(&peterson)));
-    suite.push(("program mux_sem".into(), lint_system(&mux)));
-    suite.push(("program token_ring".into(), lint_system(&ring)));
+    for (name, system) in [
+        ("program peterson", peterson),
+        ("program mux_sem", mux),
+        ("program token_ring", ring),
+    ] {
+        jobs.push((name.into(), Box::new(move || lint_system(&system))));
+    }
 
-    report(&suite, json)
+    let suite: Vec<(String, Vec<Diagnostic>)> =
+        par::map_with(opts.jobs, &jobs, |(name, job)| (name.clone(), job()));
+    report(&suite, opts.json)
 }
 
 /// Prints a suite report and computes the exit code.

@@ -60,6 +60,20 @@ impl Lintable for OmegaAutomaton {
     }
 }
 
+/// Lints a batch of artifacts across the worker pool of
+/// [`hierarchy_automata::par`] (each artifact is one work item; the
+/// semantic rules inside an item run sequentially so the pool is never
+/// oversubscribed). Reports come back in input order and are identical
+/// to calling [`Lintable::lint`] on each item.
+///
+/// `jobs` is the worker count — pass
+/// [`hierarchy_automata::par::thread_count`] to honor the
+/// `HIERARCHY_THREADS` override, or an explicit count (`spec-lint
+/// --jobs N` does).
+pub fn lint_suite<T: Lintable + Sync>(items: &[T], jobs: usize) -> Vec<Vec<Diagnostic>> {
+    hierarchy_automata::par::map_with(jobs, items, Lintable::lint)
+}
+
 impl Lintable for TransitionSystem {
     fn lint(&self) -> Vec<Diagnostic> {
         lint_system(self)
@@ -90,6 +104,33 @@ mod tests {
         assert_eq!(phi.lint()[0].code, "LANG003");
         let r = Regex::parse(&sigma, "(a*)*").unwrap();
         assert_eq!(r.lint()[0].code, "LANG002");
+    }
+
+    #[test]
+    fn lint_suite_agrees_with_sequential_lints() {
+        use hierarchy_automata::acceptance::Acceptance;
+        use hierarchy_automata::omega::OmegaAutomaton;
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let auts: Vec<OmegaAutomaton> = (0..6)
+            .map(|i| {
+                OmegaAutomaton::build(
+                    &sigma,
+                    2 + i % 3,
+                    0,
+                    |q, s| if s == b { (q + 1) % 2 } else { q },
+                    if i % 2 == 0 {
+                        Acceptance::inf([1])
+                    } else {
+                        Acceptance::fin([0])
+                    },
+                )
+            })
+            .collect();
+        let sequential: Vec<_> = auts.iter().map(Lintable::lint).collect();
+        for jobs in [1, 2, 4] {
+            assert_eq!(lint_suite(&auts, jobs), sequential, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -8,6 +8,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test --offline --workspace --quiet
+# Re-run the cross-validation suite with the worker pool forced on, so the
+# parallel classification path is exercised even on single-core hosts.
+HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
+  --test analysis_cross_validation --test parallel_stress --quiet
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
 

@@ -128,6 +128,32 @@ fn analysis_agrees_with_free_functions_on_random_streett() {
     }
 }
 
+/// The batch API returns, at every worker count, exactly the verdicts the
+/// per-automaton classifier produces — in input order. Run under
+/// `HIERARCHY_THREADS=2` by tier1.sh so the worker-pool path is exercised
+/// even where `available_parallelism` is 1.
+#[test]
+fn classify_suite_agrees_with_individual_classification() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    let suite: Vec<OmegaAutomaton> = (0..40)
+        .map(|_| {
+            let n = rng.gen_range(4..=32usize);
+            let pairs = rng.gen_range(1..=3usize);
+            rand_streett(&mut rng, n, pairs)
+        })
+        .collect();
+    let individual: Vec<_> = suite.iter().map(classify::classify).collect();
+    let pooled = classify::classify_suite(&suite);
+    assert_eq!(pooled, individual, "default worker count");
+    for workers in [1usize, 2, 3, 8] {
+        assert_eq!(
+            classify::classify_suite_with(workers, &suite),
+            individual,
+            "workers={workers}"
+        );
+    }
+}
+
 /// The topology ctx variants agree with their free counterparts.
 #[test]
 fn topology_ctx_variants_agree() {

@@ -1,0 +1,111 @@
+//! Concurrency stress test for the shared [`Analysis`] context: many
+//! threads hammer ONE context with interleaved queries and every answer
+//! must match a sequential context's, while the per-key once-cell SCC
+//! memo keeps the total pass count inside the 2^m color-lattice budget
+//! no matter how the racers interleave (a racer that loses the cell
+//! claim blocks on the winner's computation instead of re-running it).
+
+use temporal_properties::automata::analysis::Analysis;
+use temporal_properties::automata::omega::OmegaAutomaton;
+use temporal_properties::automata::random::rng::{Rng, SeedableRng, StdRng};
+use temporal_properties::automata::streett::{StreettPair, StreettPairs};
+use temporal_properties::prelude::*;
+
+fn rand_streett<R: Rng>(rng: &mut R, n: usize, pairs: usize) -> OmegaAutomaton {
+    let delta: Vec<u32> = (0..n * 2).map(|_| rng.gen_range(0..n) as u32).collect();
+    let rand_set = |rng: &mut R| -> Vec<usize> {
+        let len = rng.gen_range(0..=n.min(8));
+        (0..len).map(|_| rng.gen_range(0..n)).collect()
+    };
+    let pair_list: Vec<StreettPair> = (0..pairs)
+        .map(|_| StreettPair::new(rand_set(rng), rand_set(rng)))
+        .collect();
+    let alphabet = Alphabet::new(["a", "b"]).unwrap();
+    OmegaAutomaton::build(
+        &alphabet,
+        n,
+        0,
+        |q, s| delta[q as usize * 2 + s.index()],
+        StreettPairs(pair_list).acceptance(n),
+    )
+}
+
+/// 8 threads × interleaved query mix on one shared context, repeated over
+/// several random automata. Every thread's verdicts must equal the
+/// sequential reference, and the shared context must stay within the
+/// lattice pass budget — the budget is the part that would break if two
+/// racers could both run the same restricted SCC pass.
+#[test]
+fn concurrent_queries_agree_with_sequential_and_keep_the_pass_budget() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..6 {
+        let n = rng.gen_range(24..=96usize);
+        let pairs = rng.gen_range(2..=4usize);
+        let aut = rand_streett(&mut rng, n, pairs);
+        let m = aut.acceptance().atom_sets().len();
+
+        // Sequential reference on its own context.
+        let reference = Analysis::new(aut.clone());
+        let ref_verdict = reference.classification().clone();
+        let ref_rabin = reference.rabin_index();
+        let ref_empty = reference.is_empty();
+        let ref_scc_count = reference.sccs(None).len();
+
+        let shared = Analysis::new(aut.clone());
+        std::thread::scope(|scope| {
+            for worker in 0..8usize {
+                let shared = &shared;
+                let ref_verdict = &ref_verdict;
+                scope.spawn(move || {
+                    // Stagger the entry points so different workers race
+                    // different caches first.
+                    match worker % 4 {
+                        0 => assert_eq!(shared.classification(), ref_verdict),
+                        1 => assert_eq!(shared.rabin_index(), ref_rabin),
+                        2 => assert_eq!(shared.is_empty(), ref_empty),
+                        _ => assert_eq!(shared.sccs(None).len(), ref_scc_count),
+                    }
+                    assert_eq!(shared.classification(), ref_verdict);
+                    assert_eq!(shared.rabin_index(), ref_rabin);
+                    assert_eq!(shared.is_empty(), ref_empty);
+                    assert_eq!(shared.sccs(None).len(), ref_scc_count);
+                });
+            }
+        });
+
+        let stats = shared.stats();
+        assert!(
+            stats.scc_passes <= 1 << m,
+            "case {case}: {} SCC passes exceed the 2^{m} lattice budget \
+             under 8-way contention",
+            stats.scc_passes
+        );
+    }
+}
+
+/// The same mixed workload through `Property` handles sharing one
+/// underlying automaton each: clones of an `Analysis`-backed value run on
+/// distinct contexts, so this pins down that nothing in the crate relies
+/// on thread-local state for correctness.
+#[test]
+fn parallel_batch_matches_sequential_batch() {
+    use temporal_properties::automata::classify;
+    let mut rng = StdRng::seed_from_u64(271);
+    let suite: Vec<OmegaAutomaton> = (0..24)
+        .map(|_| {
+            let n = rng.gen_range(8..=48usize);
+            rand_streett(&mut rng, n, 2)
+        })
+        .collect();
+    let sequential: Vec<_> = suite.iter().map(classify::classify).collect();
+    std::thread::scope(|scope| {
+        for chunk in suite.chunks(6).zip(sequential.chunks(6)) {
+            scope.spawn(move || {
+                let (auts, expected) = chunk;
+                for (aut, want) in auts.iter().zip(expected) {
+                    assert_eq!(&classify::classify(aut), want);
+                }
+            });
+        }
+    });
+}
