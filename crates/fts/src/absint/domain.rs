@@ -1,0 +1,818 @@
+//! Abstract domains for the invariant engine.
+//!
+//! All three domains are *cartesian* (one abstract value per variable, no
+//! relations between variables) and share a single transfer-function
+//! language: abstract values are lifted into [`AbsInt`] — a bounded
+//! integer-set abstraction — where expression arithmetic and guard
+//! refinement happen, then cut back down to the domain
+//! ([`Domain::lift`] / [`Domain::cut`]). This keeps the domains honest
+//! about one semantics and keeps each domain implementation tiny:
+//!
+//! * [`ConstDomain`] — flat constant propagation (`⊥ ⊑ k ⊑ ⊤`);
+//! * [`IntervalDomain`] — intervals clipped to the declared domain, with
+//!   widening to the domain bounds;
+//! * [`ValueSetDomain`] — per-variable value sets as 64-bit masks (the
+//!   most precise cartesian abstraction of a `≤ 64`-value domain).
+
+use super::ir::{Cmp, Expr, Guard};
+
+/// Cap on explicit value sets inside [`AbsInt`]; larger sets collapse to
+/// their interval hull.
+const SET_CAP: usize = 64;
+
+/// The mask of a full domain `{0, …, dom−1}` (`dom ≤ 64`).
+pub fn full_mask(dom: usize) -> u64 {
+    if dom >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << dom) - 1
+    }
+}
+
+/// A bounded abstraction of a set of integers: bottom, an explicit sorted
+/// set of at most [`SET_CAP`] values, or an interval. This is the lingua
+/// franca of the transfer functions — every [`Domain`] lifts into it and
+/// cuts back out of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsInt {
+    /// The empty set.
+    Bot,
+    /// A sorted, deduplicated, non-empty set of values.
+    Vals(Vec<i64>),
+    /// All integers in `lo..=hi` (`lo ≤ hi`).
+    Range(i64, i64),
+}
+
+impl AbsInt {
+    /// The singleton `{v}`.
+    pub fn singleton(v: i64) -> AbsInt {
+        AbsInt::Vals(vec![v])
+    }
+
+    /// Normalizes a value list (sorts, dedups, collapses to a hull past
+    /// the cap).
+    pub fn from_vals(mut vs: Vec<i64>) -> AbsInt {
+        vs.sort_unstable();
+        vs.dedup();
+        match vs.len() {
+            0 => AbsInt::Bot,
+            n if n > SET_CAP => AbsInt::Range(vs[0], vs[n - 1]),
+            _ => AbsInt::Vals(vs),
+        }
+    }
+
+    /// `lo..=hi`, or bottom when empty.
+    pub fn range(lo: i64, hi: i64) -> AbsInt {
+        if lo > hi {
+            AbsInt::Bot
+        } else {
+            AbsInt::Range(lo, hi)
+        }
+    }
+
+    /// The set of values in a mask (bit `i` set ⇒ value `i` present).
+    pub fn from_mask(mask: u64) -> AbsInt {
+        if mask == 0 {
+            return AbsInt::Bot;
+        }
+        AbsInt::Vals((0..64).filter(|i| mask >> i & 1 == 1).collect())
+    }
+
+    /// The mask of values within `{0, …, dom−1}`.
+    pub fn to_mask(&self, dom: usize) -> u64 {
+        match self {
+            AbsInt::Bot => 0,
+            AbsInt::Vals(vs) => vs
+                .iter()
+                .filter(|&&v| v >= 0 && v < dom as i64)
+                .fold(0u64, |m, &v| m | 1u64 << v),
+            AbsInt::Range(lo, hi) => {
+                let lo = (*lo).max(0);
+                let hi = (*hi).min(dom as i64 - 1);
+                (lo..=hi).fold(0u64, |m, v| m | 1u64 << v)
+            }
+        }
+    }
+
+    /// Smallest member, if any.
+    pub fn min(&self) -> Option<i64> {
+        match self {
+            AbsInt::Bot => None,
+            AbsInt::Vals(vs) => Some(vs[0]),
+            AbsInt::Range(lo, _) => Some(*lo),
+        }
+    }
+
+    /// Largest member, if any.
+    pub fn max(&self) -> Option<i64> {
+        match self {
+            AbsInt::Bot => None,
+            AbsInt::Vals(vs) => Some(*vs.last().unwrap()),
+            AbsInt::Range(_, hi) => Some(*hi),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: i64) -> bool {
+        match self {
+            AbsInt::Bot => false,
+            AbsInt::Vals(vs) => vs.binary_search(&v).is_ok(),
+            AbsInt::Range(lo, hi) => *lo <= v && v <= *hi,
+        }
+    }
+
+    fn binop(
+        a: &AbsInt,
+        b: &AbsInt,
+        f: impl Fn(i64, i64) -> i64,
+        hull: impl Fn(i64, i64, i64, i64) -> (i64, i64),
+    ) -> AbsInt {
+        match (a, b) {
+            (AbsInt::Bot, _) | (_, AbsInt::Bot) => AbsInt::Bot,
+            (AbsInt::Vals(xs), AbsInt::Vals(ys)) if xs.len() * ys.len() <= 4 * SET_CAP => {
+                let mut out = Vec::with_capacity(xs.len() * ys.len());
+                for &x in xs {
+                    for &y in ys {
+                        out.push(f(x, y));
+                    }
+                }
+                AbsInt::from_vals(out)
+            }
+            _ => {
+                let (alo, ahi) = (a.min().unwrap(), a.max().unwrap());
+                let (blo, bhi) = (b.min().unwrap(), b.max().unwrap());
+                let (lo, hi) = hull(alo, ahi, blo, bhi);
+                AbsInt::range(lo, hi)
+            }
+        }
+    }
+
+    /// Abstract addition.
+    pub fn add(a: &AbsInt, b: &AbsInt) -> AbsInt {
+        AbsInt::binop(
+            a,
+            b,
+            |x, y| x + y,
+            |alo, ahi, blo, bhi| (alo + blo, ahi + bhi),
+        )
+    }
+
+    /// Abstract subtraction.
+    pub fn sub(a: &AbsInt, b: &AbsInt) -> AbsInt {
+        AbsInt::binop(
+            a,
+            b,
+            |x, y| x - y,
+            |alo, ahi, blo, bhi| (alo - bhi, ahi - blo),
+        )
+    }
+
+    /// Abstract multiplication.
+    pub fn mul(a: &AbsInt, b: &AbsInt) -> AbsInt {
+        AbsInt::binop(
+            a,
+            b,
+            |x, y| x * y,
+            |alo, ahi, blo, bhi| {
+                let corners = [alo * blo, alo * bhi, ahi * blo, ahi * bhi];
+                (
+                    *corners.iter().min().unwrap(),
+                    *corners.iter().max().unwrap(),
+                )
+            },
+        )
+    }
+
+    /// Abstract Euclidean remainder modulo a positive constant.
+    pub fn modm(a: &AbsInt, m: i64) -> AbsInt {
+        debug_assert!(m > 0);
+        match a {
+            AbsInt::Bot => AbsInt::Bot,
+            AbsInt::Vals(vs) => AbsInt::from_vals(vs.iter().map(|v| v.rem_euclid(m)).collect()),
+            AbsInt::Range(lo, hi) => {
+                if hi - lo + 1 >= m {
+                    return AbsInt::range(0, m - 1);
+                }
+                let (rl, rh) = (lo.rem_euclid(m), hi.rem_euclid(m));
+                if rl <= rh {
+                    AbsInt::range(rl, rh)
+                } else {
+                    AbsInt::range(0, m - 1) // the range wraps around 0
+                }
+            }
+        }
+    }
+
+    /// May `a op b` hold for some `(x, y) ∈ a × b`? (Over-approximate:
+    /// `true` may be spurious, `false` never is.)
+    pub fn may_hold(op: Cmp, a: &AbsInt, b: &AbsInt) -> bool {
+        let (Some(alo), Some(ahi), Some(blo), Some(bhi)) = (a.min(), a.max(), b.min(), b.max())
+        else {
+            return false;
+        };
+        match op {
+            Cmp::Lt => alo < bhi,
+            Cmp::Le => alo <= bhi,
+            Cmp::Gt => ahi > blo,
+            Cmp::Ge => ahi >= blo,
+            Cmp::Ne => !(alo == ahi && blo == bhi && alo == blo),
+            Cmp::Eq => match (a, b) {
+                (AbsInt::Vals(xs), AbsInt::Vals(ys)) => {
+                    xs.iter().any(|x| ys.binary_search(x).is_ok())
+                }
+                (AbsInt::Vals(xs), _) => xs.iter().any(|x| b.contains(*x)),
+                (_, AbsInt::Vals(ys)) => ys.iter().any(|y| a.contains(*y)),
+                _ => alo.max(blo) <= ahi.min(bhi),
+            },
+        }
+    }
+
+    fn clamp_max(&self, hi: i64) -> AbsInt {
+        match self {
+            AbsInt::Bot => AbsInt::Bot,
+            AbsInt::Vals(vs) => {
+                AbsInt::from_vals(vs.iter().copied().filter(|&v| v <= hi).collect())
+            }
+            AbsInt::Range(l, h) => AbsInt::range(*l, (*h).min(hi)),
+        }
+    }
+
+    fn clamp_min(&self, lo: i64) -> AbsInt {
+        match self {
+            AbsInt::Bot => AbsInt::Bot,
+            AbsInt::Vals(vs) => {
+                AbsInt::from_vals(vs.iter().copied().filter(|&v| v >= lo).collect())
+            }
+            AbsInt::Range(l, h) => AbsInt::range((*l).max(lo), *h),
+        }
+    }
+
+    /// Set intersection (exact on value sets, hull-intersection on
+    /// ranges).
+    pub fn intersect(a: &AbsInt, b: &AbsInt) -> AbsInt {
+        match (a, b) {
+            (AbsInt::Bot, _) | (_, AbsInt::Bot) => AbsInt::Bot,
+            (AbsInt::Vals(xs), _) => {
+                AbsInt::from_vals(xs.iter().copied().filter(|&x| b.contains(x)).collect())
+            }
+            (_, AbsInt::Vals(ys)) => {
+                AbsInt::from_vals(ys.iter().copied().filter(|&y| a.contains(y)).collect())
+            }
+            (AbsInt::Range(al, ah), AbsInt::Range(bl, bh)) => {
+                AbsInt::range(*al.max(bl), *ah.min(bh))
+            }
+        }
+    }
+
+    /// The subset of `a` whose elements can satisfy `x op y` for *some*
+    /// `y ∈ b` (sound guard refinement: never drops a satisfying value).
+    pub fn refine(op: Cmp, a: &AbsInt, b: &AbsInt) -> AbsInt {
+        if matches!(a, AbsInt::Bot) || matches!(b, AbsInt::Bot) {
+            return AbsInt::Bot;
+        }
+        match op {
+            Cmp::Eq => AbsInt::intersect(a, b),
+            Cmp::Ne => match b {
+                AbsInt::Vals(ys) if ys.len() == 1 => {
+                    let c = ys[0];
+                    match a {
+                        AbsInt::Vals(xs) => {
+                            AbsInt::from_vals(xs.iter().copied().filter(|&x| x != c).collect())
+                        }
+                        AbsInt::Range(lo, hi) if *lo == *hi && *lo == c => AbsInt::Bot,
+                        AbsInt::Range(lo, hi) if *lo == c => AbsInt::range(lo + 1, *hi),
+                        AbsInt::Range(lo, hi) if *hi == c => AbsInt::range(*lo, hi - 1),
+                        other => other.clone(),
+                    }
+                }
+                _ => a.clone(),
+            },
+            Cmp::Lt => a.clamp_max(b.max().unwrap() - 1),
+            Cmp::Le => a.clamp_max(b.max().unwrap()),
+            Cmp::Gt => a.clamp_min(b.min().unwrap() + 1),
+            Cmp::Ge => a.clamp_min(b.min().unwrap()),
+        }
+    }
+}
+
+/// Which abstract domain to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainKind {
+    /// Flat constant propagation.
+    Constants,
+    /// Intervals clipped to the declared domain, with widening.
+    Intervals,
+    /// Per-variable value sets (64-bit masks).
+    ValueSets,
+}
+
+impl DomainKind {
+    /// All domains, in increasing precision order.
+    pub const ALL: [DomainKind; 3] = [
+        DomainKind::Constants,
+        DomainKind::Intervals,
+        DomainKind::ValueSets,
+    ];
+
+    /// A stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DomainKind::Constants => "constants",
+            DomainKind::Intervals => "intervals",
+            DomainKind::ValueSets => "value-sets",
+        }
+    }
+}
+
+/// A cartesian abstract domain over one finite-domain variable.
+///
+/// `dom` parameters are the declared domain size of the variable the
+/// value abstracts; every abstract value denotes a subset of
+/// `{0, …, dom−1}`.
+pub trait Domain {
+    /// The abstract value type.
+    type Val: Clone + PartialEq + std::fmt::Debug;
+    /// The corresponding [`DomainKind`] tag.
+    const KIND: DomainKind;
+    /// The empty set.
+    fn bottom() -> Self::Val;
+    /// Is this the empty set?
+    fn is_bottom(v: &Self::Val) -> bool;
+    /// The full domain `{0, …, dom−1}`.
+    fn top(dom: usize) -> Self::Val;
+    /// The singleton `{x}`.
+    fn singleton(x: usize) -> Self::Val;
+    /// Least upper bound.
+    fn join(a: &Self::Val, b: &Self::Val, dom: usize) -> Self::Val;
+    /// Widening (defaults to join; intervals jump to the domain bounds).
+    fn widen(a: &Self::Val, b: &Self::Val, dom: usize) -> Self::Val {
+        Self::join(a, b, dom)
+    }
+    /// Partial-order test `a ⊑ b`.
+    fn leq(a: &Self::Val, b: &Self::Val) -> bool;
+    /// Lifts into the shared transfer-function abstraction.
+    fn lift(v: &Self::Val, dom: usize) -> AbsInt;
+    /// Cuts a transfer result back down, restricted to `{0, …, dom−1}`.
+    fn cut(ai: &AbsInt, dom: usize) -> Self::Val;
+    /// The concretization as a bit mask over `{0, …, dom−1}`.
+    fn mask(v: &Self::Val, dom: usize) -> u64;
+}
+
+/// The flat lattice of constant propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flat {
+    /// No value.
+    Bot,
+    /// Exactly this value.
+    Val(usize),
+    /// Any value in the domain.
+    Top,
+}
+
+/// Flat constant propagation.
+pub struct ConstDomain;
+
+impl Domain for ConstDomain {
+    type Val = Flat;
+    const KIND: DomainKind = DomainKind::Constants;
+
+    fn bottom() -> Flat {
+        Flat::Bot
+    }
+
+    fn is_bottom(v: &Flat) -> bool {
+        matches!(v, Flat::Bot)
+    }
+
+    fn top(dom: usize) -> Flat {
+        if dom == 1 {
+            Flat::Val(0)
+        } else {
+            Flat::Top
+        }
+    }
+
+    fn singleton(x: usize) -> Flat {
+        Flat::Val(x)
+    }
+
+    fn join(a: &Flat, b: &Flat, _dom: usize) -> Flat {
+        match (a, b) {
+            (Flat::Bot, v) | (v, Flat::Bot) => *v,
+            (Flat::Val(x), Flat::Val(y)) if x == y => Flat::Val(*x),
+            _ => Flat::Top,
+        }
+    }
+
+    fn leq(a: &Flat, b: &Flat) -> bool {
+        match (a, b) {
+            (Flat::Bot, _) => true,
+            (_, Flat::Top) => true,
+            (Flat::Val(x), Flat::Val(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    fn lift(v: &Flat, dom: usize) -> AbsInt {
+        match v {
+            Flat::Bot => AbsInt::Bot,
+            Flat::Val(x) => AbsInt::singleton(*x as i64),
+            Flat::Top => AbsInt::range(0, dom as i64 - 1),
+        }
+    }
+
+    fn cut(ai: &AbsInt, dom: usize) -> Flat {
+        let mask = ai.to_mask(dom);
+        match mask.count_ones() {
+            0 => Flat::Bot,
+            1 => Flat::Val(mask.trailing_zeros() as usize),
+            _ => Flat::Top,
+        }
+    }
+
+    fn mask(v: &Flat, dom: usize) -> u64 {
+        match v {
+            Flat::Bot => 0,
+            Flat::Val(x) => {
+                if *x < dom {
+                    1u64 << x
+                } else {
+                    0
+                }
+            }
+            Flat::Top => full_mask(dom),
+        }
+    }
+}
+
+/// Intervals clipped to the declared domain (`None` is bottom).
+pub struct IntervalDomain;
+
+impl Domain for IntervalDomain {
+    type Val = Option<(usize, usize)>;
+    const KIND: DomainKind = DomainKind::Intervals;
+
+    fn bottom() -> Self::Val {
+        None
+    }
+
+    fn is_bottom(v: &Self::Val) -> bool {
+        v.is_none()
+    }
+
+    fn top(dom: usize) -> Self::Val {
+        Some((0, dom - 1))
+    }
+
+    fn singleton(x: usize) -> Self::Val {
+        Some((x, x))
+    }
+
+    fn join(a: &Self::Val, b: &Self::Val, _dom: usize) -> Self::Val {
+        match (a, b) {
+            (None, v) | (v, None) => *v,
+            (Some((al, ah)), Some((bl, bh))) => Some(((*al).min(*bl), (*ah).max(*bh))),
+        }
+    }
+
+    fn widen(a: &Self::Val, b: &Self::Val, dom: usize) -> Self::Val {
+        match (a, b) {
+            (None, v) | (v, None) => *v,
+            (Some((al, ah)), Some((bl, bh))) => {
+                // Unstable bounds jump straight to the declared domain
+                // bounds (the classic interval widening, with the clip
+                // playing the role of ±∞).
+                let lo = if bl < al { 0 } else { *al };
+                let hi = if bh > ah { dom - 1 } else { *ah };
+                Some((lo, hi))
+            }
+        }
+    }
+
+    fn leq(a: &Self::Val, b: &Self::Val) -> bool {
+        match (a, b) {
+            (None, _) => true,
+            (_, None) => false,
+            (Some((al, ah)), Some((bl, bh))) => bl <= al && ah <= bh,
+        }
+    }
+
+    fn lift(v: &Self::Val, _dom: usize) -> AbsInt {
+        match v {
+            None => AbsInt::Bot,
+            Some((lo, hi)) => AbsInt::range(*lo as i64, *hi as i64),
+        }
+    }
+
+    fn cut(ai: &AbsInt, dom: usize) -> Self::Val {
+        // Take the hull of the in-domain part (precise for value sets:
+        // {0, 5} cut to dom 3 is [0, 0], not [0, 2]).
+        let mask = ai.to_mask(dom);
+        if mask == 0 {
+            return None;
+        }
+        let lo = mask.trailing_zeros() as usize;
+        let hi = 63 - mask.leading_zeros() as usize;
+        Some((lo, hi))
+    }
+
+    fn mask(v: &Self::Val, dom: usize) -> u64 {
+        match v {
+            None => 0,
+            Some((lo, hi)) => {
+                let hi = (*hi).min(dom - 1);
+                (*lo..=hi).fold(0u64, |m, x| m | 1u64 << x)
+            }
+        }
+    }
+}
+
+/// Per-variable value sets as 64-bit masks (bit `i` ⇔ value `i`). The
+/// most precise cartesian domain for declared domains of at most 64
+/// values; no widening needed (the lattice has height `dom`).
+pub struct ValueSetDomain;
+
+impl Domain for ValueSetDomain {
+    type Val = u64;
+    const KIND: DomainKind = DomainKind::ValueSets;
+
+    fn bottom() -> u64 {
+        0
+    }
+
+    fn is_bottom(v: &u64) -> bool {
+        *v == 0
+    }
+
+    fn top(dom: usize) -> u64 {
+        full_mask(dom)
+    }
+
+    fn singleton(x: usize) -> u64 {
+        1u64 << x
+    }
+
+    fn join(a: &u64, b: &u64, _dom: usize) -> u64 {
+        a | b
+    }
+
+    fn leq(a: &u64, b: &u64) -> bool {
+        a & !b == 0
+    }
+
+    fn lift(v: &u64, _dom: usize) -> AbsInt {
+        AbsInt::from_mask(*v)
+    }
+
+    fn cut(ai: &AbsInt, dom: usize) -> u64 {
+        ai.to_mask(dom)
+    }
+
+    fn mask(v: &u64, dom: usize) -> u64 {
+        v & full_mask(dom)
+    }
+}
+
+/// Abstractly evaluates an expression in an environment of per-variable
+/// abstract values.
+pub fn eval_expr_abs<D: Domain>(e: &Expr, env: &[D::Val], domains: &[usize]) -> AbsInt {
+    match e {
+        Expr::Const(k) => AbsInt::singleton(*k),
+        Expr::Var(i) => D::lift(&env[*i], domains[*i]),
+        Expr::Add(a, b) => AbsInt::add(
+            &eval_expr_abs::<D>(a, env, domains),
+            &eval_expr_abs::<D>(b, env, domains),
+        ),
+        Expr::Sub(a, b) => AbsInt::sub(
+            &eval_expr_abs::<D>(a, env, domains),
+            &eval_expr_abs::<D>(b, env, domains),
+        ),
+        Expr::Mul(a, b) => AbsInt::mul(
+            &eval_expr_abs::<D>(a, env, domains),
+            &eval_expr_abs::<D>(b, env, domains),
+        ),
+        Expr::Mod(a, m) => AbsInt::modm(&eval_expr_abs::<D>(a, env, domains), *m as i64),
+    }
+}
+
+fn assume_into<D: Domain>(g: &Guard, env: &mut [D::Val], domains: &[usize]) -> bool {
+    match g {
+        Guard::True => true,
+        Guard::False => false,
+        Guard::Not(inner) => assume_into::<D>(&inner.negate(), env, domains),
+        Guard::And(a, b) => assume_into::<D>(a, env, domains) && assume_into::<D>(b, env, domains),
+        Guard::Or(a, b) => {
+            let mut left = env.to_vec();
+            let lok = assume_into::<D>(a, &mut left, domains);
+            let mut right = env.to_vec();
+            let rok = assume_into::<D>(b, &mut right, domains);
+            match (lok, rok) {
+                (false, false) => false,
+                (true, false) => {
+                    env.clone_from_slice(&left);
+                    true
+                }
+                (false, true) => {
+                    env.clone_from_slice(&right);
+                    true
+                }
+                (true, true) => {
+                    for (i, slot) in env.iter_mut().enumerate() {
+                        *slot = D::join(&left[i], &right[i], domains[i]);
+                    }
+                    true
+                }
+            }
+        }
+        Guard::Cmp(op, ea, eb) => {
+            let a = eval_expr_abs::<D>(ea, env, domains);
+            let b = eval_expr_abs::<D>(eb, env, domains);
+            if !AbsInt::may_hold(*op, &a, &b) {
+                return false;
+            }
+            if let Expr::Var(x) = ea {
+                let v = D::cut(&AbsInt::refine(*op, &a, &b), domains[*x]);
+                if D::is_bottom(&v) {
+                    return false;
+                }
+                env[*x] = v;
+            }
+            if let Expr::Var(y) = eb {
+                let v = D::cut(&AbsInt::refine(op.flip(), &b, &a), domains[*y]);
+                if D::is_bottom(&v) {
+                    return false;
+                }
+                env[*y] = v;
+            }
+            true
+        }
+    }
+}
+
+/// Restricts `env` to the states that may satisfy `g`; `None` when the
+/// guard is abstractly infeasible. Sound: every concrete state in `env`
+/// satisfying `g` survives.
+pub fn assume<D: Domain>(g: &Guard, env: &[D::Val], domains: &[usize]) -> Option<Vec<D::Val>> {
+    let mut out = env.to_vec();
+    if assume_into::<D>(g, &mut out, domains) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Three-valued guard evaluation over an abstract environment:
+/// `Some(true)` — every state satisfies `g`; `Some(false)` — no state
+/// does; `None` — undetermined.
+pub fn guard_status<D: Domain>(g: &Guard, env: &[D::Val], domains: &[usize]) -> Option<bool> {
+    let can_true = assume::<D>(g, env, domains).is_some();
+    let can_false = assume::<D>(&g.negate(), env, domains).is_some();
+    match (can_true, can_false) {
+        (true, true) => None,
+        (true, false) => Some(true),
+        // (false, false) only for a bottom environment — report "never".
+        (false, _) => Some(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absint_arithmetic_is_exact_on_small_sets() {
+        let a = AbsInt::from_vals(vec![1, 3]);
+        let b = AbsInt::from_vals(vec![0, 2]);
+        assert_eq!(AbsInt::add(&a, &b), AbsInt::from_vals(vec![1, 3, 5]));
+        assert_eq!(AbsInt::sub(&a, &b), AbsInt::from_vals(vec![-1, 1, 3]));
+        assert_eq!(AbsInt::mul(&a, &b), AbsInt::from_vals(vec![0, 2, 6]));
+        assert_eq!(AbsInt::modm(&a, 2), AbsInt::singleton(1));
+    }
+
+    #[test]
+    fn absint_range_arithmetic_is_sound() {
+        let a = AbsInt::range(1, 3);
+        let b = AbsInt::range(-2, 2);
+        let sum = AbsInt::add(&a, &b);
+        let prod = AbsInt::mul(&a, &b);
+        for x in 1..=3 {
+            for y in -2..=2 {
+                assert!(sum.contains(x + y), "{x}+{y}");
+                assert!(prod.contains(x * y), "{x}*{y}");
+            }
+        }
+        // Wrapping mod collapses to the full remainder range.
+        assert_eq!(AbsInt::modm(&AbsInt::range(2, 4), 4), AbsInt::range(0, 3));
+        // Non-wrapping mod stays tight.
+        assert_eq!(AbsInt::modm(&AbsInt::range(5, 6), 4), AbsInt::range(1, 2));
+    }
+
+    #[test]
+    fn may_hold_never_misses_a_witness() {
+        let sets = [
+            AbsInt::Bot,
+            AbsInt::singleton(1),
+            AbsInt::from_vals(vec![0, 2]),
+            AbsInt::range(1, 3),
+        ];
+        for a in &sets {
+            for b in &sets {
+                for op in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+                    let concrete = (0..4)
+                        .any(|x| (0..4).any(|y| a.contains(x) && b.contains(y) && op.eval(x, y)));
+                    if concrete {
+                        assert!(AbsInt::may_hold(op, a, b), "{op:?} {a:?} {b:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine_keeps_every_satisfying_value() {
+        let sets = [
+            AbsInt::singleton(2),
+            AbsInt::from_vals(vec![0, 3]),
+            AbsInt::range(0, 3),
+        ];
+        for a in &sets {
+            for b in &sets {
+                for op in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+                    let r = AbsInt::refine(op, a, b);
+                    for x in 0..4 {
+                        let sat = a.contains(x) && (0..4).any(|y| b.contains(y) && op.eval(x, y));
+                        if sat {
+                            assert!(r.contains(x), "{op:?} {a:?} {b:?} lost {x}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn vs_env(masks: &[u64]) -> Vec<u64> {
+        masks.to_vec()
+    }
+
+    #[test]
+    fn assume_refines_variables() {
+        let domains = &[4, 4];
+        // x ∈ {0..3}, y ∈ {0..3}; assume x < y.
+        let env = vs_env(&[0b1111, 0b1111]);
+        let out =
+            assume::<ValueSetDomain>(&Guard::lt(Expr::v(0), Expr::v(1)), &env, domains).unwrap();
+        assert_eq!(out[0], 0b0111); // x ≤ 2
+        assert_eq!(out[1], 0b1110); // y ≥ 1
+                                    // x == 2 ∧ x == 3 is infeasible.
+        assert!(assume::<ValueSetDomain>(
+            &Guard::var_eq(0, 2).and(Guard::var_eq(0, 3)),
+            &env,
+            domains,
+        )
+        .is_none());
+        // Or joins both sides.
+        let out =
+            assume::<ValueSetDomain>(&Guard::var_eq(0, 1).or(Guard::var_eq(0, 3)), &env, domains)
+                .unwrap();
+        assert_eq!(out[0], 0b1010);
+    }
+
+    #[test]
+    fn guard_status_is_three_valued() {
+        let domains = &[4];
+        let env = vs_env(&[0b0011]); // x ∈ {0, 1}
+        assert_eq!(
+            guard_status::<ValueSetDomain>(&Guard::lt(Expr::v(0), Expr::c(2)), &env, domains),
+            Some(true)
+        );
+        assert_eq!(
+            guard_status::<ValueSetDomain>(&Guard::var_eq(0, 3), &env, domains),
+            Some(false)
+        );
+        assert_eq!(
+            guard_status::<ValueSetDomain>(&Guard::var_eq(0, 1), &env, domains),
+            None
+        );
+    }
+
+    #[test]
+    fn interval_widening_hits_domain_bounds() {
+        let old = Some((1, 2));
+        let grown = Some((1, 3));
+        assert_eq!(IntervalDomain::widen(&old, &grown, 10), Some((1, 9)));
+        let shrunk_low = Some((0, 2));
+        assert_eq!(IntervalDomain::widen(&old, &shrunk_low, 10), Some((0, 2)));
+        assert_eq!(IntervalDomain::widen(&old, &old, 10), old);
+    }
+
+    #[test]
+    fn cut_is_precise_per_domain() {
+        let ai = AbsInt::from_vals(vec![0, 5]);
+        assert_eq!(ConstDomain::cut(&ai, 3), Flat::Val(0));
+        assert_eq!(IntervalDomain::cut(&ai, 3), Some((0, 0)));
+        assert_eq!(ValueSetDomain::cut(&ai, 3), 0b001);
+        assert_eq!(ConstDomain::cut(&ai, 6), Flat::Top);
+        assert_eq!(IntervalDomain::cut(&ai, 6), Some((0, 5)));
+        assert_eq!(ValueSetDomain::cut(&ai, 6), 0b100001);
+    }
+}

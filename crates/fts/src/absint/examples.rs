@@ -1,0 +1,320 @@
+//! The paper's example programs in the declarative IR, plus a seeded
+//! random-program generator for differential testing.
+//!
+//! Each example mirrors its closure-based counterpart in
+//! [`programs`](crate::programs) (same variables, guards, fairness and
+//! observations), so `Program::to_builder(..).build()` reproduces the
+//! explicit system and the abstract engine gets a transparent view of the
+//! same semantics. All three use their first program counter as the
+//! analysis `pc`, which is what lets the cartesian domains prove
+//! mutual exclusion (the grant/enter guard refinement survives the
+//! location partition).
+
+use super::ir::{Branch, Expr, Guard, Program};
+use crate::system::Fairness;
+use hierarchy_automata::random::rng::{Rng, StdRng};
+
+fn set(var: usize, value: i64) -> Branch {
+    Branch::assign(vec![(var, Expr::c(value))])
+}
+
+/// `MUX-SEM` (semaphore mutual exclusion) as a declarative program:
+/// `pc1, pc2 ∈ {0:N, 1:T, 2:C}`, grants with the supplied fairness.
+/// Matches [`programs::mux_sem`](crate::programs::mux_sem) over the
+/// `[c1, c2, t1, t2]` observation alphabet.
+pub fn mux_sem_abs(grant_fairness: Fairness) -> Program {
+    let mut p = Program::new();
+    let pc1 = p.var("pc1", 3);
+    let pc2 = p.var("pc2", 3);
+    p.set_pc(pc1);
+    p.init(&[0, 0]);
+    p.observe_prop(Guard::var_eq(pc1, 2)); // c1
+    p.observe_prop(Guard::var_eq(pc2, 2)); // c2
+    p.observe_prop(Guard::var_eq(pc1, 1)); // t1
+    p.observe_prop(Guard::var_eq(pc2, 1)); // t2
+    p.command(
+        "req1",
+        Fairness::None,
+        Guard::var_eq(pc1, 0),
+        vec![set(pc1, 1)],
+    );
+    p.command(
+        "req2",
+        Fairness::None,
+        Guard::var_eq(pc2, 0),
+        vec![set(pc2, 1)],
+    );
+    p.command(
+        "grant1",
+        grant_fairness,
+        Guard::var_eq(pc1, 1).and(Guard::var_ne(pc2, 2)),
+        vec![set(pc1, 2)],
+    );
+    p.command(
+        "grant2",
+        grant_fairness,
+        Guard::var_eq(pc2, 1).and(Guard::var_ne(pc1, 2)),
+        vec![set(pc2, 2)],
+    );
+    p.command(
+        "release1",
+        Fairness::Weak,
+        Guard::var_eq(pc1, 2),
+        vec![set(pc1, 0)],
+    );
+    p.command(
+        "release2",
+        Fairness::Weak,
+        Guard::var_eq(pc2, 2),
+        vec![set(pc2, 0)],
+    );
+    p.command("idle", Fairness::None, Guard::True, vec![Branch::skip()]);
+    p
+}
+
+/// The three-process token ring as a declarative program: one position
+/// variable, three pass commands (fair when `fair_pass`) and a hold.
+/// Matches [`programs::token_ring`](crate::programs::token_ring).
+pub fn token_ring_abs(fair_pass: bool) -> Program {
+    let fairness = if fair_pass {
+        Fairness::Weak
+    } else {
+        Fairness::None
+    };
+    let mut p = Program::new();
+    let pos = p.var("pos", 3);
+    p.set_pc(pos);
+    p.init(&[0]);
+    p.observe_prop(Guard::var_eq(pos, 0)); // c1
+    p.observe_prop(Guard::var_eq(pos, 1)); // c2
+    p.observe_prop(Guard::False); // t1 (unobserved)
+    p.observe_prop(Guard::False); // t2 (unobserved)
+    for i in 0..3i64 {
+        p.command(
+            format!("pass{i}"),
+            fairness,
+            Guard::var_eq(pos, i),
+            vec![set(pos, (i + 1) % 3)],
+        );
+    }
+    p.command("hold", Fairness::None, Guard::True, vec![Branch::skip()]);
+    p
+}
+
+/// Peterson's algorithm as a declarative program: `pc1, pc2 ∈ {0:N,
+/// 1:flag set, 2:waiting, 3:C}`, `tb ∈ {0: turn=1, 1: turn=2}`. Matches
+/// [`programs::peterson`](crate::programs::peterson). Its mutual
+/// exclusion needs the `tb`/`pc2` correlation, which the cartesian
+/// domains cannot express — the honest fallback case for the checker.
+pub fn peterson_abs() -> Program {
+    let mut p = Program::new();
+    let pc1 = p.var("pc1", 4);
+    let pc2 = p.var("pc2", 4);
+    let tb = p.var("tb", 2);
+    p.set_pc(pc1);
+    p.init(&[0, 0, 0]);
+    let trying = |pc: usize| Guard::var_eq(pc, 1).or(Guard::var_eq(pc, 2));
+    p.observe_prop(Guard::var_eq(pc1, 3)); // c1
+    p.observe_prop(Guard::var_eq(pc2, 3)); // c2
+    p.observe_prop(trying(pc1)); // t1
+    p.observe_prop(trying(pc2)); // t2
+    p.command(
+        "req1",
+        Fairness::None,
+        Guard::var_eq(pc1, 0),
+        vec![set(pc1, 1)],
+    );
+    p.command(
+        "set_turn1",
+        Fairness::Weak,
+        Guard::var_eq(pc1, 1),
+        vec![Branch::assign(vec![(pc1, Expr::c(2)), (tb, Expr::c(1))])],
+    );
+    p.command(
+        "enter1",
+        Fairness::Weak,
+        Guard::var_eq(pc1, 2).and(Guard::var_eq(pc2, 0).or(Guard::var_eq(tb, 0))),
+        vec![set(pc1, 3)],
+    );
+    p.command(
+        "exit1",
+        Fairness::Weak,
+        Guard::var_eq(pc1, 3),
+        vec![set(pc1, 0)],
+    );
+    p.command(
+        "req2",
+        Fairness::None,
+        Guard::var_eq(pc2, 0),
+        vec![set(pc2, 1)],
+    );
+    p.command(
+        "set_turn2",
+        Fairness::Weak,
+        Guard::var_eq(pc2, 1),
+        vec![Branch::assign(vec![(pc2, Expr::c(2)), (tb, Expr::c(0))])],
+    );
+    p.command(
+        "enter2",
+        Fairness::Weak,
+        Guard::var_eq(pc2, 2).and(Guard::var_eq(pc1, 0).or(Guard::var_eq(tb, 1))),
+        vec![set(pc2, 3)],
+    );
+    p.command(
+        "exit2",
+        Fairness::Weak,
+        Guard::var_eq(pc2, 3),
+        vec![set(pc2, 0)],
+    );
+    p.command("idle", Fairness::None, Guard::True, vec![Branch::skip()]);
+    p
+}
+
+fn random_atom(rng: &mut StdRng, domains: &[usize]) -> Guard {
+    let x = rng.gen_range(0..domains.len());
+    let k = rng.gen_range(0..domains[x]) as i64;
+    let op = match rng.gen_range(0..6) {
+        0 => super::ir::Cmp::Eq,
+        1 => super::ir::Cmp::Ne,
+        2 => super::ir::Cmp::Lt,
+        3 => super::ir::Cmp::Le,
+        4 => super::ir::Cmp::Gt,
+        _ => super::ir::Cmp::Ge,
+    };
+    Guard::Cmp(op, Expr::v(x), Expr::c(k))
+}
+
+fn random_expr(rng: &mut StdRng, domains: &[usize]) -> Expr {
+    let x = rng.gen_range(0..domains.len());
+    match rng.gen_range(0..4) {
+        0 => Expr::c(rng.gen_range(0..4) as i64),
+        1 => Expr::v(x),
+        2 => Expr::v(x).add(Expr::c(rng.gen_range(1..3) as i64)),
+        _ => {
+            let y = rng.gen_range(0..domains.len());
+            Expr::v(x).add(Expr::v(y))
+        }
+    }
+}
+
+/// A seeded random program over the propositions `[p0, p1]`: 2–3
+/// variables with domains of 2–4 values, 3–5 guarded commands (plus an
+/// always-enabled idle so the built system never deadlocks), random
+/// fairness, and assignments wrapped in `Mod` so every result stays
+/// in-domain. Half the programs are flow-sensitive (`pc` = variable 0).
+pub fn random_program(rng: &mut StdRng) -> Program {
+    let mut p = Program::new();
+    let nvars = rng.gen_range(2..=3);
+    for i in 0..nvars {
+        p.var(format!("v{i}"), rng.gen_range(2..=4));
+    }
+    let domains = p.domains.clone();
+    if rng.gen_bool(0.5) {
+        p.set_pc(0);
+    }
+    let init: Vec<usize> = domains.iter().map(|&d| rng.gen_range(0..d)).collect();
+    p.init(&init);
+    p.observe_prop(random_atom(rng, &domains)); // p0
+    p.observe_prop(random_atom(rng, &domains)); // p1
+    let ncmds = rng.gen_range(3..=5);
+    for c in 0..ncmds {
+        let mut guard = random_atom(rng, &domains);
+        if rng.gen_bool(0.4) {
+            let other = random_atom(rng, &domains);
+            guard = if rng.gen_bool(0.5) {
+                guard.and(other)
+            } else {
+                guard.or(other)
+            };
+        }
+        let nbranches = rng.gen_range(1..=2);
+        let mut branches = Vec::new();
+        for _ in 0..nbranches {
+            let nassigns = rng.gen_range(1..=2.min(nvars));
+            let mut assigns = Vec::new();
+            let mut used = vec![false; nvars];
+            for _ in 0..nassigns {
+                let x = rng.gen_range(0..nvars);
+                if used[x] {
+                    continue;
+                }
+                used[x] = true;
+                let e = random_expr(rng, &domains).modulo(domains[x] as u64);
+                assigns.push((x, e));
+            }
+            branches.push(Branch::assign(assigns));
+        }
+        let fairness = match rng.gen_range(0..4) {
+            0 => Fairness::None,
+            1 => Fairness::Strong,
+            _ => Fairness::Weak,
+        };
+        p.command(format!("c{c}"), fairness, guard, branches);
+    }
+    p.command("idle", Fairness::None, Guard::True, vec![Branch::skip()]);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::verify;
+    use crate::programs;
+    use hierarchy_automata::random::rng::SeedableRng;
+    use hierarchy_logic::to_automaton::compile_over;
+    use hierarchy_logic::Formula;
+
+    #[test]
+    fn abs_examples_reproduce_explicit_verdicts() {
+        let sigma = programs::observation_alphabet();
+        let cases: [(&str, Program, crate::system::TransitionSystem); 4] = [
+            (
+                "mux_strong",
+                mux_sem_abs(Fairness::Strong),
+                programs::mux_sem(Fairness::Strong).0,
+            ),
+            (
+                "mux_weak",
+                mux_sem_abs(Fairness::Weak),
+                programs::mux_sem(Fairness::Weak).0,
+            ),
+            (
+                "token_ring",
+                token_ring_abs(true),
+                programs::token_ring(true).0,
+            ),
+            ("peterson", peterson_abs(), programs::peterson().0),
+        ];
+        for (name, prog, explicit) in cases {
+            prog.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            // The explicit systems enumerate every valuation (reachable
+            // or not); the builder interns only reachable ones — so
+            // compare verdicts, not state counts.
+            let built = prog.to_builder(&sigma).build().expect(name);
+            for src in ["G !(c1 & c2)", "G (t1 -> F c1)", "G F c1"] {
+                let prop = compile_over(&sigma, &Formula::parse(&sigma, src).unwrap()).unwrap();
+                assert_eq!(
+                    verify(&built, &prop).expect("check").holds(),
+                    verify(&explicit, &prop).expect("check").holds(),
+                    "{name}: {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_programs_validate_and_build() {
+        let sigma = hierarchy_automata::alphabet::Alphabet::of_propositions(["p0", "p1"]).unwrap();
+        for seed in 0..25 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prog = random_program(&mut rng);
+            prog.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let ts = prog
+                .to_builder(&sigma)
+                .build()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(ts.num_states() >= 1);
+        }
+    }
+}

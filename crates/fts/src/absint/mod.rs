@@ -1,0 +1,46 @@
+//! Abstract interpretation for guarded-command programs — the static
+//! half of the safety story.
+//!
+//! The paper characterizes safety properties as exactly the ones
+//! provable by the *invariance* proof rule: exhibit an inductive
+//! assertion that contains the initial states, is preserved by every
+//! transition, and implies the required property. This module mechanizes
+//! that rule over the declarative program IR:
+//!
+//! * [`ir`] — transparent expressions, guards and guarded commands
+//!   ([`Program`]), compilable to the closure-based
+//!   [`ProgramBuilder`](crate::builder::ProgramBuilder) so the abstract
+//!   and explicit engines share one semantics;
+//! * [`domain`] — three cartesian abstract domains (constant
+//!   propagation, clipped intervals with widening, per-variable value
+//!   sets) over a shared transfer-function core;
+//! * [`solve`] — the chaotic-iteration worklist solver, producing a
+//!   per-location [`Invariant`] certificate with concretized masks;
+//! * [`certify`] — independent re-verification of a certificate:
+//!   transition-by-transition inductiveness ([`certify`](certify::certify))
+//!   and a fully concrete enumeration variant
+//!   ([`certify_exhaustive`](certify::certify_exhaustive)), so a solver
+//!   bug cannot silently claim soundness;
+//! * [`examples`] — the paper's programs (MUX-SEM, the token ring,
+//!   Peterson) in the IR, plus seeded random programs for differential
+//!   testing.
+//!
+//! The model checker consumes invariants through
+//! [`checker::check_with_invariants`](crate::checker::check_with_invariants)
+//! (discharging safety properties without building any product state);
+//! `spec-lint` consumes them through the semantic `FTS` rules.
+
+pub mod certify;
+pub mod domain;
+pub mod examples;
+pub mod ir;
+pub mod solve;
+
+pub use certify::{certify, certify_exhaustive, CertificateError};
+pub use domain::{
+    assume, guard_status, AbsInt, ConstDomain, Domain, DomainKind, Flat, IntervalDomain,
+    ValueSetDomain,
+};
+pub use examples::{mux_sem_abs, peterson_abs, random_program, token_ring_abs};
+pub use ir::{Branch, Cmp, Command, Expr, Guard, IrError, Program};
+pub use solve::{analyze, Invariant, LocationInvariant, SolveStats};

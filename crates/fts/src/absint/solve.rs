@@ -1,0 +1,401 @@
+//! The chaotic-iteration worklist solver.
+//!
+//! [`analyze`] runs one abstract domain over a [`Program`] and returns an
+//! [`Invariant`]: for each *location* (a value of the program's `pc`
+//! variable, or a single global location) a per-variable
+//! over-approximation of the values that variable can take there,
+//! concretized to 64-bit masks so downstream consumers (the certificate
+//! checker, the lints, the model checker) need no knowledge of which
+//! domain produced it.
+//!
+//! The solver is the textbook one: seed the locations of the initial
+//! valuations, then repeatedly pop a location, push every command's
+//! abstract post through [`assume`] + assignment transfer, and join into
+//! the target locations until nothing changes. Intervals additionally
+//! widen once a location has been updated [`WIDEN_DELAY`] times, bounding
+//! the iteration count independently of domain sizes.
+
+use super::domain::{
+    assume, eval_expr_abs, guard_status, ConstDomain, Domain, DomainKind, IntervalDomain,
+    ValueSetDomain,
+};
+use super::ir::{Branch, Guard, Program};
+use std::collections::VecDeque;
+
+/// Joins at one location before widening kicks in (intervals only).
+pub const WIDEN_DELAY: usize = 3;
+
+/// Counters describing one solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Abstract post computations (one per command branch per visit).
+    pub posts: usize,
+    /// Joins against an existing location value.
+    pub joins: usize,
+    /// Joins where widening changed the result.
+    pub widenings: usize,
+    /// Worklist pops.
+    pub iterations: usize,
+}
+
+/// The abstract values at one location, concretized to per-variable
+/// masks (bit `v` of `values[x]` ⇔ variable `x` may be `v` here). An
+/// all-zero row means the location is abstractly unreachable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocationInvariant {
+    /// One mask per program variable, in declaration order.
+    pub values: Vec<u64>,
+}
+
+/// A per-location invariant certificate produced by [`analyze`].
+///
+/// The invariant denotes, at each location `ℓ`, the cartesian set
+/// `{vals | ∀x. vals[x] ∈ values[x]}`; soundness means every reachable
+/// concrete state is in the set of its location. Pass the certificate to
+/// [`certify`](super::certify::certify) to re-verify inductiveness
+/// independently of this solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invariant {
+    /// The domain that produced the certificate.
+    pub domain: DomainKind,
+    /// The program's `pc` variable, if flow-sensitive.
+    pub pc: Option<usize>,
+    /// The declared variable domain sizes (copied from the program).
+    pub var_domains: Vec<usize>,
+    /// One entry per location (`pc` value, or a single global entry).
+    pub locations: Vec<LocationInvariant>,
+    /// Solver counters.
+    pub stats: SolveStats,
+}
+
+impl Invariant {
+    /// The analysis location of a concrete valuation.
+    pub fn location_of(&self, vals: &[usize]) -> usize {
+        self.pc.map_or(0, |p| vals[p])
+    }
+
+    /// Is the location abstractly reachable?
+    pub fn location_reachable(&self, l: usize) -> bool {
+        self.locations[l].values.iter().any(|&m| m != 0)
+    }
+
+    /// The number of abstractly reachable locations.
+    pub fn num_reachable_locations(&self) -> usize {
+        (0..self.locations.len())
+            .filter(|&l| self.location_reachable(l))
+            .count()
+    }
+
+    /// Does the invariant contain this concrete valuation?
+    pub fn contains(&self, vals: &[usize]) -> bool {
+        let l = self.location_of(vals);
+        l < self.locations.len()
+            && vals
+                .iter()
+                .enumerate()
+                .all(|(x, &v)| v < 64 && self.locations[l].values[x] >> v & 1 == 1)
+    }
+
+    /// The union over reachable locations of a variable's value mask —
+    /// every value the variable may take anywhere.
+    pub fn union_mask(&self, var: usize) -> u64 {
+        self.locations.iter().fold(0, |m, loc| m | loc.values[var])
+    }
+
+    /// Three-valued truth of a guard over the invariant at location `l`
+    /// (evaluated in the value-set domain on the concretized masks). An
+    /// unreachable location yields `Some(false)`.
+    pub fn guard_status(&self, l: usize, g: &Guard) -> Option<bool> {
+        if !self.location_reachable(l) {
+            return Some(false);
+        }
+        guard_status::<ValueSetDomain>(g, &self.locations[l].values, &self.var_domains)
+    }
+
+    /// May the guard hold somewhere in the invariant at location `l`?
+    pub fn guard_feasible(&self, l: usize, g: &Guard) -> bool {
+        self.guard_status(l, g) != Some(false)
+    }
+}
+
+/// The abstract post of one branch: evaluate all right-hand sides in the
+/// pre-environment, then assign (simultaneously), cutting each result to
+/// its variable's domain. `None` when some assignment is abstractly
+/// guaranteed out-of-domain (the branch is never taken).
+pub(crate) fn post_branch<D: Domain>(
+    env: &[D::Val],
+    branch: &Branch,
+    domains: &[usize],
+) -> Option<Vec<D::Val>> {
+    let results: Vec<(usize, D::Val)> = branch
+        .assigns
+        .iter()
+        .map(|(x, e)| {
+            (
+                *x,
+                D::cut(&eval_expr_abs::<D>(e, env, domains), domains[*x]),
+            )
+        })
+        .collect();
+    let mut out = env.to_vec();
+    for (x, v) in results {
+        if D::is_bottom(&v) {
+            return None;
+        }
+        out[x] = v;
+    }
+    Some(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge<D: Domain>(
+    l: usize,
+    env: Vec<D::Val>,
+    state: &mut [Option<Vec<D::Val>>],
+    updates: &mut [usize],
+    stats: &mut SolveStats,
+    domains: &[usize],
+    worklist: &mut VecDeque<usize>,
+    on_list: &mut [bool],
+) {
+    let changed = match &mut state[l] {
+        slot @ None => {
+            *slot = Some(env);
+            true
+        }
+        Some(old) => {
+            stats.joins += 1;
+            let widen_now = updates[l] >= WIDEN_DELAY;
+            let mut changed = false;
+            let mut next = Vec::with_capacity(env.len());
+            for (i, new_v) in env.iter().enumerate() {
+                let j = D::join(&old[i], new_v, domains[i]);
+                let v = if widen_now {
+                    let w = D::widen(&old[i], &j, domains[i]);
+                    if w != j {
+                        stats.widenings += 1;
+                    }
+                    w
+                } else {
+                    j
+                };
+                if v != old[i] {
+                    changed = true;
+                }
+                next.push(v);
+            }
+            if changed {
+                *old = next;
+            }
+            changed
+        }
+    };
+    if changed {
+        updates[l] += 1;
+        if !on_list[l] {
+            on_list[l] = true;
+            worklist.push_back(l);
+        }
+    }
+}
+
+fn run<D: Domain>(prog: &Program) -> Invariant {
+    let domains = &prog.domains;
+    let nlocs = prog.num_locations();
+    let mut state: Vec<Option<Vec<D::Val>>> = vec![None; nlocs];
+    let mut updates = vec![0usize; nlocs];
+    let mut on_list = vec![false; nlocs];
+    let mut worklist = VecDeque::new();
+    let mut stats = SolveStats::default();
+    for init in &prog.inits {
+        let l = prog.location_of(init);
+        let env: Vec<D::Val> = init.iter().map(|&v| D::singleton(v)).collect();
+        merge::<D>(
+            l,
+            env,
+            &mut state,
+            &mut updates,
+            &mut stats,
+            domains,
+            &mut worklist,
+            &mut on_list,
+        );
+    }
+    while let Some(l) = worklist.pop_front() {
+        on_list[l] = false;
+        stats.iterations += 1;
+        let env = state[l].clone().expect("worklist entries are reachable");
+        for cmd in &prog.commands {
+            let Some(env_g) = assume::<D>(&cmd.guard, &env, domains) else {
+                continue;
+            };
+            for br in &cmd.branches {
+                stats.posts += 1;
+                let Some(env_b) = post_branch::<D>(&env_g, br, domains) else {
+                    continue;
+                };
+                match prog.pc {
+                    None => merge::<D>(
+                        0,
+                        env_b,
+                        &mut state,
+                        &mut updates,
+                        &mut stats,
+                        domains,
+                        &mut worklist,
+                        &mut on_list,
+                    ),
+                    Some(p) => {
+                        let mask = D::mask(&env_b[p], domains[p]);
+                        for l2 in 0..domains[p] {
+                            if mask >> l2 & 1 == 0 {
+                                continue;
+                            }
+                            let mut env_t = env_b.clone();
+                            env_t[p] = D::singleton(l2);
+                            merge::<D>(
+                                l2,
+                                env_t,
+                                &mut state,
+                                &mut updates,
+                                &mut stats,
+                                domains,
+                                &mut worklist,
+                                &mut on_list,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let locations = state
+        .iter()
+        .map(|slot| LocationInvariant {
+            values: match slot {
+                None => vec![0; domains.len()],
+                Some(env) => env
+                    .iter()
+                    .zip(domains)
+                    .map(|(v, &d)| D::mask(v, d))
+                    .collect(),
+            },
+        })
+        .collect();
+    Invariant {
+        domain: D::KIND,
+        pc: prog.pc,
+        var_domains: domains.clone(),
+        locations,
+        stats,
+    }
+}
+
+/// Runs the chosen abstract domain over the program and returns the
+/// per-location invariant. The program must pass
+/// [`Program::validate`]; the solver assumes well-formedness.
+pub fn analyze(prog: &Program, kind: DomainKind) -> Invariant {
+    debug_assert!(prog.validate().is_ok(), "analyze() needs a valid program");
+    match kind {
+        DomainKind::Constants => run::<ConstDomain>(prog),
+        DomainKind::Intervals => run::<IntervalDomain>(prog),
+        DomainKind::ValueSets => run::<ValueSetDomain>(prog),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::examples;
+    use super::super::ir::{Expr, Guard};
+    use super::*;
+    use crate::system::Fairness;
+
+    #[test]
+    fn value_sets_prove_mux_sem_mutual_exclusion() {
+        let prog = examples::mux_sem_abs(Fairness::Strong);
+        let inv = analyze(&prog, DomainKind::ValueSets);
+        // At location pc1 = C (2), the invariant knows pc2 ≠ C: the grant
+        // guard's refinement survives the pc partition.
+        assert!(inv.location_reachable(2));
+        assert_eq!(inv.locations[2].values[1] & 0b100, 0, "{inv:?}");
+        // So "both critical" is infeasible everywhere.
+        let both = Guard::var_eq(0, 2).and(Guard::var_eq(1, 2));
+        for l in 0..inv.locations.len() {
+            assert_eq!(inv.guard_status(l, &both), Some(false), "location {l}");
+        }
+    }
+
+    #[test]
+    fn flow_insensitive_analysis_cannot_prove_mutex() {
+        let mut prog = examples::mux_sem_abs(Fairness::Strong);
+        prog.pc = None;
+        let inv = analyze(&prog, DomainKind::ValueSets);
+        let both = Guard::var_eq(0, 2).and(Guard::var_eq(1, 2));
+        // Without the pc partition the cartesian abstraction loses the
+        // correlation — an honest imprecision, not a bug.
+        assert_eq!(inv.guard_status(0, &both), None);
+    }
+
+    #[test]
+    fn constants_find_frozen_variables() {
+        let mut prog = examples::token_ring_abs(true);
+        let frozen = prog.var("frozen", 2);
+        for init in &mut prog.inits {
+            init.push(0);
+        }
+        let inv = analyze(&prog, DomainKind::Constants);
+        assert_eq!(inv.union_mask(frozen), 0b01);
+        // The live position variable is Top for constants.
+        assert_eq!(inv.union_mask(0), 0b111);
+    }
+
+    #[test]
+    fn intervals_widen_and_stay_sound() {
+        // A counter walking 0..=9; widening fires before the 10th join.
+        let mut prog = super::super::ir::Program::new();
+        let x = prog.var("x", 10);
+        prog.init(&[0]);
+        prog.observe_prop(Guard::var_eq(x, 9));
+        prog.command(
+            "inc",
+            Fairness::Weak,
+            Guard::lt(Expr::v(x), Expr::c(9)),
+            vec![Branch {
+                assigns: vec![(x, Expr::v(x).add(Expr::c(1)))],
+            }],
+        );
+        prog.command("idle", Fairness::None, Guard::True, vec![Branch::skip()]);
+        let inv = analyze(&prog, DomainKind::Intervals);
+        assert!(inv.stats.widenings > 0, "{:?}", inv.stats);
+        assert_eq!(inv.locations[0].values[x], (1 << 10) - 1);
+        // Value sets need no widening and reach the same fixpoint here.
+        let vs = analyze(&prog, DomainKind::ValueSets);
+        assert_eq!(vs.stats.widenings, 0);
+        assert_eq!(vs.locations[0].values[x], (1 << 10) - 1);
+    }
+
+    #[test]
+    fn unreachable_location_has_empty_invariant() {
+        let mut prog = super::super::ir::Program::new();
+        let x = prog.var("x", 3);
+        prog.set_pc(x);
+        prog.init(&[0]);
+        prog.observe_prop(Guard::var_eq(x, 1));
+        // x toggles between 0 and 1; location 2 never seen.
+        prog.command(
+            "toggle",
+            Fairness::Weak,
+            Guard::True,
+            vec![Branch {
+                assigns: vec![(x, Expr::c(1).sub(Expr::v(x)))],
+            }],
+        );
+        let inv = analyze(&prog, DomainKind::ValueSets);
+        assert!(inv.location_reachable(0));
+        assert!(inv.location_reachable(1));
+        assert!(!inv.location_reachable(2));
+        assert_eq!(inv.num_reachable_locations(), 2);
+        assert!(inv.contains(&[1]));
+        assert!(!inv.contains(&[2]));
+    }
+}

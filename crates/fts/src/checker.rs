@@ -16,14 +16,35 @@
 //! A surviving SCC always admits a single witness cycle — the tour of the
 //! whole SCC through the required edges — from which a lasso-shaped
 //! counterexample is extracted.
+//!
+//! ## Invariant-first checking
+//!
+//! [`check_with_invariants`] puts the hierarchy to work before any
+//! product is built: it runs the abstract-interpretation engine
+//! ([`crate::absint`]) over a declarative program, re-verifies the
+//! resulting certificate, and — when `classify` places the property in
+//! the safety class — discharges the check entirely in the abstract:
+//! if no abstract (location, automaton-state) pair can emit a symbol
+//! entering a dead automaton state, no bad prefix exists and the
+//! property holds with **zero** concrete product states. Otherwise it
+//! falls back to the explicit search, carrying the abstract pair set as
+//! a pruning filter. Because the abstract set over-approximates the
+//! concrete reachable set, the filter never actually removes a concrete
+//! node — a nonzero [`CheckStats::pruned_states`] would witness an
+//! unsoundness in the engine, which is exactly why the count is kept
+//! (and `debug_assert!`ed to zero).
 
+use crate::absint::{self, DomainKind, Invariant, Program, ValueSetDomain};
 use crate::error::CheckError;
 use crate::system::{Fairness, TransitionSystem};
+use hierarchy_automata::alphabet::{Alphabet, Symbol};
 use hierarchy_automata::bitset::BitSet;
+use hierarchy_automata::classify;
+use hierarchy_automata::lasso::Lasso;
 use hierarchy_automata::omega::OmegaAutomaton;
 use hierarchy_automata::scc::{AdjGraph, SccCache};
 use hierarchy_automata::StateId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 /// The result of a verification run.
 #[derive(Debug, Clone)]
@@ -51,6 +72,36 @@ pub struct Counterexample {
     pub cycle: Vec<usize>,
 }
 
+/// Counters describing one checking run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Concrete product nodes constructed (`0` when the property was
+    /// discharged statically).
+    pub product_states: usize,
+    /// Successor nodes skipped by the abstract pruning filter. The
+    /// filter is sound (the abstract set contains every concrete
+    /// reachable pair), so this is `0` whenever the certificate holds —
+    /// a nonzero count witnesses an engine bug, not a saving.
+    pub pruned_states: usize,
+    /// Abstract `(location, automaton-state)` pairs explored by
+    /// [`check_with_invariants`] (`0` for plain explicit checking).
+    pub abstract_pairs: usize,
+    /// Whether the verdict was discharged by the invariant alone,
+    /// without building any concrete product state.
+    pub discharged: bool,
+    /// Outcome of the independent certificate re-check (`None` when no
+    /// invariant was computed).
+    pub certificate_ok: Option<bool>,
+}
+
+/// A pruning filter for the product construction: the abstract
+/// reachable `(location, complement-automaton state)` pairs, plus the
+/// location of every concrete system state.
+struct Prune<'a> {
+    loc_of: &'a [usize],
+    allowed: &'a HashSet<(usize, StateId)>,
+}
+
 /// Checks that every fair computation of `ts` (observed through its
 /// alphabet) satisfies the language of `property`.
 ///
@@ -60,11 +111,33 @@ pub struct Counterexample {
 /// [`TransitionSystem::validate`] and [`CheckError::AlphabetMismatch`]
 /// when the system and property observe different alphabets.
 pub fn verify(ts: &TransitionSystem, property: &OmegaAutomaton) -> Result<Verdict, CheckError> {
+    verify_product(ts, property, None).map(|(v, _)| v)
+}
+
+/// Like [`verify`], additionally returning [`CheckStats`] (product size;
+/// the abstract fields stay at their defaults).
+///
+/// # Errors
+///
+/// Same as [`verify`].
+pub fn verify_with_stats(
+    ts: &TransitionSystem,
+    property: &OmegaAutomaton,
+) -> Result<(Verdict, CheckStats), CheckError> {
+    verify_product(ts, property, None)
+}
+
+fn verify_product(
+    ts: &TransitionSystem,
+    property: &OmegaAutomaton,
+    prune: Option<&Prune<'_>>,
+) -> Result<(Verdict, CheckStats), CheckError> {
     ts.validate().map_err(CheckError::InvalidSystem)?;
     if ts.alphabet() != property.alphabet() {
         return Err(CheckError::AlphabetMismatch);
     }
     let bad = property.complement();
+    let mut stats = CheckStats::default();
 
     // Build the reachable product: node = (system state, automaton state
     // *before* reading the system state's observation).
@@ -91,16 +164,34 @@ pub fn verify(ts: &TransitionSystem, property: &OmegaAutomaton) -> Result<Verdic
                     continue;
                 }
                 let key = (to, q_after);
-                let m = *ids.entry(key).or_insert_with(|| {
-                    nodes.push(key);
-                    succs.push(Vec::new());
-                    queue.push_back(nodes.len() - 1);
-                    nodes.len() - 1
-                });
+                let m = match ids.get(&key) {
+                    Some(&m) => m,
+                    None => {
+                        if let Some(p) = prune {
+                            if !p.allowed.contains(&(p.loc_of[to], q_after)) {
+                                stats.pruned_states += 1;
+                                continue;
+                            }
+                        }
+                        let m = nodes.len();
+                        ids.insert(key, m);
+                        nodes.push(key);
+                        succs.push(Vec::new());
+                        queue.push_back(m);
+                        m
+                    }
+                };
                 succs[n].push((m, t_idx));
             }
         }
     }
+    stats.product_states = nodes.len();
+    // Soundness: the abstract pair set over-approximates the concrete
+    // one, so the filter must never fire.
+    debug_assert_eq!(
+        stats.pruned_states, 0,
+        "abstract pruning removed a concrete node"
+    );
 
     // Acceptance of the complement as DNF over *automaton* state sets,
     // lifted to product nodes. Note the automaton state relevant to node
@@ -129,10 +220,311 @@ pub fn verify(ts: &TransitionSystem, property: &OmegaAutomaton) -> Result<Verdic
         let infs: Vec<BitSet> = disjunct.infs.iter().map(&lift).collect();
         let allowed: BitSet = (0..nodes.len()).filter(|n| !avoid.contains(*n)).collect();
         if let Some(cex) = fair_cycle_search(ts, &nodes, &succs, &mut sccs, &allowed, &infs) {
-            return Ok(Verdict::Violated(cex));
+            debug_assert!(
+                validate_violation(ts, property, &cex).is_ok(),
+                "checker produced an invalid counterexample: {:?}",
+                validate_violation(ts, property, &cex)
+            );
+            return Ok((Verdict::Violated(cex), stats));
         }
     }
-    Ok(Verdict::Holds)
+    Ok((Verdict::Holds, stats))
+}
+
+/// Replays a counterexample against the system: the stem starts in an
+/// initial state, every consecutive pair (through the cycle and around
+/// its wrap) is an edge of some transition, and the cycle satisfies
+/// every fairness requirement — a weakly fair transition is disabled
+/// somewhere on the cycle or taken by it, a strongly fair transition is
+/// enabled nowhere or taken. (A cycle pair shared by several transitions
+/// can serve them all: successive unrollings of the lasso may attribute
+/// it differently.)
+///
+/// # Errors
+///
+/// A human-readable description of the first defect found.
+pub fn validate_counterexample(ts: &TransitionSystem, cex: &Counterexample) -> Result<(), String> {
+    if cex.cycle.is_empty() {
+        return Err("counterexample cycle is empty".to_string());
+    }
+    for &s in cex.stem.iter().chain(&cex.cycle) {
+        if s >= ts.num_states() {
+            return Err(format!("state {s} does not exist"));
+        }
+    }
+    let first = *cex.stem.first().unwrap_or(&cex.cycle[0]);
+    if !ts.initial_states().contains(&first) {
+        return Err(format!("state {first} is not initial"));
+    }
+    let step_ok = |a: usize, b: usize| ts.successors(a).contains(&b);
+    let seq: Vec<usize> = cex.stem.iter().chain(&cex.cycle).copied().collect();
+    for w in seq.windows(2) {
+        if !step_ok(w[0], w[1]) {
+            return Err(format!("no transition edge {} -> {}", w[0], w[1]));
+        }
+    }
+    let wrap = (*cex.cycle.last().unwrap(), cex.cycle[0]);
+    if !step_ok(wrap.0, wrap.1) {
+        return Err(format!("cycle does not close: {} -> {}", wrap.0, wrap.1));
+    }
+    let mut pairs: Vec<(usize, usize)> = cex.cycle.windows(2).map(|w| (w[0], w[1])).collect();
+    pairs.push(wrap);
+    for (t_idx, t) in ts.transitions().iter().enumerate() {
+        if t.fairness == Fairness::None {
+            continue;
+        }
+        if pairs.iter().any(|p| t.edges.contains(p)) {
+            continue; // taken on the cycle
+        }
+        match t.fairness {
+            Fairness::Weak => {
+                if cex.cycle.iter().all(|&s| ts.enabled(t_idx, s)) {
+                    return Err(format!(
+                        "weakly fair transition {:?} is continuously enabled but never taken",
+                        t.name
+                    ));
+                }
+            }
+            Fairness::Strong => {
+                if cex.cycle.iter().any(|&s| ts.enabled(t_idx, s)) {
+                    return Err(format!(
+                        "strongly fair transition {:?} is recurrently enabled but never taken",
+                        t.name
+                    ));
+                }
+            }
+            Fairness::None => unreachable!(),
+        }
+    }
+    Ok(())
+}
+
+/// [`validate_counterexample`] plus the punchline: the observation lasso
+/// induced by the replayed computation must be *rejected* by the
+/// property (otherwise the "counterexample" satisfies it).
+///
+/// # Errors
+///
+/// As [`validate_counterexample`], or a message that the lasso satisfies
+/// the property.
+pub fn validate_violation(
+    ts: &TransitionSystem,
+    property: &OmegaAutomaton,
+    cex: &Counterexample,
+) -> Result<(), String> {
+    validate_counterexample(ts, cex)?;
+    let spoke: Vec<Symbol> = cex.stem.iter().map(|&s| ts.observation(s)).collect();
+    let cycle: Vec<Symbol> = cex.cycle.iter().map(|&s| ts.observation(s)).collect();
+    if property.accepts(&Lasso::new(spoke, cycle)) {
+        return Err("the induced lasso satisfies the property".to_string());
+    }
+    Ok(())
+}
+
+/// The possible observation symbols at one abstract location, from the
+/// three-valued truth of each proposition guard under the invariant.
+/// Falls back to the whole alphabet when too many propositions are
+/// undetermined for enumeration.
+fn possible_symbols(prog: &Program, inv: &Invariant, sigma: &Alphabet, l: usize) -> Vec<Symbol> {
+    let statuses: Vec<Option<bool>> = prog
+        .observations
+        .iter()
+        .map(|g| inv.guard_status(l, g))
+        .collect();
+    let free: Vec<usize> = statuses
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if free.len() > 16 {
+        return sigma.symbols().collect();
+    }
+    let mut bits: Vec<bool> = statuses.iter().map(|s| *s == Some(true)).collect();
+    (0..1usize << free.len())
+        .map(|combo| {
+            for (j, &i) in free.iter().enumerate() {
+                bits[i] = combo >> j & 1 == 1;
+            }
+            sigma.valuation_symbol(&bits)
+        })
+        .collect()
+}
+
+/// The abstract successor relation on locations: `l → l'` when some
+/// command branch, feasible under the invariant at `l`, may move the
+/// `pc` to `l'`.
+fn abstract_loc_succs(prog: &Program, inv: &Invariant) -> Vec<Vec<usize>> {
+    let nlocs = inv.locations.len();
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); nlocs];
+    for (l, row) in out.iter_mut().enumerate() {
+        if !inv.location_reachable(l) {
+            continue;
+        }
+        let env = &inv.locations[l].values;
+        let mut targets: BTreeSet<usize> = BTreeSet::new();
+        for cmd in &prog.commands {
+            let Some(env_g) = absint::assume::<ValueSetDomain>(&cmd.guard, env, &prog.domains)
+            else {
+                continue;
+            };
+            for br in &cmd.branches {
+                let Some(env_b) =
+                    absint::solve::post_branch::<ValueSetDomain>(&env_g, br, &prog.domains)
+                else {
+                    continue;
+                };
+                match prog.pc {
+                    None => {
+                        targets.insert(0);
+                    }
+                    Some(p) => {
+                        for l2 in 0..prog.domains[p] {
+                            if env_b[p] >> l2 & 1 == 1 {
+                                targets.insert(l2);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *row = targets.into_iter().collect();
+    }
+    out
+}
+
+struct AbstractProduct {
+    pairs: HashSet<(usize, StateId)>,
+    hit_dead: bool,
+}
+
+/// BFS over the abstract product of the location graph with `aut`:
+/// from each reachable pair `(l, q)`, every possible symbol at `l`
+/// advances the automaton and every abstract location successor extends
+/// the pair set. When `dead` is given, records whether any emission
+/// steps into a dead automaton state (the abstract bad-prefix test).
+fn abstract_product(
+    prog: &Program,
+    inv: &Invariant,
+    sigma: &Alphabet,
+    aut: &OmegaAutomaton,
+    dead: Option<&BitSet>,
+) -> AbstractProduct {
+    let loc_succs = abstract_loc_succs(prog, inv);
+    let symbols: Vec<Vec<Symbol>> = (0..inv.locations.len())
+        .map(|l| {
+            if inv.location_reachable(l) {
+                possible_symbols(prog, inv, sigma, l)
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let mut pairs: HashSet<(usize, StateId)> = HashSet::new();
+    let mut queue: VecDeque<(usize, StateId)> = VecDeque::new();
+    for init in &prog.inits {
+        let pr = (prog.location_of(init), aut.initial());
+        if pairs.insert(pr) {
+            queue.push_back(pr);
+        }
+    }
+    let mut hit_dead = false;
+    while let Some((l, q)) = queue.pop_front() {
+        for &a in &symbols[l] {
+            let q2 = aut.step(q, a);
+            if let Some(d) = dead {
+                if d.contains(q2 as usize) {
+                    hit_dead = true;
+                }
+            }
+            for &l2 in &loc_succs[l] {
+                let pr = (l2, q2);
+                if pairs.insert(pr) {
+                    queue.push_back(pr);
+                }
+            }
+        }
+    }
+    AbstractProduct { pairs, hit_dead }
+}
+
+/// Invariant-first verification of a declarative program against a
+/// property over the proposition alphabet `sigma`.
+///
+/// Runs [`absint::analyze`] with the chosen domain, re-verifies the
+/// certificate with [`absint::certify`], and then:
+///
+/// 1. if the certificate holds and `classify` places the property in the
+///    **safety** class, attempts the abstract discharge: when no
+///    abstract pair can emit a symbol entering a dead automaton state,
+///    the property holds with zero concrete product states
+///    ([`CheckStats::discharged`]);
+/// 2. otherwise builds the explicit system and runs the product search,
+///    pruned by the abstract pair set when the certificate holds (a
+///    sound no-op filter kept as a cross-check — see the module docs).
+///
+/// A failed certificate is never trusted: the fall back is the plain
+/// explicit search, and the failure is reported through
+/// [`CheckStats::certificate_ok`] (and by `spec-lint` as `FTS007`).
+///
+/// # Errors
+///
+/// [`CheckError::InvalidProgram`] for an ill-formed program,
+/// [`CheckError::AlphabetMismatch`] when `sigma` does not match the
+/// program's observations or the property's alphabet,
+/// [`CheckError::BuildFailed`] when explicit enumeration fails, plus
+/// the errors of [`verify`].
+pub fn check_with_invariants(
+    program: &Program,
+    sigma: &Alphabet,
+    property: &OmegaAutomaton,
+    domain: DomainKind,
+) -> Result<(Verdict, CheckStats), CheckError> {
+    program
+        .validate()
+        .map_err(|e| CheckError::InvalidProgram(e.to_string()))?;
+    if property.alphabet() != sigma || sigma.propositions().len() != program.observations.len() {
+        return Err(CheckError::AlphabetMismatch);
+    }
+    let inv = absint::analyze(program, domain);
+    let cert_ok = absint::certify(program, &inv).is_ok();
+    let mut stats = CheckStats {
+        certificate_ok: Some(cert_ok),
+        ..CheckStats::default()
+    };
+
+    if cert_ok && classify::is_safety(property) {
+        let dead = property.live_states().complement(property.num_states());
+        let ap = abstract_product(program, &inv, sigma, property, Some(&dead));
+        stats.abstract_pairs = ap.pairs.len();
+        if !ap.hit_dead {
+            stats.discharged = true;
+            return Ok((Verdict::Holds, stats));
+        }
+    }
+
+    let (ts, vals) = program
+        .to_builder(sigma)
+        .build_with_valuations()
+        .map_err(|e| CheckError::BuildFailed(e.to_string()))?;
+    if cert_ok {
+        let bad = property.complement();
+        let ap = abstract_product(program, &inv, sigma, &bad, None);
+        stats.abstract_pairs = ap.pairs.len();
+        let loc_of: Vec<usize> = vals.iter().map(|v| program.location_of(v)).collect();
+        let prune = Prune {
+            loc_of: &loc_of,
+            allowed: &ap.pairs,
+        };
+        let (verdict, vstats) = verify_product(&ts, property, Some(&prune))?;
+        stats.product_states = vstats.product_states;
+        stats.pruned_states = vstats.pruned_states;
+        Ok((verdict, stats))
+    } else {
+        let (verdict, vstats) = verify_product(&ts, property, None)?;
+        stats.product_states = vstats.product_states;
+        Ok((verdict, stats))
+    }
 }
 
 /// Searches for a reachable fair cycle within `allowed` hitting every set
@@ -464,8 +856,152 @@ mod tests {
             let last = *cex.cycle.last().unwrap();
             let first_of_cycle = cex.cycle[0];
             assert!(check_step(last, first_of_cycle), "cycle must close");
+            // And the independent validator agrees on all counts.
+            validate_violation(&ts, &prop, &cex).expect("validator");
         } else {
             panic!("expected violation");
         }
+    }
+
+    #[test]
+    fn mux_safety_discharged_without_product() {
+        let sigma = crate::programs::observation_alphabet();
+        let prog = crate::absint::mux_sem_abs(Fairness::Strong);
+        let prop = spec(&sigma, "G !(c1 & c2)");
+        let (v, stats) =
+            check_with_invariants(&prog, &sigma, &prop, DomainKind::ValueSets).expect("check");
+        assert!(v.holds(), "mutual exclusion holds");
+        assert_eq!(stats.certificate_ok, Some(true));
+        assert!(stats.discharged, "safety should be proved abstractly");
+        assert_eq!(stats.product_states, 0, "no product was built");
+        assert!(stats.abstract_pairs > 0);
+        // The explicit check of the same property does build a product —
+        // the bench criterion "strictly fewer product states".
+        let (ts, _) = crate::programs::mux_sem(Fairness::Strong);
+        let (ev, estats) = verify_with_stats(&ts, &prop).expect("explicit");
+        assert!(ev.holds());
+        assert!(
+            estats.product_states > stats.product_states,
+            "explicit product ({}) must exceed the discharged path (0)",
+            estats.product_states
+        );
+    }
+
+    #[test]
+    fn token_ring_safety_discharged() {
+        let sigma = crate::programs::observation_alphabet();
+        let prog = crate::absint::token_ring_abs(true);
+        let prop = spec(&sigma, "G !(c1 & c2)");
+        let (v, stats) =
+            check_with_invariants(&prog, &sigma, &prop, DomainKind::ValueSets).expect("check");
+        assert!(v.holds());
+        assert!(stats.discharged);
+        assert_eq!(stats.product_states, 0);
+    }
+
+    #[test]
+    fn peterson_mutex_falls_back_to_product() {
+        // The cartesian domains cannot correlate tb with pc2, so the
+        // abstract product reaches the dead state and the checker must
+        // fall back to the explicit product — which still proves mutex,
+        // and the prune filter must not remove any concrete node.
+        let sigma = crate::programs::observation_alphabet();
+        let prog = crate::absint::peterson_abs();
+        let prop = spec(&sigma, "G !(c1 & c2)");
+        let (v, stats) =
+            check_with_invariants(&prog, &sigma, &prop, DomainKind::ValueSets).expect("check");
+        assert!(v.holds(), "Peterson guarantees mutual exclusion");
+        assert_eq!(stats.certificate_ok, Some(true));
+        assert!(!stats.discharged, "cartesian domains cannot prove this");
+        assert!(stats.product_states > 0, "explicit fallback ran");
+        assert_eq!(stats.pruned_states, 0, "abstract pruning is a no-op");
+    }
+
+    #[test]
+    fn invariant_first_agrees_on_violations() {
+        // Weak fairness on the semaphore grants admits starvation; the
+        // invariant-first checker must report the same violation the
+        // explicit checker finds (response is not safety, so no
+        // discharge is attempted).
+        let sigma = crate::programs::observation_alphabet();
+        let prog = crate::absint::mux_sem_abs(Fairness::Weak);
+        let prop = spec(&sigma, "G (t2 -> F c2)");
+        let (v, stats) =
+            check_with_invariants(&prog, &sigma, &prop, DomainKind::ValueSets).expect("check");
+        assert!(!stats.discharged);
+        let (ts, _) = crate::programs::mux_sem(Fairness::Weak);
+        let ev = verify(&ts, &prop).expect("explicit");
+        assert_eq!(v.holds(), ev.holds());
+        assert!(!v.holds(), "weak grants admit starvation");
+        if let Verdict::Violated(cex) = v {
+            assert!(!cex.cycle.is_empty());
+        }
+    }
+
+    #[test]
+    fn invariant_first_rejects_bad_inputs() {
+        let sigma = crate::programs::observation_alphabet();
+        let prog = crate::absint::mux_sem_abs(Fairness::Strong);
+        let prop = spec(&sigma, "G !(c1 & c2)");
+        // Alphabet mismatch: property over a different alphabet.
+        let other = Alphabet::of_propositions(["p0", "p1"]).unwrap();
+        let bad_prop = spec(&other, "G p0");
+        assert!(matches!(
+            check_with_invariants(&prog, &sigma, &bad_prop, DomainKind::ValueSets),
+            Err(CheckError::AlphabetMismatch)
+        ));
+        // Invalid program: no variables.
+        let empty = Program::new();
+        assert!(matches!(
+            check_with_invariants(&empty, &sigma, &prop, DomainKind::ValueSets),
+            Err(CheckError::InvalidProgram(_))
+        ));
+    }
+
+    #[test]
+    fn validator_rejects_tampered_counterexamples() {
+        let (ts, sigma) = simple_loop(false);
+        let prop = spec(&sigma, "G (t -> F c)");
+        let Verdict::Violated(cex) = verify(&ts, &prop).expect("check") else {
+            panic!("expected violation");
+        };
+        validate_violation(&ts, &prop, &cex).expect("the real one is valid");
+
+        // Empty cycle.
+        let mut bad = cex.clone();
+        bad.cycle.clear();
+        assert!(validate_counterexample(&ts, &bad)
+            .unwrap_err()
+            .contains("empty"));
+
+        // Non-initial start: begin the stem at c (state 2).
+        let bad = Counterexample {
+            stem: vec![2],
+            cycle: cex.cycle.clone(),
+        };
+        assert!(validate_counterexample(&ts, &bad)
+            .unwrap_err()
+            .contains("not initial"));
+
+        // Non-edge step: c → c is not an edge of any transition.
+        let bad = Counterexample {
+            stem: vec![0, 1],
+            cycle: vec![2, 2],
+        };
+        assert!(validate_counterexample(&ts, &bad).is_err());
+
+        // Unfair cycle: with weak fairness on `enter`, idling at t
+        // forever leaves a continuously enabled transition untaken.
+        let (fair_ts, _) = simple_loop(true);
+        let bad = Counterexample {
+            stem: vec![0],
+            cycle: vec![1],
+        };
+        assert!(validate_counterexample(&fair_ts, &bad)
+            .unwrap_err()
+            .contains("never taken"));
+        // The same lasso is a perfectly fair computation when `enter`
+        // carries no fairness.
+        validate_counterexample(&ts, &bad).expect("fair without the constraint");
     }
 }

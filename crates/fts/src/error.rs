@@ -20,6 +20,12 @@ pub enum CheckError {
     InvalidSystem(SystemError),
     /// The system and the property observe different alphabets.
     AlphabetMismatch,
+    /// The declarative program failed [`crate::absint::Program::validate`]
+    /// (message of the underlying [`crate::absint::IrError`]).
+    InvalidProgram(String),
+    /// The declarative program could not be enumerated (message of the
+    /// underlying [`BuildError`]).
+    BuildFailed(String),
 }
 
 impl fmt::Display for CheckError {
@@ -29,6 +35,8 @@ impl fmt::Display for CheckError {
             CheckError::AlphabetMismatch => {
                 write!(f, "system and property must share an alphabet")
             }
+            CheckError::InvalidProgram(msg) => write!(f, "program invalid: {msg}"),
+            CheckError::BuildFailed(msg) => write!(f, "program build failed: {msg}"),
         }
     }
 }
@@ -37,7 +45,7 @@ impl std::error::Error for CheckError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CheckError::InvalidSystem(e) => Some(e),
-            CheckError::AlphabetMismatch => None,
+            _ => None,
         }
     }
 }

@@ -18,8 +18,14 @@
 //! * [`programs`] — the paper's example programs: Peterson's mutual
 //!   exclusion, a semaphore with strong fairness, and a token ring;
 //! * [`builder`] — a guarded-command builder: variables over finite
-//!   domains plus guarded commands, compiled to an explicit system.
+//!   domains plus guarded commands, compiled to an explicit system;
+//! * [`absint`] — an abstract-interpretation engine over a declarative
+//!   program IR: per-location invariant certificates, an independent
+//!   certificate checker, and the invariant-first checking mode
+//!   [`checker::check_with_invariants`] that discharges safety
+//!   properties without building the product.
 
+pub mod absint;
 pub mod builder;
 pub mod checker;
 pub mod error;

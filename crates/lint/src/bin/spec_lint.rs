@@ -5,6 +5,10 @@
 //! spec-lint formula [OPTS] "<formula>"…  lint one or more temporal formulas
 //! spec-lint regex [OPTS] "<pattern>"…    lint one or more regular expressions
 //!                                        and the finitary properties they denote
+//! spec-lint program [OPTS] [NAME]…       lint built-in programs, both the
+//!                                        syntactic system rules and the
+//!                                        invariant-backed semantic rules
+//!                                        (`fts` is an alias)
 //! spec-lint examples [--json] [--jobs N] lint the paper's running examples
 //!
 //! OPTS:
@@ -22,6 +26,7 @@
 use hierarchy_automata::alphabet::Alphabet;
 use hierarchy_automata::omega::OmegaAutomaton;
 use hierarchy_automata::par;
+use hierarchy_fts::absint;
 use hierarchy_fts::programs;
 use hierarchy_fts::system::Fairness;
 use hierarchy_lang::finitary::FinitaryProperty;
@@ -29,7 +34,9 @@ use hierarchy_lang::regex::Regex;
 use hierarchy_lang::witnesses;
 use hierarchy_lint::diagnostic::{is_clean, json_escape, report_to_json};
 use hierarchy_lint::registry::CATALOGUE;
-use hierarchy_lint::{lint_finitary, lint_formula, lint_regex, lint_system, Diagnostic};
+use hierarchy_lint::{
+    lint_abstract_program, lint_finitary, lint_formula, lint_regex, lint_system, Diagnostic,
+};
 use hierarchy_logic::ast::Formula;
 use std::process::ExitCode;
 
@@ -40,6 +47,7 @@ fn main() -> ExitCode {
         Some("rules") => cmd_rules(rest.collect()),
         Some("formula") => cmd_formula(rest.collect()),
         Some("regex") => cmd_regex(rest.collect()),
+        Some("program" | "fts") => cmd_program(rest.collect()),
         Some("examples") => cmd_examples(rest.collect()),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -56,6 +64,12 @@ USAGE:
   spec-lint rules [--json]               list the rule catalogue
   spec-lint formula [OPTS] \"<formula>\"…  lint one or more temporal formulas
   spec-lint regex [OPTS] \"<pattern>\"…    lint one or more regular expressions
+  spec-lint program [OPTS] [NAME]…       lint built-in programs (syntactic +
+                                         invariant-backed semantic rules);
+                                         default: the whole catalogue
+                                         (peterson, mux-sem, mux-sem-weak,
+                                         token-ring, token-ring-stalled);
+                                         `fts` is an alias
   spec-lint examples [--json] [--jobs N] lint the paper's running examples
 
 OPTS:
@@ -220,6 +234,60 @@ fn cmd_regex(args: Vec<&str>) -> ExitCode {
     });
     let suite: Vec<(String, Vec<Diagnostic>)> =
         opts.positional.iter().cloned().zip(reports).collect();
+    report(&suite, opts.json)
+}
+
+/// The built-in declarative programs `spec-lint program` knows by name.
+fn program_catalogue() -> Vec<(&'static str, absint::Program)> {
+    vec![
+        ("peterson", absint::peterson_abs()),
+        ("mux-sem", absint::mux_sem_abs(Fairness::Strong)),
+        ("mux-sem-weak", absint::mux_sem_abs(Fairness::Weak)),
+        ("token-ring", absint::token_ring_abs(true)),
+        ("token-ring-stalled", absint::token_ring_abs(false)),
+    ]
+}
+
+/// Lints declarative programs from the built-in catalogue: the semantic
+/// invariant-backed rules (`FTS001`/`FTS003`–`FTS007` via
+/// [`lint_abstract_program`]) plus the syntactic system rules on the
+/// enumerated transition system.
+fn cmd_program(args: Vec<&str>) -> ExitCode {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let catalogue = program_catalogue();
+    let selected: Vec<(String, absint::Program)> = if opts.positional.is_empty() {
+        catalogue
+            .into_iter()
+            .map(|(n, p)| (n.to_string(), p))
+            .collect()
+    } else {
+        let mut chosen = Vec::new();
+        for name in &opts.positional {
+            match catalogue.iter().find(|(n, _)| n == name) {
+                Some((n, p)) => chosen.push((n.to_string(), p.clone())),
+                None => {
+                    let known: Vec<&str> = catalogue.iter().map(|(n, _)| *n).collect();
+                    return usage_error(&format!(
+                        "unknown program {name:?} (known: {})",
+                        known.join(", ")
+                    ));
+                }
+            }
+        }
+        chosen
+    };
+    let sigma = programs::observation_alphabet();
+    let suite: Vec<(String, Vec<Diagnostic>)> =
+        par::map_with(opts.jobs, &selected, |(name, prog)| {
+            // Built-in programs always validate and enumerate.
+            let mut diags = lint_abstract_program(prog).expect("catalogue program");
+            let ts = prog.to_builder(&sigma).build().expect("catalogue program");
+            diags.extend(lint_system(&ts));
+            (name.clone(), diags)
+        });
     report(&suite, opts.json)
 }
 

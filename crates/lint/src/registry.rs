@@ -112,6 +112,12 @@ rules! {
         "a fairness requirement is attached to a transition that is never enabled";
     FTS004 = "FTS004", "constant-variable", Fts, Warning,
         "a program variable with a non-trivial domain takes a single value on all reachable states";
+    FTS005 = "FTS005", "statically-unsatisfiable-guard", Fts, Warning,
+        "a command guard is false under every in-domain valuation (abstractly unsatisfiable)";
+    FTS006 = "FTS006", "unreachable-location", Fts, Warning,
+        "a program-counter value is unreachable in the abstract invariant";
+    FTS007 = "FTS007", "invariant-certificate-failure", Fts, Error,
+        "the abstract invariant failed independent certification (internal analysis error)";
 }
 
 /// Looks up a rule by its code.
@@ -133,7 +139,7 @@ mod tests {
                 assert_ne!(r.name, other.name, "duplicate rule name");
             }
         }
-        assert_eq!(CATALOGUE.len(), 24);
+        assert_eq!(CATALOGUE.len(), 27);
     }
 
     #[test]

@@ -185,6 +185,193 @@ fn injected_transient_atom_state_fires_aut007() {
     assert!(usable >= 5, "only {usable} usable seeds for AUT007");
 }
 
+// ---------------------------------------------------------------------------
+// FTS defect injections: mutate seeded random declarative programs and
+// assert the invariant-backed semantic rules catch what the syntactic
+// rules cannot see (or cannot even run on).
+
+mod fts_defects {
+    use super::*;
+    use hierarchy_fts::absint::{random_program, Guard, Program};
+    use hierarchy_fts::builder::ProgramBuilder;
+    use hierarchy_fts::system::Fairness;
+    use hierarchy_lint::{lint_abstract_program, lint_program, Location};
+
+    fn abs_codes(p: &Program) -> BTreeSet<&'static str> {
+        lint_abstract_program(p)
+            .expect("valid program")
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    fn prop_sigma() -> Alphabet {
+        Alphabet::of_propositions(["p0", "p1"]).unwrap()
+    }
+
+    /// Growing a non-`pc` variable's domain makes its top value dead:
+    /// the semantic `FTS004` (dead declared values) must fire, while the
+    /// syntactic `FTS004` stays silent because the variable is not
+    /// *constant* in the enumerated reachable valuations.
+    #[test]
+    fn grown_domain_fires_semantic_fts004_where_syntactic_is_silent() {
+        let sigma = prop_sigma();
+        let mut usable = 0;
+        for seed in 0..80u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prog = random_program(&mut rng);
+            // Mutate the last variable, which random_program never picks
+            // as the pc (the pc is always variable 0).
+            let x = prog.domains.len() - 1;
+            if prog.pc == Some(x) {
+                continue;
+            }
+            let baseline = abs_codes(&prog);
+            if baseline.contains("FTS004") || baseline.contains("FTS005") {
+                continue; // masked, or envelope findings the growth would shift
+            }
+            // Skip seeds where x is exactly constant: there the syntactic
+            // rule fires too and the comparison shows nothing.
+            let (_, vals) = prog
+                .to_builder(&sigma)
+                .build_with_valuations()
+                .expect("random programs build");
+            let exact: BTreeSet<usize> = vals.iter().map(|v| v[x]).collect();
+            if exact.len() <= 1 {
+                continue;
+            }
+            let mut grown = prog.clone();
+            grown.domains[x] += 1;
+            let mut expected = baseline.clone();
+            expected.insert("FTS004");
+            assert_eq!(
+                abs_codes(&grown),
+                expected,
+                "seed {seed}: growing a domain must add exactly FTS004"
+            );
+            let syntactic = lint_program(&grown.to_builder(&sigma)).expect("build");
+            assert!(
+                !syntactic.iter().any(|d| d.code == "FTS004"
+                    && d.location == Location::Variable(grown.var_names[x].clone())),
+                "seed {seed}: the syntactic rule cannot see dead values"
+            );
+            usable += 1;
+        }
+        assert!(
+            usable >= 5,
+            "only {usable} usable seeds for semantic FTS004"
+        );
+    }
+
+    /// Growing the `pc` domain plants an unreachable location; only the
+    /// invariant-backed `FTS006` can report it.
+    #[test]
+    fn grown_pc_domain_fires_fts006() {
+        let mut usable = 0;
+        for seed in 0..80u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prog = random_program(&mut rng);
+            let Some(p) = prog.pc else { continue };
+            let baseline = abs_codes(&prog);
+            if baseline.contains("FTS006") || baseline.contains("FTS005") {
+                continue;
+            }
+            let mut grown = prog.clone();
+            grown.domains[p] += 1;
+            let mut expected = baseline.clone();
+            expected.insert("FTS006");
+            assert_eq!(
+                abs_codes(&grown),
+                expected,
+                "seed {seed}: growing the pc domain must add exactly FTS006"
+            );
+            usable += 1;
+        }
+        assert!(usable >= 5, "only {usable} usable seeds for FTS006");
+    }
+
+    /// Conjoining `x = |dom(x)|` (a value outside the domain) onto a
+    /// guard makes it unsatisfiable; `FTS005` fires from the domain
+    /// envelope alone, before any invariant or enumeration.
+    #[test]
+    fn tightened_guard_fires_fts005() {
+        let mut usable = 0;
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prog = random_program(&mut rng);
+            let baseline_diags = lint_abstract_program(&prog).expect("valid program");
+            let baseline: BTreeSet<&'static str> = baseline_diags.iter().map(|d| d.code).collect();
+            // Skip seeds with findings on the command we mutate: a
+            // command that is already dead (FTS001/FTS003) turns into
+            // FTS005, which legitimately replaces the earlier code.
+            let target = Location::Transition(prog.commands[0].name.clone());
+            if baseline.contains("FTS005") || baseline_diags.iter().any(|d| d.location == target) {
+                continue;
+            }
+            let mut tightened = prog.clone();
+            let dom0 = tightened.domains[0] as i64;
+            let g = tightened.commands[0].guard.clone();
+            tightened.commands[0].guard = g.and(Guard::var_eq(0, dom0));
+            let name = tightened.commands[0].name.clone();
+            let diags = lint_abstract_program(&tightened).expect("still valid");
+            assert!(
+                diags
+                    .iter()
+                    .any(|d| d.code == "FTS005" && d.location == Location::Transition(name.clone())),
+                "seed {seed}: the tightened guard must fire FTS005"
+            );
+            // Killing a command can cascade (locations or values may become
+            // unreachable), so demand containment rather than equality.
+            let got: BTreeSet<&'static str> = diags.iter().map(|d| d.code).collect();
+            assert!(
+                got.is_superset(&baseline),
+                "seed {seed}: baseline findings must persist"
+            );
+            usable += 1;
+        }
+        assert!(usable >= 5, "only {usable} usable seeds for FTS005");
+    }
+
+    /// An update that can leave its domain kills the enumeration-based
+    /// lint (`lint_program` propagates the build error) but not the
+    /// semantic one: the IR defines such branches as not taken, so
+    /// `lint_abstract_program` still returns a report.
+    #[test]
+    fn out_of_domain_update_fails_builder_but_not_semantic_lint() {
+        let sigma = Alphabet::new(["lo", "hi"]).unwrap();
+        let mut b = ProgramBuilder::new(&sigma);
+        let x = b.var("x", 3);
+        b.init(&[0]);
+        b.command(
+            "inc",
+            Fairness::Weak,
+            |_| true,
+            move |v| vec![vec![v[x] + 1]], // escapes the domain at x = 2
+        );
+        b.observe(move |v, sigma| sigma.symbol(if v[x] == 2 { "hi" } else { "lo" }).unwrap());
+        assert!(lint_program(&b).is_err(), "the builder must reject x := 3");
+
+        let mut ir = Program::new();
+        let xi = ir.var("x", 3);
+        ir.init(&[0]);
+        ir.observe_prop(Guard::var_eq(xi, 2));
+        ir.command(
+            "inc",
+            Fairness::Weak,
+            Guard::True,
+            vec![hierarchy_fts::absint::Branch::assign(vec![(
+                xi,
+                hierarchy_fts::absint::Expr::v(xi).add(hierarchy_fts::absint::Expr::c(1)),
+            )])],
+        );
+        let diags = lint_abstract_program(&ir).expect("semantic lint is total");
+        assert!(
+            diags.is_empty(),
+            "the saturating counter is healthy: {diags:?}"
+        );
+    }
+}
+
 #[test]
 fn injected_constant_atom_fires_aut005() {
     let sigma = sigma();

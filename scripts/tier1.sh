@@ -12,6 +12,16 @@ cargo test --offline --workspace --quiet
 # parallel classification path is exercised even on single-core hosts.
 HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
   --test analysis_cross_validation --test parallel_stress --quiet
+# The abstract-interpretation differential suite, plus the same suite with
+# the worker pool forced on (the invariant engine itself is sequential, but
+# spec-lint batches programs through the pool).
+cargo test --offline -p temporal-properties --test absint_soundness --quiet
+HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
+  --test absint_soundness --quiet
+# Smoke the invariant-vs-explicit benchmark: its expect() lines are the
+# acceptance checks (verdict identity, safety discharge, certificates).
+cargo run --release --offline -p hierarchy-bench --bin tab_absint -- --smoke \
+  > /dev/null
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
 
