@@ -53,7 +53,9 @@ use crate::bitset::BitSet;
 use crate::classify::{self, ChainAnalysis, Classification};
 use crate::counterfree::{self, CounterFreedom};
 use crate::emptiness;
+use crate::flat::FlatAutomaton;
 use crate::lasso::Lasso;
+use crate::minimize::{minimize, Minimization};
 use crate::omega::OmegaAutomaton;
 use crate::scc::SccDecomposition;
 use crate::StateId;
@@ -81,6 +83,12 @@ fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct AnalysisStats {
     /// Tarjan passes actually executed.
     pub scc_passes: u64,
+    /// States swept across all executed Tarjan passes (the size of each
+    /// pass's restriction). Pass *count* is invariant under the
+    /// signature-preserving quotient — the occupied color lattice is the
+    /// same — so this is the counter that shows what quotient-first
+    /// analysis actually saves per pass.
+    pub scc_state_visits: u64,
     /// SCC requests served from the memo table.
     pub scc_hits: u64,
     /// Boolean products actually constructed.
@@ -92,6 +100,7 @@ pub struct AnalysisStats {
 #[derive(Debug, Default)]
 struct StatCells {
     scc_passes: AtomicU64,
+    scc_state_visits: AtomicU64,
     scc_hits: AtomicU64,
     products_built: AtomicU64,
     product_hits: AtomicU64,
@@ -101,6 +110,7 @@ impl StatCells {
     fn snapshot(&self) -> AnalysisStats {
         AnalysisStats {
             scc_passes: self.scc_passes.load(Ordering::Relaxed),
+            scc_state_visits: self.scc_state_visits.load(Ordering::Relaxed),
             scc_hits: self.scc_hits.load(Ordering::Relaxed),
             products_built: self.products_built.load(Ordering::Relaxed),
             product_hits: self.product_hits.load(Ordering::Relaxed),
@@ -110,6 +120,7 @@ impl StatCells {
     fn from_snapshot(s: AnalysisStats) -> StatCells {
         StatCells {
             scc_passes: AtomicU64::new(s.scc_passes),
+            scc_state_visits: AtomicU64::new(s.scc_state_visits),
             scc_hits: AtomicU64::new(s.scc_hits),
             products_built: AtomicU64::new(s.products_built),
             product_hits: AtomicU64::new(s.product_hits),
@@ -184,7 +195,20 @@ type SccCell = Arc<OnceLock<Arc<SccDecomposition>>>;
 #[derive(Debug)]
 pub struct Analysis {
     aut: OmegaAutomaton,
+    /// Whether the quotient-first pipeline is active (see
+    /// [`Analysis::new_raw`] for when it is not).
+    quotient_enabled: bool,
     stats: StatCells,
+    /// The flat CSR transition core — built once, consumed by every
+    /// Tarjan pass in place of the automaton's per-symbol enumeration.
+    flat: OnceLock<Arc<FlatAutomaton>>,
+    /// The partition-refinement minimization of `aut` (lazy).
+    minimization: OnceLock<Arc<Minimization>>,
+    /// The analysis context of the quotient automaton, when quotienting
+    /// is enabled *and* actually shrank the automaton (`None` otherwise).
+    /// The inner context is always a raw one, so the recursion stops
+    /// here.
+    quotient: OnceLock<Option<Box<Analysis>>>,
     reachable: OnceLock<BitSet>,
     /// Per-restriction decompositions. Each key owns a once-cell so that
     /// concurrent workers asking for the *same* restriction block on one
@@ -204,7 +228,11 @@ impl Clone for Analysis {
     fn clone(&self) -> Self {
         Analysis {
             aut: self.aut.clone(),
+            quotient_enabled: self.quotient_enabled,
             stats: StatCells::from_snapshot(self.stats.snapshot()),
+            flat: self.flat.clone(),
+            minimization: self.minimization.clone(),
+            quotient: self.quotient.clone(),
             reachable: self.reachable.clone(),
             sccs: Mutex::new(lock_recover(&self.sccs).clone()),
             condensation: self.condensation.clone(),
@@ -218,11 +246,33 @@ impl Clone for Analysis {
 }
 
 impl Analysis {
-    /// Wraps `aut` with empty caches.
+    /// Wraps `aut` with empty caches, with the quotient-first pipeline
+    /// enabled: language-level queries (the classification, the Rabin
+    /// index, inclusion and equivalence) run on the partition-refinement
+    /// quotient of `aut` whenever minimization actually shrinks it. The
+    /// hierarchy verdicts are properties of the language, so the results
+    /// are identical — a debug-mode tripwire asserts the quotient verdict
+    /// against the raw one on every classification.
     pub fn new(aut: OmegaAutomaton) -> Self {
+        Self::with_quotient(aut, true)
+    }
+
+    /// Wraps `aut` with empty caches and quotienting disabled: every
+    /// query runs on the raw automaton. Used for the inner quotient
+    /// context itself, by the differential tests, and by the
+    /// `tab_minimize` experiment to measure the raw baseline.
+    pub fn new_raw(aut: OmegaAutomaton) -> Self {
+        Self::with_quotient(aut, false)
+    }
+
+    fn with_quotient(aut: OmegaAutomaton, quotient_enabled: bool) -> Self {
         Analysis {
             aut,
+            quotient_enabled,
             stats: StatCells::default(),
+            flat: OnceLock::new(),
+            minimization: OnceLock::new(),
+            quotient: OnceLock::new(),
             reachable: OnceLock::new(),
             sccs: Mutex::new(HashMap::new()),
             condensation: OnceLock::new(),
@@ -237,6 +287,42 @@ impl Analysis {
     /// The analyzed automaton.
     pub fn automaton(&self) -> &OmegaAutomaton {
         &self.aut
+    }
+
+    /// The flat CSR transition core of the automaton (built on first
+    /// use). All Tarjan passes of this context walk its deduplicated
+    /// successor graph instead of re-enumerating `step()` per symbol.
+    pub fn flat(&self) -> &FlatAutomaton {
+        self.flat
+            .get_or_init(|| Arc::new(FlatAutomaton::of(&self.aut)))
+    }
+
+    /// The partition-refinement minimization of the automaton (computed
+    /// on first use). Exposed so consumers like lint rule `AUT004` can
+    /// report the exact quotient classes.
+    pub fn minimization(&self) -> &Minimization {
+        self.minimization
+            .get_or_init(|| Arc::new(minimize(&self.aut)))
+    }
+
+    /// The analysis context of the quotient automaton — `Some` only when
+    /// quotienting is enabled for this context *and* minimization
+    /// strictly shrank the automaton. The inner context is raw (it never
+    /// re-quotients), and it carries its own [`AnalysisStats`]; see
+    /// [`Self::stats_total`] for combined counters.
+    pub fn quotient_analysis(&self) -> Option<&Analysis> {
+        self.quotient
+            .get_or_init(|| {
+                if !self.quotient_enabled {
+                    return None;
+                }
+                let min = self.minimization();
+                if !min.reduced() {
+                    return None;
+                }
+                Some(Box::new(Analysis::new_raw(min.quotient.clone())))
+            })
+            .as_deref()
     }
 
     /// Forward-reachable states (computed once).
@@ -265,7 +351,13 @@ impl Analysis {
         let dec = cell.get_or_init(|| {
             computed_here = true;
             self.stats.scc_passes.fetch_add(1, Ordering::Relaxed);
-            Arc::new(crate::scc::tarjan_scc(&self.aut, allowed))
+            let swept = allowed.map_or(self.aut.num_states(), BitSet::len) as u64;
+            self.stats
+                .scc_state_visits
+                .fetch_add(swept, Ordering::Relaxed);
+            // Walk the flat CSR core: same DFS order as the automaton
+            // (dedup is order-preserving), contiguous successor slices.
+            Arc::new(crate::scc::tarjan_scc(self.flat().graph(), allowed))
         });
         if !computed_here {
             self.stats.scc_hits.fetch_add(1, Ordering::Relaxed);
@@ -394,8 +486,33 @@ impl Analysis {
     ///   same atoms, hence the same canonical SCCs with negated statuses,
     ///   and its live set is `live_reachable(acc.negated())`; so the
     ///   check is "every co-live anchor has only rejecting entries".
+    ///
+    /// When the quotient-first pipeline is active, the verdict is
+    /// computed on the partition-refinement quotient (strictly fewer
+    /// states, hence cheaper lattice restrictions) — sound because every
+    /// hierarchy class is a property of the language and the quotient is
+    /// language-equal. A debug-mode tripwire re-derives the verdict on
+    /// the raw automaton and asserts identity.
     pub fn classification(&self) -> &Classification {
         self.classification.get_or_init(|| {
+            if let Some(q) = self.quotient_analysis() {
+                let verdict = q.classification().clone();
+                debug_assert_eq!(
+                    verdict,
+                    self.classification_raw(),
+                    "quotient-first tripwire: the verdict on the quotient \
+                     differs from the raw automaton's"
+                );
+                return verdict;
+            }
+            self.classification_raw()
+        })
+    }
+
+    /// The full verdict computed directly on this context's automaton
+    /// (no quotient routing) — the single shared color-lattice walk.
+    fn classification_raw(&self) -> Classification {
+        {
             let chains = self.chains();
             let statuses = chains.anchor_statuses();
             let is_recurrence = !chains.has_chain(&[true, false]);
@@ -421,7 +538,7 @@ impl Analysis {
                 obligation_index,
                 reactivity_index: chains.alternating_index(false),
             }
-        })
+        }
     }
 
     /// The obligation index (the `Obl_n` level), via the condensation DP
@@ -443,7 +560,28 @@ impl Analysis {
     /// accepting alternations are ours with the roles swapped, so no
     /// second lattice walk is needed.
     pub fn rabin_index(&self) -> usize {
+        if let Some(q) = self.quotient_analysis() {
+            let idx = q.rabin_index();
+            debug_assert_eq!(
+                idx,
+                self.chains().alternating_index(true),
+                "quotient-first tripwire: Rabin index mismatch"
+            );
+            return idx;
+        }
         self.chains().alternating_index(true)
+    }
+
+    /// Whether the language is universal (`L = Σ^ω`): the complement —
+    /// same structure, negated acceptance — must be empty, i.e. the
+    /// initial state must not be live under the negated condition. The
+    /// lattice restrictions of `live_reachable` are shared with the
+    /// guarantee check of the full verdict, so asking both costs no extra
+    /// SCC pass.
+    pub fn is_universal(&self) -> bool {
+        !self
+            .live_reachable(&self.aut.acceptance().negated())
+            .contains(self.aut.initial() as usize)
     }
 
     /// Whether the language is a safety property (from the full verdict).
@@ -529,6 +667,14 @@ impl Analysis {
     /// `(other, op)` pair, so repeated inclusion or equivalence queries
     /// against the same operand build the product automaton once.
     ///
+    /// When the quotient-first pipeline is active, *both* operands are
+    /// quotiented before the product is built (and the memo key is the
+    /// quotiented operand, so repeated queries still hit the cache —
+    /// minimization is deterministic). The product is then language-equal
+    /// to the raw one, which is all any consumer observes: every caller
+    /// asks language-level questions (emptiness for inclusion, or wraps
+    /// the product as a new property).
+    ///
     /// # Panics
     ///
     /// Panics if the alphabets differ (as the underlying product does).
@@ -538,7 +684,19 @@ impl Analysis {
             other.alphabet(),
             "product operands must share an alphabet"
         );
-        let key = ProductKey::of(other, op);
+        let lhs = self.effective_automaton();
+        let rhs_min;
+        let rhs = if self.quotient_enabled {
+            rhs_min = minimize(other);
+            if rhs_min.reduced() {
+                &rhs_min.quotient
+            } else {
+                other
+            }
+        } else {
+            other
+        };
+        let key = ProductKey::of(rhs, op);
         if let Some(hit) = lock_recover(&self.products).get(&key) {
             self.stats.product_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
@@ -547,29 +705,76 @@ impl Analysis {
         // (last write wins, both results are identical).
         self.stats.products_built.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(match op {
-            ProductOp::Intersection => self.aut.intersection(other),
-            ProductOp::Union => self.aut.union(other),
-            ProductOp::Difference => self.aut.difference(other),
+            ProductOp::Intersection => lhs.intersection(rhs),
+            ProductOp::Union => lhs.union(rhs),
+            ProductOp::Difference => lhs.difference(rhs),
         });
         lock_recover(&self.products).insert(key, Arc::clone(&built));
         built
     }
 
+    /// The automaton language-level queries actually run on: the
+    /// quotient when the quotient-first pipeline produced one, the raw
+    /// automaton otherwise.
+    fn effective_automaton(&self) -> &OmegaAutomaton {
+        self.quotient_analysis()
+            .map_or(&self.aut, |q| q.automaton())
+    }
+
     /// Language inclusion `L(self) ⊆ L(other)`, through the product
-    /// cache.
+    /// cache (quotient-first when enabled).
     pub fn is_subset_of(&self, other: &OmegaAutomaton) -> bool {
-        self.product_with(other, ProductOp::Difference).is_empty()
+        let res = self.product_with(other, ProductOp::Difference).is_empty();
+        debug_assert!(
+            !self.quotient_enabled || res == self.aut.difference(other).is_empty(),
+            "quotient-first tripwire: inclusion verdict mismatch"
+        );
+        res
     }
 
     /// Language equivalence, through the product cache for the forward
-    /// inclusion.
+    /// inclusion (quotient-first when enabled).
     pub fn equivalent(&self, other: &OmegaAutomaton) -> bool {
-        self.is_subset_of(other) && other.difference(&self.aut).is_empty()
+        if !self.is_subset_of(other) {
+            return false;
+        }
+        let lhs = self.effective_automaton();
+        if self.quotient_enabled {
+            let rhs_min = minimize(other);
+            let rhs = if rhs_min.reduced() {
+                &rhs_min.quotient
+            } else {
+                other
+            };
+            rhs.difference(lhs).is_empty()
+        } else {
+            other.difference(lhs).is_empty()
+        }
     }
 
-    /// A snapshot of the cache counters.
+    /// A snapshot of the cache counters of *this* context only. The
+    /// quotient context (when one exists) counts separately — see
+    /// [`Self::stats_total`].
     pub fn stats(&self) -> AnalysisStats {
         self.stats.snapshot()
+    }
+
+    /// Combined cache counters: this context plus its quotient context,
+    /// if one has been created. This is the honest total cost of the
+    /// quotient-first pipeline (the `tab_minimize` experiment reports
+    /// it); [`Self::stats`] alone under-counts when work was routed to
+    /// the quotient.
+    pub fn stats_total(&self) -> AnalysisStats {
+        let mut s = self.stats.snapshot();
+        if let Some(Some(q)) = self.quotient.get() {
+            let qs = q.stats_total();
+            s.scc_passes += qs.scc_passes;
+            s.scc_state_visits += qs.scc_state_visits;
+            s.scc_hits += qs.scc_hits;
+            s.products_built += qs.products_built;
+            s.product_hits += qs.product_hits;
+        }
+        s
     }
 }
 

@@ -366,8 +366,11 @@ impl ChainAnalysis {
     /// sets; the hierarchy constructions never produce that many.
     pub fn new(aut: &OmegaAutomaton) -> Self {
         let reachable = aut.reachable_states();
+        // Flatten once: every lattice point's restricted Tarjan pass
+        // walks the CSR core instead of re-enumerating `step` per symbol.
+        let flat = crate::flat::FlatAutomaton::of(aut);
         Self::new_par(aut, &reachable, |allowed| {
-            std::sync::Arc::new(tarjan_scc(aut, Some(allowed)))
+            std::sync::Arc::new(tarjan_scc(flat.graph(), Some(allowed)))
         })
     }
 

@@ -67,8 +67,10 @@ pub mod counterfree;
 pub mod dfa;
 pub mod dot;
 pub mod emptiness;
+pub mod flat;
 pub mod hoa;
 pub mod lasso;
+pub mod minimize;
 pub mod nba;
 pub mod nfa;
 pub mod omega;
@@ -90,7 +92,9 @@ pub mod prelude {
     pub use crate::bitset::BitSet;
     pub use crate::classify;
     pub use crate::dfa::Dfa;
+    pub use crate::flat::{FlatAutomaton, FlatGraph};
     pub use crate::lasso::Lasso;
+    pub use crate::minimize::{minimize, Minimization};
     pub use crate::nba::Nba;
     pub use crate::nfa::Nfa;
     pub use crate::omega::OmegaAutomaton;

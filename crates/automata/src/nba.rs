@@ -8,8 +8,9 @@
 
 use crate::alphabet::{Alphabet, Symbol};
 use crate::bitset::BitSet;
+use crate::flat::FlatGraph;
 use crate::lasso::Lasso;
-use crate::scc::{tarjan_scc, AdjGraph};
+use crate::scc::tarjan_scc;
 use crate::StateId;
 
 /// A nondeterministic Büchi automaton: accepts the ω-words with some run
@@ -139,7 +140,7 @@ impl Nba {
         // Product graph: vertex (pos, q) for pos in 0..|v|.
         let vlen = word.cycle().len();
         let vid = |pos: usize, q: usize| pos * n + q;
-        let graph = AdjGraph::from_fn(vlen * n, |v| {
+        let graph = FlatGraph::from_fn(vlen * n, |v| {
             let (pos, q) = (v as usize / n, v as usize % n);
             let sym = word.cycle()[pos];
             let npos = (pos + 1) % vlen;
@@ -156,7 +157,7 @@ impl Nba {
             reach.insert(*v);
         }
         while let Some(v) = queue.pop_front() {
-            for &t in &graph.succs[v] {
+            for &t in graph.successors(v as StateId) {
                 if reach.insert(t as usize) {
                     queue.push_back(t as usize);
                 }
@@ -200,7 +201,7 @@ impl Nba {
             }
         }
         // An accepting state on a cycle within the reachable part.
-        let graph = AdjGraph::from_fn(n, |q| {
+        let graph = FlatGraph::from_fn(n, |q| {
             let mut v = Vec::new();
             for sym in self.alphabet.symbols() {
                 v.extend_from_slice(self.successors(q, sym));

@@ -35,7 +35,7 @@ use std::collections::HashMap;
 /// assert!(ev_alw_a.accepts(&Lasso::parse(&sigma, "bb", "a").unwrap()));
 /// assert!(!ev_alw_a.accepts(&Lasso::parse(&sigma, "", "ab").unwrap()));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OmegaAutomaton {
     alphabet: Alphabet,
     num_states: usize,
@@ -383,6 +383,13 @@ impl OmegaAutomaton {
     /// hence identical acceptance. The result is not necessarily minimal
     /// (ω-automaton minimization is harder), but shrinks tester products
     /// considerably.
+    ///
+    /// This is the naive `O(k·n²)` Moore-style refinement. The production
+    /// pipeline uses [`crate::minimize::minimize`] (Hopcroft worklist,
+    /// `O(k·n·log n)`, canonical numbering); `reduce` is kept as an
+    /// independently-implemented differential oracle — both must compute
+    /// the same partition, and `crate::minimize`'s tests assert exactly
+    /// that.
     pub fn reduce(&self) -> OmegaAutomaton {
         let trimmed = self.trim();
         let n = trimmed.num_states;

@@ -16,9 +16,11 @@
 //!   workers inside [`std::thread::scope`], so borrowed inputs (`&[T]`,
 //!   a shared [`crate::analysis::Analysis`]) flow into workers without
 //!   `Arc` plumbing, and no thread outlives the call.
-//! * **Chunked work queue** — workers claim contiguous index chunks from
-//!   a single `AtomicUsize` cursor (a few chunks per worker), which
-//!   balances uneven item costs without per-item contention.
+//! * **Guided work queue** — workers claim contiguous index chunks from
+//!   a single `AtomicUsize` cursor, each claim taking half an even share
+//!   of the *remaining* indices (guided self-scheduling): coarse chunks
+//!   up front amortize queue traffic, and the geometrically shrinking
+//!   tail keeps one expensive chunk from straggling the scope.
 //! * **One level of parallelism** — workers set a thread-local flag, and
 //!   nested `map` calls run sequentially inside a worker. An outer batch
 //!   sweep (`classify_suite`) therefore parallelizes across automata
@@ -121,9 +123,6 @@ where
     if threads <= 1 || in_worker() {
         return (0..n).map(f).collect();
     }
-    // A few chunks per worker: large enough to amortize queue traffic,
-    // small enough that one expensive chunk does not straggle the scope.
-    let chunk = n.div_ceil(threads * 4).max(1);
     let cursor = AtomicUsize::new(0);
     let f = &f;
     let cursor = &cursor;
@@ -135,11 +134,34 @@ where
                     IN_POOL.with(|c| c.set(true));
                     let mut produced: Vec<(usize, R)> = Vec::new();
                     loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
+                        // Guided self-scheduling: claim half an even
+                        // share of the remaining indices. The first
+                        // claims are ~n/(2·threads) — coarser than the
+                        // old fixed n/(4·threads) grain, so short queues
+                        // see fewer atomic round-trips — and the grain
+                        // decays geometrically, so the last claims are
+                        // single indices and no worker drags a large
+                        // final chunk alone.
+                        let mut start = cursor.load(Ordering::Relaxed);
+                        let len = loop {
+                            if start >= n {
+                                break 0;
+                            }
+                            let grain = ((n - start) / (threads * 2)).max(1);
+                            match cursor.compare_exchange_weak(
+                                start,
+                                start + grain,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => break grain,
+                                Err(current) => start = current,
+                            }
+                        };
+                        if len == 0 {
                             break;
                         }
-                        for i in start..(start + chunk).min(n) {
+                        for i in start..start + len {
                             produced.push((i, f(i)));
                         }
                     }

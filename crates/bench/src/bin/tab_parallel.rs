@@ -85,7 +85,9 @@ fn main() {
         std::env::set_var("HIERARCHY_THREADS", threads.to_string());
         let ctx = Analysis::new(big.clone());
         let (verdict, ms) = timed(|| ctx.classification().clone());
-        let passes = ctx.stats().scc_passes;
+        // stats_total: with the quotient-first pipeline the lattice walk
+        // runs inside the quotient context — count its passes too.
+        let passes = ctx.stats_total().scc_passes;
         expect(
             "the parallel sweep stays within the 2^m lattice pass budget",
             passes <= budget,

@@ -40,9 +40,11 @@ use crate::system::{Fairness, TransitionSystem};
 use hierarchy_automata::alphabet::{Alphabet, Symbol};
 use hierarchy_automata::bitset::BitSet;
 use hierarchy_automata::classify;
+use hierarchy_automata::flat::FlatGraph;
 use hierarchy_automata::lasso::Lasso;
+use hierarchy_automata::minimize::minimize;
 use hierarchy_automata::omega::OmegaAutomaton;
-use hierarchy_automata::scc::{AdjGraph, SccCache};
+use hierarchy_automata::scc::SccCache;
 use hierarchy_automata::StateId;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
@@ -136,7 +138,13 @@ fn verify_product(
     if ts.alphabet() != property.alphabet() {
         return Err(CheckError::AlphabetMismatch);
     }
-    let bad = property.complement();
+    // Quotient the complement before building the product: the product
+    // size is |system| × |bad|, so every state partition refinement
+    // merges here is saved once per system state. Counterexamples are
+    // unaffected — their stem and cycle consist of system states only,
+    // and the replay validation below checks them against the *raw*
+    // property.
+    let bad = minimize(&property.complement()).quotient;
     let mut stats = CheckStats::default();
 
     // Build the reachable product: node = (system state, automaton state
@@ -209,7 +217,7 @@ fn verify_product(
     // DNF disjuncts and the fairness-refinement rounds: the same
     // restriction recurs whenever disjuncts share a `fin` set, and every
     // pass/hit is counted for the stats-minded caller.
-    let mut sccs = SccCache::new(AdjGraph::from_fn(nodes.len(), |v| {
+    let mut sccs = SccCache::new(FlatGraph::from_fn(nodes.len(), |v| {
         succs[v as usize]
             .iter()
             .map(|&(m, _)| m as StateId)
@@ -533,7 +541,7 @@ fn fair_cycle_search(
     ts: &TransitionSystem,
     nodes: &[(usize, StateId)],
     succs: &[Vec<(usize, usize)>],
-    scc_cache: &mut SccCache<AdjGraph>,
+    scc_cache: &mut SccCache<FlatGraph>,
     allowed: &BitSet,
     infs: &[BitSet],
 ) -> Option<Counterexample> {

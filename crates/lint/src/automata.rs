@@ -69,7 +69,7 @@ pub fn lint_automaton_ctx(ctx: &Analysis) -> Vec<Diagnostic> {
         );
         return out;
     }
-    if aut.is_universal() && (n > 1 || *aut.acceptance() != Acceptance::True) {
+    if ctx.is_universal() && (n > 1 || *aut.acceptance() != Acceptance::True) {
         out.push(
             diag(
                 &registry::AUT002,
@@ -101,16 +101,45 @@ pub fn lint_automaton_ctx(ctx: &Analysis) -> Vec<Diagnostic> {
     let dead: Vec<usize> = reachable.iter().filter(|&q| !live.contains(q)).collect();
     if dead.len() >= 2 {
         let count = dead.len();
+        // Partition refinement tells the exact merge: all dead states are
+        // language-equivalent (empty residual), but the quotient may keep
+        // several classes apart when their acceptance-atom signatures
+        // differ — report the classes refinement actually found.
+        let min = ctx.minimization();
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        let mut seen: Vec<u32> = Vec::new();
+        for &q in &dead {
+            let c = min.class_of[q].expect("reachable state has a class");
+            match seen.iter().position(|&s| s == c) {
+                Some(i) => classes[i].push(q),
+                None => {
+                    seen.push(c);
+                    classes.push(vec![q]);
+                }
+            }
+        }
+        let rendered: Vec<String> = classes
+            .iter()
+            .map(|members| {
+                let set: BitSet = members.iter().copied().collect();
+                set_display(&set)
+            })
+            .collect();
+        let k = classes.len();
         out.push(
             diag(
                 &registry::AUT004,
                 Location::States(dead),
                 format!(
-                    "{count} reachable states have an empty residual language; they are \
-                     pairwise language-equivalent"
+                    "{count} reachable states have an empty residual language; partition \
+                     refinement merges them into {k} class(es): {}",
+                    rendered.join(", ")
                 ),
             )
-            .with_suggestion("merge them into a single rejecting trap"),
+            .with_suggestion(
+                "merge each class into one state (a single rejecting trap when the \
+                 acceptance atoms allow it)",
+            ),
         );
     }
 
@@ -319,6 +348,42 @@ mod tests {
         );
         let diags = lint_automaton(&aut);
         assert!(codes(&diags).contains(&"AUT004"));
+        // Both dead states share an atom signature, so partition
+        // refinement reports exactly one merge class.
+        let d = diags.iter().find(|d| d.code == "AUT004").unwrap();
+        assert!(
+            d.message.contains("1 class(es): {1, 2}"),
+            "unexpected AUT004 message: {}",
+            d.message
+        );
+    }
+
+    /// Dead states with *different* atom signatures stay in different
+    /// refinement classes, and AUT004 says so.
+    #[test]
+    fn aut004_reports_split_quotient_classes() {
+        let sigma = ab();
+        let b = sigma.symbol("b").unwrap();
+        // 1 and 2 are dead (they trap into 2), but only 1 is in the Inf
+        // atom, so refinement cannot merge them.
+        let aut = OmegaAutomaton::build(
+            &sigma,
+            3,
+            0,
+            |q, s| match (q, s == b) {
+                (0, false) => 0,
+                (0, true) => 1,
+                _ => 2,
+            },
+            Acceptance::inf([0]).and(Acceptance::fin([1])),
+        );
+        let diags = lint_automaton(&aut);
+        let d = diags.iter().find(|d| d.code == "AUT004").unwrap();
+        assert!(
+            d.message.contains("2 class(es): {1}, {2}"),
+            "unexpected AUT004 message: {}",
+            d.message
+        );
     }
 
     #[test]

@@ -372,6 +372,140 @@ mod fts_defects {
     }
 }
 
+/// Adds `states` to the first `Fin` atom of the condition, marking
+/// `done` on success. A trap inside a `Fin` atom (and outside every
+/// `Inf` atom) rejects every run it captures, so the grafted states in
+/// [`injected_rejecting_trap_fires_aut004`] are dead by construction.
+fn widen_first_fin(acc: &Acceptance, states: [usize; 2], done: &mut bool) -> Acceptance {
+    match acc {
+        Acceptance::Fin(s) if !*done => {
+            *done = true;
+            let mut s = s.clone();
+            s.insert(states[0]);
+            s.insert(states[1]);
+            Acceptance::Fin(s)
+        }
+        Acceptance::And(xs) => Acceptance::And(
+            xs.iter()
+                .map(|x| widen_first_fin(x, states, done))
+                .collect(),
+        ),
+        Acceptance::Or(xs) => Acceptance::Or(
+            xs.iter()
+                .map(|x| widen_first_fin(x, states, done))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Grafts a rejecting two-state trap behind an edge that lies on no
+/// cycle. The trap states cycle through each other, sit in a `Fin` atom
+/// and no `Inf` atom (dead), and are bisimilar (symmetric rows, same
+/// atom signature) — so exactly `AUT004` must start firing, and its
+/// message must report the single quotient class that partition
+/// refinement finds. Redirecting a non-cycle edge preserves every
+/// original cycle, so the cyclic-region diagnostics keep their baseline
+/// verdicts; language-sensitive baselines (`AUT002`, `AUT005`,
+/// `AUT006`) are skipped because the trap shrinks the language.
+#[test]
+fn injected_rejecting_trap_fires_aut004() {
+    let sigma = sigma();
+    let mut usable = 0;
+    for seed in 0..600u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (aut, _) = random_streett(&mut rng, &sigma, 10, 1, 0.3);
+        let baseline = codes(&aut);
+        if ["AUT001", "AUT002", "AUT003", "AUT004", "AUT005", "AUT006"]
+            .iter()
+            .any(|c| baseline.contains(c))
+        {
+            continue; // masked, or sensitive to the language shrink
+        }
+        let ctx = Analysis::new(aut.clone());
+        if ctx.reachable().iter().any(|q| !ctx.live().contains(q)) {
+            continue; // pre-existing dead states would join the report
+        }
+        let n = aut.num_states();
+        // An edge p --s--> t on no cycle: no path from t back to p, so
+        // redirecting it into the trap destroys no original cycle.
+        let mut pick = None;
+        'edges: for p in 0..n {
+            for s in sigma.symbols() {
+                let t = aut.step(p as u32, s);
+                let mut seen = vec![false; n];
+                let mut stack = vec![t];
+                let mut hits_p = false;
+                while let Some(q) = stack.pop() {
+                    if q as usize == p {
+                        hits_p = true;
+                        break;
+                    }
+                    if std::mem::replace(&mut seen[q as usize], true) {
+                        continue;
+                    }
+                    stack.extend(sigma.symbols().map(|sym| aut.step(q, sym)));
+                }
+                if !hits_p {
+                    pick = Some((p, s));
+                    break 'edges;
+                }
+            }
+        }
+        let Some((p, s)) = pick else {
+            continue; // every edge is cyclic, nowhere to graft
+        };
+        let mut done = false;
+        let acceptance = widen_first_fin(aut.acceptance(), [n, n + 1], &mut done);
+        if !done {
+            continue; // no Fin atom to make the trap rejecting
+        }
+        let mutated = OmegaAutomaton::build(
+            &sigma,
+            n + 2,
+            aut.initial(),
+            |q, sym| {
+                if q as usize == n {
+                    (n + 1) as u32 // the trap states cycle through each other
+                } else if q as usize == n + 1 || (q as usize == p && sym == s) {
+                    n as u32 // close the trap cycle / graft the entry edge
+                } else {
+                    aut.step(q, sym)
+                }
+            },
+            acceptance,
+        );
+        // The graft must keep every original state reachable (else
+        // AUT003 noise) and must kill exactly the two trap states.
+        let reach = mutated.reachable_states();
+        if (0..n + 2).any(|q| !reach.contains(q)) {
+            continue;
+        }
+        let ctx2 = Analysis::new(mutated.clone());
+        let dead: Vec<usize> = ctx2
+            .reachable()
+            .iter()
+            .filter(|&q| !ctx2.live().contains(q))
+            .collect();
+        if dead != vec![n, n + 1] {
+            continue; // the redirect starved some original state
+        }
+        assert_exactly_injected(seed, "AUT004", &baseline, &mutated);
+        let diag = lint_automaton(&mutated)
+            .into_iter()
+            .find(|di| di.code == "AUT004")
+            .expect("AUT004 fired");
+        assert!(
+            diag.message
+                .contains(&format!("1 class(es): {{{n}, {}}}", n + 1)),
+            "seed {seed}: AUT004 must report the exact quotient class, got: {}",
+            diag.message
+        );
+        usable += 1;
+    }
+    assert!(usable >= 5, "only {usable} usable seeds for AUT004");
+}
+
 #[test]
 fn injected_constant_atom_fires_aut005() {
     let sigma = sigma();

@@ -161,6 +161,23 @@ pub fn compile_over(
     alphabet: &hierarchy_automata::alphabet::Alphabet,
     formula: &Formula,
 ) -> Result<OmegaAutomaton, CompileError> {
+    // Quotient the tester product by partition refinement: temporal
+    // subformulas frequently share tester rows, so the canonical
+    // minimization typically shrinks the automaton substantially.
+    let tester_aut = compile_raw_over(alphabet, formula)?;
+    Ok(hierarchy_automata::minimize::minimize(&tester_aut).quotient)
+}
+
+/// Like [`compile_over`], but returns the raw tester product without the
+/// final partition-refinement quotient. The tester tracks every past
+/// subformula in its state, so distinct states frequently carry the same
+/// residual language; this entry point exists for diagnostics and for
+/// the `tab_minimize` experiment, which measures exactly how much the
+/// quotient collapses the paper's formulas.
+pub fn compile_raw_over(
+    alphabet: &hierarchy_automata::alphabet::Alphabet,
+    formula: &Formula,
+) -> Result<OmegaAutomaton, CompileError> {
     let canonical = rewrites::canonicalize(formula);
     let mut tracked: Vec<Formula> = Vec::new();
     let p = plan(&canonical, &mut tracked)?;
@@ -172,8 +189,7 @@ pub fn compile_over(
         tester.initial(),
         |q, s| tester.step(q, s),
         acceptance,
-    )
-    .reduce())
+    ))
 }
 
 #[cfg(test)]

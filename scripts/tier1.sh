@@ -18,9 +18,19 @@ HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
 cargo test --offline -p temporal-properties --test absint_soundness --quiet
 HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
   --test absint_soundness --quiet
+# The quotient-first differential suite (language preservation, verdict
+# and lint-report identity raw vs quotient, idempotence), plus the same
+# suite with the worker pool forced on.
+cargo test --offline -p temporal-properties --test minimize_soundness --quiet
+HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
+  --test minimize_soundness --quiet
 # Smoke the invariant-vs-explicit benchmark: its expect() lines are the
 # acceptance checks (verdict identity, safety discharge, certificates).
 cargo run --release --offline -p hierarchy-bench --bin tab_absint -- --smoke \
+  > /dev/null
+# Smoke the quotient-first benchmark: verdict identity raw vs quotient
+# and the state/sweep reduction expectations.
+cargo run --release --offline -p hierarchy-bench --bin tab_minimize -- --smoke \
   > /dev/null
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
