@@ -18,8 +18,9 @@
 //!   Nothing abstract is trusted at all; a state-count budget keeps it
 //!   test-sized.
 
-use super::domain::{assume, ValueSetDomain};
+use super::domain::{assume, full_mask, ValueSetDomain};
 use super::ir::{eval_guard, Program};
+use super::relation::{conditioned_env, num_pairs, pair_list, LocationRelations};
 use super::solve::{post_branch, Invariant};
 use std::fmt;
 
@@ -74,13 +75,143 @@ impl fmt::Display for CertificateError {
 impl std::error::Error for CertificateError {}
 
 fn shape_ok(prog: &Program, inv: &Invariant) -> bool {
-    inv.pc == prog.pc
+    let cartesian = inv.pc == prog.pc
         && inv.var_domains == prog.domains
         && inv.locations.len() == prog.num_locations()
         && inv
             .locations
             .iter()
-            .all(|loc| loc.values.len() == prog.domains.len())
+            .all(|loc| loc.values.len() == prog.domains.len());
+    if !cartesian {
+        return false;
+    }
+    match &inv.relations {
+        None => true,
+        Some(rels) => {
+            let pairs = pair_list(prog.domains.len());
+            rels.len() == prog.num_locations()
+                && rels.iter().all(|rel| {
+                    rel.pairs.len() == pairs.len()
+                        && pairs.iter().zip(&rel.pairs).all(|(&(x, y), rows)| {
+                            rows.len() == prog.domains[x]
+                                && rows.iter().all(|&r| r & !full_mask(prog.domains[y]) == 0)
+                        })
+                })
+        }
+    }
+}
+
+/// Does the contribution (anchored at pair `i = (x, y)`, post-values
+/// `mx`/`my`) escape the target location's masks or pair rows?
+fn escapes_rel(
+    target: &[u64],
+    trel: &LocationRelations,
+    i: usize,
+    x: usize,
+    y: usize,
+    mx: u64,
+    my: u64,
+) -> bool {
+    if mx & !target[x] != 0 || my & !target[y] != 0 {
+        return true;
+    }
+    let mut bits = mx;
+    while bits != 0 {
+        let a = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        if my & !trel.pairs[i][a] != 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Pair-conditioned inductiveness for relational certificates: mirrors
+/// the anchored transfer of [`run_relational`](super::relation::run_relational)
+/// while sharing only the expression-level transfer functions with it.
+/// Every concrete transition from a denoted state is covered by the
+/// conditioning of its pre-state's joint in every pair, and each
+/// variable anchors some pair, so checking every anchored contribution
+/// re-establishes closure of the full (masks + pairs) denotation.
+fn certify_relational(
+    prog: &Program,
+    inv: &Invariant,
+    rels: &[LocationRelations],
+) -> Result<(), CertificateError> {
+    let domains = &prog.domains;
+    let pairs = pair_list(domains.len());
+    for (l, loc) in inv.locations.iter().enumerate() {
+        if !inv.location_reachable(l) {
+            continue;
+        }
+        let masks: &[u64] = &loc.values;
+        let rel = &rels[l];
+        for cmd in &prog.commands {
+            for (i, &(x, y)) in pairs.iter().enumerate() {
+                for vx in 0..domains[x] {
+                    let mut joint = rel.pairs[i][vx];
+                    while joint != 0 {
+                        let vy = joint.trailing_zeros() as usize;
+                        joint &= joint - 1;
+                        let Some(env) = conditioned_env(masks, rel, domains, x, vx, y, vy) else {
+                            continue;
+                        };
+                        let Some(env_g) = assume::<ValueSetDomain>(&cmd.guard, &env, domains)
+                        else {
+                            continue;
+                        };
+                        for (bi, br) in cmd.branches.iter().enumerate() {
+                            let Some(env_b) = post_branch::<ValueSetDomain>(&env_g, br, domains)
+                            else {
+                                continue;
+                            };
+                            let fail = || CertificateError::NotInductive {
+                                location: l,
+                                command: cmd.name.clone(),
+                                branch: bi,
+                            };
+                            match prog.pc {
+                                None => {
+                                    if escapes_rel(
+                                        &inv.locations[0].values,
+                                        &rels[0],
+                                        i,
+                                        x,
+                                        y,
+                                        env_b[x],
+                                        env_b[y],
+                                    ) {
+                                        return Err(fail());
+                                    }
+                                }
+                                Some(p) => {
+                                    for (l2, trel) in rels.iter().enumerate().take(domains[p]) {
+                                        if env_b[p] >> l2 & 1 == 0 {
+                                            continue;
+                                        }
+                                        let mx = if x == p { 1u64 << l2 } else { env_b[x] };
+                                        let my = if y == p { 1u64 << l2 } else { env_b[y] };
+                                        if escapes_rel(
+                                            &inv.locations[l2].values,
+                                            trel,
+                                            i,
+                                            x,
+                                            y,
+                                            mx,
+                                            my,
+                                        ) {
+                                            return Err(fail());
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Re-verifies that the invariant is inductive, transition-by-transition,
@@ -97,6 +228,11 @@ pub fn certify(prog: &Program, inv: &Invariant) -> Result<(), CertificateError> 
     for (i, init) in prog.inits.iter().enumerate() {
         if !inv.contains(init) {
             return Err(CertificateError::InitEscapes { init: i });
+        }
+    }
+    if let Some(rels) = &inv.relations {
+        if num_pairs(prog.domains.len()) > 0 {
+            return certify_relational(prog, inv, rels);
         }
     }
     let domains = &prog.domains;
@@ -205,6 +341,12 @@ pub fn certify_exhaustive(
             return Err(CertificateError::BudgetExceeded);
         }
         for vals in location_states(&loc.values, &prog.domains) {
+            // A relational invariant denotes a subset of the cartesian
+            // enumeration; valuations outside it are not in the
+            // certificate and must not be stepped.
+            if !inv.contains(&vals) {
+                continue;
+            }
             for cmd in &prog.commands {
                 if !eval_guard(&cmd.guard, &vals) {
                     continue;
@@ -292,6 +434,46 @@ mod tests {
         // Shape mismatches are caught before anything else.
         let mut misshapen = good.clone();
         misshapen.locations.pop();
+        assert_eq!(
+            certify(&prog, &misshapen),
+            Err(CertificateError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn tampered_relational_certificates_are_rejected() {
+        let prog = examples::peterson_abs();
+        let good = analyze(&prog, DomainKind::Relational);
+        certify(&prog, &good).unwrap();
+        certify_exhaustive(&prog, &good, 1 << 12).unwrap();
+
+        // Claim a reachable location has no admissible joint values:
+        // transitions into it escape the (now empty) pair rows.
+        let mut shaved = good.clone();
+        let victim = (1..shaved.locations.len())
+            .find(|&l| shaved.location_reachable(l))
+            .expect("a non-initial reachable location");
+        for rows in &mut shaved.relations.as_mut().unwrap()[victim].pairs {
+            for r in rows.iter_mut() {
+                *r = 0;
+            }
+        }
+        assert!(
+            matches!(
+                certify(&prog, &shaved),
+                Err(CertificateError::NotInductive { .. })
+            ),
+            "{:?}",
+            certify(&prog, &shaved)
+        );
+        assert!(matches!(
+            certify_exhaustive(&prog, &shaved, 1 << 12),
+            Err(CertificateError::NotInductive { .. })
+        ));
+
+        // Pair tables of the wrong shape are a shape mismatch.
+        let mut misshapen = good.clone();
+        misshapen.relations.as_mut().unwrap()[0].pairs.pop();
         assert_eq!(
             certify(&prog, &misshapen),
             Err(CertificateError::ShapeMismatch)

@@ -1,7 +1,9 @@
 //! Abstract domains for the invariant engine.
 //!
-//! All three domains are *cartesian* (one abstract value per variable, no
-//! relations between variables) and share a single transfer-function
+//! The three domains defined here are *cartesian* (one abstract value
+//! per variable, no relations between variables — the pair-relation
+//! domain lives in [`relation`](super::relation) on top of the value
+//! sets) and share a single transfer-function
 //! language: abstract values are lifted into [`AbsInt`] — a bounded
 //! integer-set abstraction — where expression arithmetic and guard
 //! refinement happen, then cut back down to the domain
@@ -304,11 +306,23 @@ pub enum DomainKind {
     Intervals,
     /// Per-variable value sets (64-bit masks).
     ValueSets,
+    /// Pair relations: joint value sets for every variable pair on top of
+    /// the per-variable masks (see [`relation`](super::relation)).
+    Relational,
 }
 
 impl DomainKind {
     /// All domains, in increasing precision order.
-    pub const ALL: [DomainKind; 3] = [
+    pub const ALL: [DomainKind; 4] = [
+        DomainKind::Constants,
+        DomainKind::Intervals,
+        DomainKind::ValueSets,
+        DomainKind::Relational,
+    ];
+
+    /// The cartesian (non-relational) domains, in increasing precision
+    /// order — the subset whose invariants are plain per-variable masks.
+    pub const CARTESIAN: [DomainKind; 3] = [
         DomainKind::Constants,
         DomainKind::Intervals,
         DomainKind::ValueSets,
@@ -320,6 +334,7 @@ impl DomainKind {
             DomainKind::Constants => "constants",
             DomainKind::Intervals => "intervals",
             DomainKind::ValueSets => "value-sets",
+            DomainKind::Relational => "relational",
         }
     }
 }

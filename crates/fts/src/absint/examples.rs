@@ -170,6 +170,144 @@ pub fn peterson_abs() -> Program {
     p
 }
 
+/// `MUX-SEM` generalized to `n ≥ 2` processes: `pc_i ∈ {0:N, 1:T, 2:C}`
+/// for each process, the grant guard excluding every other process from
+/// the critical section. The observation alphabet stays `[c1, c2, t1,
+/// t2]` over the first two processes, so the same specifications apply
+/// at every `n`. The explicit product has `3^n` valuations while the
+/// abstract analysis keeps `3` locations — the states-vs-N crossover
+/// family where the *cartesian* value sets still suffice (the grant
+/// guard's refinement survives the pc partition).
+pub fn mux_sem_n(n: usize) -> Program {
+    assert!(n >= 2, "mux_sem_n needs at least two processes");
+    let mut p = Program::new();
+    let pcs: Vec<usize> = (0..n).map(|i| p.var(format!("pc{i}"), 3)).collect();
+    p.set_pc(pcs[0]);
+    p.init(&vec![0; n]);
+    p.observe_prop(Guard::var_eq(pcs[0], 2)); // c1
+    p.observe_prop(Guard::var_eq(pcs[1], 2)); // c2
+    p.observe_prop(Guard::var_eq(pcs[0], 1)); // t1
+    p.observe_prop(Guard::var_eq(pcs[1], 1)); // t2
+    for i in 0..n {
+        p.command(
+            format!("req{i}"),
+            Fairness::None,
+            Guard::var_eq(pcs[i], 0),
+            vec![set(pcs[i], 1)],
+        );
+        let mut grant = Guard::var_eq(pcs[i], 1);
+        for (j, &pcj) in pcs.iter().enumerate() {
+            if j != i {
+                grant = grant.and(Guard::var_ne(pcj, 2));
+            }
+        }
+        p.command(
+            format!("grant{i}"),
+            Fairness::Strong,
+            grant,
+            vec![set(pcs[i], 2)],
+        );
+        p.command(
+            format!("release{i}"),
+            Fairness::Weak,
+            Guard::var_eq(pcs[i], 2),
+            vec![set(pcs[i], 0)],
+        );
+    }
+    p.command("idle", Fairness::None, Guard::True, vec![Branch::skip()]);
+    p
+}
+
+/// An `n`-process token ring over **distributed** token bits: `tok_i ∈
+/// {0, 1}`, initially only `tok_0` set, `pass_i` moving the token one
+/// seat around the ring. Unlike [`token_ring_abs`] (one position
+/// variable), the single-token invariant here is a *correlation* between
+/// variables — `tok_i = 1` excludes `tok_j = 1` — which the cartesian
+/// domains provably lose and the relational domain keeps, making this
+/// the family whose mutual exclusion discharges statically only
+/// relationally. Observations: `c1 = tok_0`, `c2 = tok_1`.
+pub fn token_ring_n(n: usize) -> Program {
+    assert!(n >= 2, "token_ring_n needs at least two seats");
+    let mut p = Program::new();
+    let toks: Vec<usize> = (0..n).map(|i| p.var(format!("tok{i}"), 2)).collect();
+    p.set_pc(toks[0]);
+    let mut init = vec![0; n];
+    init[0] = 1;
+    p.init(&init);
+    p.observe_prop(Guard::var_eq(toks[0], 1)); // c1
+    p.observe_prop(Guard::var_eq(toks[1], 1)); // c2
+    p.observe_prop(Guard::False); // t1 (unobserved)
+    p.observe_prop(Guard::False); // t2 (unobserved)
+    for i in 0..n {
+        let j = (i + 1) % n;
+        p.command(
+            format!("pass{i}"),
+            Fairness::Weak,
+            Guard::var_eq(toks[i], 1),
+            vec![Branch::assign(vec![
+                (toks[i], Expr::c(0)),
+                (toks[j], Expr::c(1)),
+            ])],
+        );
+    }
+    p.command("hold", Fairness::None, Guard::True, vec![Branch::skip()]);
+    p
+}
+
+/// `n` dining philosophers with explicit fork bits: `p_i ∈ {0:thinking,
+/// 1:holds left fork, 2:eating}` and `f_i ∈ {0:free, 1:taken}`,
+/// philosopher `i` using forks `i` (left) and `(i+1) mod n` (right).
+/// The safety invariants — `p_i ≥ 1 ⇒ f_i = 1` and `p_i = 2 ⇒
+/// f_{i+1} = 1`, hence neighbours never eat together — are again pure
+/// correlations, relational-only. Observations: `c1/c2` = philosophers
+/// 0/1 eating, `t1/t2` = holding their left fork.
+pub fn dining_philosophers(n: usize) -> Program {
+    assert!(n >= 2, "dining_philosophers needs at least two seats");
+    let mut p = Program::new();
+    let ps: Vec<usize> = (0..n).map(|i| p.var(format!("p{i}"), 3)).collect();
+    let fs: Vec<usize> = (0..n).map(|i| p.var(format!("f{i}"), 2)).collect();
+    p.set_pc(ps[0]);
+    p.init(&vec![0; 2 * n]);
+    p.observe_prop(Guard::var_eq(ps[0], 2)); // c1
+    p.observe_prop(Guard::var_eq(ps[1], 2)); // c2
+    p.observe_prop(Guard::var_eq(ps[0], 1)); // t1
+    p.observe_prop(Guard::var_eq(ps[1], 1)); // t2
+    for i in 0..n {
+        let left = fs[i];
+        let right = fs[(i + 1) % n];
+        p.command(
+            format!("take_left{i}"),
+            Fairness::Weak,
+            Guard::var_eq(ps[i], 0).and(Guard::var_eq(left, 0)),
+            vec![Branch::assign(vec![
+                (ps[i], Expr::c(1)),
+                (left, Expr::c(1)),
+            ])],
+        );
+        p.command(
+            format!("take_right{i}"),
+            Fairness::Weak,
+            Guard::var_eq(ps[i], 1).and(Guard::var_eq(right, 0)),
+            vec![Branch::assign(vec![
+                (ps[i], Expr::c(2)),
+                (right, Expr::c(1)),
+            ])],
+        );
+        p.command(
+            format!("put{i}"),
+            Fairness::Weak,
+            Guard::var_eq(ps[i], 2),
+            vec![Branch::assign(vec![
+                (ps[i], Expr::c(0)),
+                (left, Expr::c(0)),
+                (right, Expr::c(0)),
+            ])],
+        );
+    }
+    p.command("idle", Fairness::None, Guard::True, vec![Branch::skip()]);
+    p
+}
+
 fn random_atom(rng: &mut StdRng, domains: &[usize]) -> Guard {
     let x = rng.gen_range(0..domains.len());
     let k = rng.gen_range(0..domains[x]) as i64;
@@ -297,6 +435,27 @@ mod tests {
                     verify(&built, &prop).expect("check").holds(),
                     verify(&explicit, &prop).expect("check").holds(),
                     "{name}: {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn n_families_validate_and_satisfy_mutex() {
+        let sigma = programs::observation_alphabet();
+        let mutex = compile_over(&sigma, &Formula::parse(&sigma, "G !(c1 & c2)").unwrap()).unwrap();
+        for n in 2..=4 {
+            for (name, prog) in [
+                ("mux_sem_n", mux_sem_n(n)),
+                ("token_ring_n", token_ring_n(n)),
+                ("dining_philosophers", dining_philosophers(n)),
+            ] {
+                prog.validate()
+                    .unwrap_or_else(|e| panic!("{name}({n}): {e}"));
+                let ts = prog.to_builder(&sigma).build().expect(name);
+                assert!(
+                    verify(&ts, &mutex).expect("check").holds(),
+                    "{name}({n}): mutex must hold explicitly"
                 );
             }
         }

@@ -14,6 +14,10 @@
 //! * [`domain`] — three cartesian abstract domains (constant
 //!   propagation, clipped intervals with widening, per-variable value
 //!   sets) over a shared transfer-function core;
+//! * [`relation`] — the pair-relation domain on top of the value sets:
+//!   per-location joint value sets for every variable pair, keeping the
+//!   correlations (Peterson's `turn`/`pc`, a ring's token bits) the
+//!   cartesian domains provably lose;
 //! * [`solve`] — the chaotic-iteration worklist solver, producing a
 //!   per-location [`Invariant`] certificate with concretized masks;
 //! * [`certify`] — independent re-verification of a certificate:
@@ -22,8 +26,9 @@
 //!   ([`certify_exhaustive`](certify::certify_exhaustive)), so a solver
 //!   bug cannot silently claim soundness;
 //! * [`examples`] — the paper's programs (MUX-SEM, the token ring,
-//!   Peterson) in the IR, plus seeded random programs for differential
-//!   testing.
+//!   Peterson) in the IR, parameterized N-process families (`mux_sem_n`,
+//!   `token_ring_n`, `dining_philosophers`), plus seeded random programs
+//!   for differential testing.
 //!
 //! The model checker consumes invariants through
 //! [`checker::check_with_invariants`](crate::checker::check_with_invariants)
@@ -34,6 +39,7 @@ pub mod certify;
 pub mod domain;
 pub mod examples;
 pub mod ir;
+pub mod relation;
 pub mod solve;
 
 pub use certify::{certify, certify_exhaustive, CertificateError};
@@ -41,6 +47,10 @@ pub use domain::{
     assume, guard_status, AbsInt, ConstDomain, Domain, DomainKind, Flat, IntervalDomain,
     ValueSetDomain,
 };
-pub use examples::{mux_sem_abs, peterson_abs, random_program, token_ring_abs};
+pub use examples::{
+    dining_philosophers, mux_sem_abs, mux_sem_n, peterson_abs, random_program, token_ring_abs,
+    token_ring_n,
+};
 pub use ir::{Branch, Cmp, Command, Expr, Guard, IrError, Program};
+pub use relation::LocationRelations;
 pub use solve::{analyze, Invariant, LocationInvariant, SolveStats};

@@ -64,6 +64,11 @@ pub struct Invariant {
     pub var_domains: Vec<usize>,
     /// One entry per location (`pc` value, or a single global entry).
     pub locations: Vec<LocationInvariant>,
+    /// Per-location pair relations — `Some` only for
+    /// [`DomainKind::Relational`] certificates (see
+    /// [`relation`](super::relation)); the cartesian domains carry
+    /// `None` and denote plain per-variable masks.
+    pub relations: Option<Vec<super::relation::LocationRelations>>,
     /// Solver counters.
     pub stats: SolveStats,
 }
@@ -86,14 +91,43 @@ impl Invariant {
             .count()
     }
 
-    /// Does the invariant contain this concrete valuation?
+    /// Does the invariant contain this concrete valuation? For a
+    /// relational certificate the valuation must additionally project
+    /// into every pair's joint value set.
     pub fn contains(&self, vals: &[usize]) -> bool {
         let l = self.location_of(vals);
-        l < self.locations.len()
-            && vals
+        if l >= self.locations.len()
+            || !vals
                 .iter()
                 .enumerate()
                 .all(|(x, &v)| v < 64 && self.locations[l].values[x] >> v & 1 == 1)
+        {
+            return false;
+        }
+        if let Some(rels) = &self.relations {
+            let rel = &rels[l];
+            if !rel.pairs.is_empty() {
+                let n = vals.len();
+                let mut i = 0;
+                for x in 0..n {
+                    for y in x + 1..n {
+                        if rel.pairs[i][vals[x]] >> vals[y] & 1 == 0 {
+                            return false;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Does the invariant carry pair relations (a relational
+    /// certificate over a multi-variable program)?
+    pub fn has_relations(&self) -> bool {
+        self.relations
+            .as_ref()
+            .is_some_and(|r| r.iter().any(|lr| !lr.pairs.is_empty()))
     }
 
     /// The union over reachable locations of a variable's value mask —
@@ -115,6 +149,55 @@ impl Invariant {
     /// May the guard hold somewhere in the invariant at location `l`?
     pub fn guard_feasible(&self, l: usize, g: &Guard) -> bool {
         self.guard_status(l, g) != Some(false)
+    }
+
+    /// May the guard hold somewhere in the *relational* invariant at
+    /// location `l`? Stronger than [`guard_feasible`](Self::guard_feasible):
+    /// a concrete state satisfying the guard projects a recorded joint
+    /// value into **every** pair, and that joint's conditioned cartesian
+    /// environment admits the guard — so if some pair has no admitting
+    /// joint, no such state exists. Falls back to the mask-based test for
+    /// cartesian certificates.
+    pub fn guard_feasible_rel(&self, l: usize, g: &Guard) -> bool {
+        if !self.location_reachable(l) {
+            return false;
+        }
+        let Some(rels) = &self.relations else {
+            return self.guard_feasible(l, g);
+        };
+        let rel = &rels[l];
+        if rel.pairs.is_empty() {
+            return self.guard_feasible(l, g);
+        }
+        let masks = &self.locations[l].values;
+        let domains = &self.var_domains;
+        let nvars = domains.len();
+        let mut i = 0;
+        for x in 0..nvars {
+            for y in x + 1..nvars {
+                let mut admitted = false;
+                'joints: for vx in 0..domains[x] {
+                    let mut row = rel.pairs[i][vx];
+                    while row != 0 {
+                        let vy = row.trailing_zeros() as usize;
+                        row &= row - 1;
+                        if let Some(env) =
+                            super::relation::conditioned_env(masks, rel, domains, x, vx, y, vy)
+                        {
+                            if assume::<ValueSetDomain>(g, &env, domains).is_some() {
+                                admitted = true;
+                                break 'joints;
+                            }
+                        }
+                    }
+                }
+                if !admitted {
+                    return false;
+                }
+                i += 1;
+            }
+        }
+        true
     }
 }
 
@@ -199,7 +282,7 @@ fn merge<D: Domain>(
     }
 }
 
-fn run<D: Domain>(prog: &Program) -> Invariant {
+pub(crate) fn run<D: Domain>(prog: &Program) -> Invariant {
     let domains = &prog.domains;
     let nlocs = prog.num_locations();
     let mut state: Vec<Option<Vec<D::Val>>> = vec![None; nlocs];
@@ -287,6 +370,7 @@ fn run<D: Domain>(prog: &Program) -> Invariant {
         pc: prog.pc,
         var_domains: domains.clone(),
         locations,
+        relations: None,
         stats,
     }
 }
@@ -300,6 +384,7 @@ pub fn analyze(prog: &Program, kind: DomainKind) -> Invariant {
         DomainKind::Constants => run::<ConstDomain>(prog),
         DomainKind::Intervals => run::<IntervalDomain>(prog),
         DomainKind::ValueSets => run::<ValueSetDomain>(prog),
+        DomainKind::Relational => super::relation::run_relational(prog),
     }
 }
 

@@ -9,6 +9,9 @@
 //!                                        syntactic system rules and the
 //!                                        invariant-backed semantic rules
 //!                                        (`fts` is an alias)
+//! spec-lint program --list [--json]      enumerate the program catalogue
+//!                                        (name, locations, variables,
+//!                                        domain sizes, fairness)
 //! spec-lint examples [--json] [--jobs N] lint the paper's running examples
 //!
 //! OPTS:
@@ -68,8 +71,12 @@ USAGE:
                                          invariant-backed semantic rules);
                                          default: the whole catalogue
                                          (peterson, mux-sem, mux-sem-weak,
-                                         token-ring, token-ring-stalled);
-                                         `fts` is an alias
+                                         token-ring, token-ring-stalled,
+                                         mux-sem-n4, token-ring-n4,
+                                         dining-phil-3); `fts` is an alias
+  spec-lint program --list [--json]      enumerate the program catalogue
+                                         (name, locations, variables, domain
+                                         sizes, fairness) without linting
   spec-lint examples [--json] [--jobs N] lint the paper's running examples
 
 OPTS:
@@ -245,7 +252,74 @@ fn program_catalogue() -> Vec<(&'static str, absint::Program)> {
         ("mux-sem-weak", absint::mux_sem_abs(Fairness::Weak)),
         ("token-ring", absint::token_ring_abs(true)),
         ("token-ring-stalled", absint::token_ring_abs(false)),
+        ("mux-sem-n4", absint::mux_sem_n(4)),
+        ("token-ring-n4", absint::token_ring_n(4)),
+        ("dining-phil-3", absint::dining_philosophers(3)),
     ]
+}
+
+/// `spec-lint program --list`: enumerates the catalogue without linting.
+fn list_programs(json: bool) -> ExitCode {
+    let catalogue = program_catalogue();
+    if json {
+        let mut out = String::from("[");
+        for (i, (name, prog)) in catalogue.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let vars: Vec<String> = prog
+                .var_names
+                .iter()
+                .zip(&prog.domains)
+                .map(|(n, d)| format!("{{\"name\": \"{}\", \"domain\": {d}}}", json_escape(n)))
+                .collect();
+            let fair = |f: Fairness| prog.commands.iter().filter(|c| c.fairness == f).count();
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"locations\": {}, \"variables\": [{}], \
+                 \"commands\": {}, \"fairness\": {{\"weak\": {}, \"strong\": {}, \
+                 \"none\": {}}}}}",
+                json_escape(name),
+                prog.num_locations(),
+                vars.join(", "),
+                prog.commands.len(),
+                fair(Fairness::Weak),
+                fair(Fairness::Strong),
+                fair(Fairness::None),
+            ));
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for (name, prog) in &catalogue {
+            let vars: Vec<String> = prog
+                .var_names
+                .iter()
+                .zip(&prog.domains)
+                .map(|(n, d)| format!("{n}:{d}"))
+                .collect();
+            let fair: Vec<String> = [Fairness::Weak, Fairness::Strong, Fairness::None]
+                .iter()
+                .map(|&f| {
+                    let k = prog.commands.iter().filter(|c| c.fairness == f).count();
+                    let label = match f {
+                        Fairness::Weak => "weak",
+                        Fairness::Strong => "strong",
+                        Fairness::None => "unfair",
+                    };
+                    format!("{k} {label}")
+                })
+                .collect();
+            println!(
+                "{:<20} {:>2} locations  {:>2} commands ({})  vars: {}",
+                name,
+                prog.num_locations(),
+                prog.commands.len(),
+                fair.join(", "),
+                vars.join(" "),
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Lints declarative programs from the built-in catalogue: the semantic
@@ -253,10 +327,20 @@ fn program_catalogue() -> Vec<(&'static str, absint::Program)> {
 /// [`lint_abstract_program`]) plus the syntactic system rules on the
 /// enumerated transition system.
 fn cmd_program(args: Vec<&str>) -> ExitCode {
+    // `--list` is not a linting option, so strip it before parse_opts
+    // (which rejects unknown `--` flags).
+    let list = args.contains(&"--list");
+    let args: Vec<&str> = args.into_iter().filter(|a| *a != "--list").collect();
     let opts = match parse_opts(args) {
         Ok(o) => o,
         Err(e) => return usage_error(&e),
     };
+    if list {
+        if !opts.positional.is_empty() {
+            return usage_error("program --list takes no program names");
+        }
+        return list_programs(opts.json);
+    }
     let catalogue = program_catalogue();
     let selected: Vec<(String, absint::Program)> = if opts.positional.is_empty() {
         catalogue

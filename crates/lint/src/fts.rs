@@ -156,7 +156,8 @@ fn fairness_kind(f: Fairness) -> &'static str {
 }
 
 /// Semantic lints for a declarative program: validates it, runs the
-/// value-set abstract interpretation, and delegates to
+/// pair-relation abstract interpretation (the most precise domain, so
+/// the relational rule FTS008 gets its evidence), and delegates to
 /// [`lint_abstract_program_ctx`]. Nothing here enumerates states.
 ///
 /// # Errors
@@ -165,7 +166,7 @@ fn fairness_kind(f: Fairness) -> &'static str {
 /// [`Program::validate`] (an ill-formed program is not a lint finding).
 pub fn lint_abstract_program(program: &Program) -> Result<Vec<Diagnostic>, IrError> {
     program.validate()?;
-    let inv = absint::analyze(program, DomainKind::ValueSets);
+    let inv = absint::analyze(program, DomainKind::Relational);
     Ok(lint_abstract_program_ctx(program, &inv))
 }
 
@@ -227,11 +228,12 @@ pub fn lint_abstract_program_ctx(program: &Program, inv: &Invariant) -> Vec<Diag
     // location — statically proven dead, where the syntactic rules would
     // need the enumerated system.
     let nlocs = inv.locations.len();
+    let mut mask_feasible = vec![false; program.commands.len()];
     for (i, cmd) in program.commands.iter().enumerate() {
         if unsat[i] {
             continue;
         }
-        let feasible = (0..nlocs).any(|l| {
+        mask_feasible[i] = (0..nlocs).any(|l| {
             inv.location_reachable(l)
                 && absint::assume::<ValueSetDomain>(
                     &cmd.guard,
@@ -240,7 +242,7 @@ pub fn lint_abstract_program_ctx(program: &Program, inv: &Invariant) -> Vec<Diag
                 )
                 .is_some()
         });
-        if feasible {
+        if mask_feasible[i] {
             continue;
         }
         if cmd.fairness == Fairness::None {
@@ -264,6 +266,33 @@ pub fn lint_abstract_program_ctx(program: &Program, inv: &Invariant) -> Vec<Diag
                     ),
                 )
                 .with_suggestion("the requirement is vacuously met and constrains no computation"),
+            );
+        }
+    }
+
+    // FTS008: the guard survives the per-variable masks (so FTS001/FTS003
+    // stay silent) yet no pair of the certified relational invariant
+    // admits it anywhere — the command is dead for a reason the
+    // cartesian view provably cannot express (a lost correlation, e.g. a
+    // broken turn/pc coupling or a desynchronized ring token).
+    if inv.has_relations() {
+        for (i, cmd) in program.commands.iter().enumerate() {
+            if unsat[i] || !mask_feasible[i] {
+                continue;
+            }
+            if (0..nlocs).any(|l| inv.guard_feasible_rel(l, &cmd.guard)) {
+                continue;
+            }
+            out.push(
+                diag(
+                    &registry::FTS008,
+                    Location::Transition(cmd.name.clone()),
+                    "the guard is feasible under the per-variable masks but infeasible \
+                     under the certified pair relations at every reachable location",
+                )
+                .with_suggestion(
+                    "proven dead by a variable correlation the cartesian domains cannot see",
+                ),
             );
         }
     }

@@ -118,6 +118,8 @@ rules! {
         "a program-counter value is unreachable in the abstract invariant";
     FTS007 = "FTS007", "invariant-certificate-failure", Fts, Error,
         "the abstract invariant failed independent certification (internal analysis error)";
+    FTS008 = "FTS008", "relationally-dead-command", Fts, Warning,
+        "a command guard is feasible under the per-variable masks but infeasible under the certified pair relations";
 }
 
 /// Looks up a rule by its code.
@@ -139,7 +141,7 @@ mod tests {
                 assert_ne!(r.name, other.name, "duplicate rule name");
             }
         }
-        assert_eq!(CATALOGUE.len(), 27);
+        assert_eq!(CATALOGUE.len(), 28);
     }
 
     #[test]

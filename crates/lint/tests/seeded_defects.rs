@@ -370,6 +370,108 @@ mod fts_defects {
             "the saturating counter is healthy: {diags:?}"
         );
     }
+
+    /// Injects a guard-only dead command (no fairness, skip branch) and
+    /// asserts the relational rule fires exactly once, on it, with no
+    /// other finding: the guard must stay feasible under the
+    /// per-variable masks (FTS001/FTS003/FTS005 silent) while the pair
+    /// relations refute it everywhere.
+    fn assert_fts008_exactly(name: &str, prog: &Program, ghost: &str, guard: Guard) {
+        let baseline = abs_codes(prog);
+        assert!(
+            baseline.is_empty(),
+            "{name}: the clean program must lint clean, got {baseline:?}"
+        );
+        let mut broken = prog.clone();
+        broken.command(
+            ghost,
+            Fairness::None,
+            guard,
+            vec![hierarchy_fts::absint::Branch::skip()],
+        );
+        let diags = lint_abstract_program(&broken).expect("still valid");
+        let codes: BTreeSet<&'static str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            BTreeSet::from(["FTS008"]),
+            "{name}: injection must add exactly FTS008, got {diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.location == Location::Transition(ghost.to_string())),
+            "{name}: FTS008 must point at the injected command"
+        );
+    }
+
+    /// Peterson with a command whose guard breaks the `turn`/`pc`
+    /// correlation: `pc2 = 3 ∧ tb = 0` is cartesian-feasible (both
+    /// values occur at `pc1 = 2`) but the pair `(pc2, tb)` never holds
+    /// the joint `(3, 0)` — whoever is critical owns the turn.
+    #[test]
+    fn broken_turn_correlation_fires_fts008_on_peterson() {
+        use hierarchy_fts::absint::peterson_abs;
+        let guard = Guard::var_eq(0, 2)
+            .and(Guard::var_eq(1, 3))
+            .and(Guard::var_eq(2, 0));
+        assert_fts008_exactly("peterson", &peterson_abs(), "ghost_enter", guard);
+    }
+
+    /// A desynchronized ring token: `tok1 = 1 ∧ tok2 = 1` is
+    /// cartesian-feasible at the location `tok0 = 0` (either seat may
+    /// hold the token there) but the pair `(tok1, tok2)` never records
+    /// the joint `(1, 1)` — at most one token circulates.
+    #[test]
+    fn double_token_fires_fts008_on_token_ring() {
+        use hierarchy_fts::absint::token_ring_n;
+        let guard = Guard::var_eq(1, 1).and(Guard::var_eq(2, 1));
+        assert_fts008_exactly("token-ring-n4", &token_ring_n(4), "double_token", guard);
+    }
+
+    /// An eating philosopher without their left fork: `p1 = 2 ∧ f1 = 0`
+    /// is cartesian-feasible (philosopher 1 eats at some location where
+    /// fork 1 is also sometimes free) but the pair `(p1, f1)` proves
+    /// `p1 ≥ 1 ⇒ f1 = 1`.
+    #[test]
+    fn forkless_eater_fires_fts008_on_dining() {
+        use hierarchy_fts::absint::dining_philosophers;
+        let prog = dining_philosophers(3);
+        // Variables: p0 p1 p2 f0 f1 f2 — p1 is index 1, f1 is index 4.
+        let guard = Guard::var_eq(1, 2).and(Guard::var_eq(4, 0));
+        assert_fts008_exactly("dining-phil-3", &prog, "forkless_eater", guard);
+    }
+
+    /// The clean named catalogue (fixed programs and N-families) never
+    /// fires the relational rule.
+    #[test]
+    fn clean_catalogue_is_silent_on_fts008() {
+        use hierarchy_fts::absint::{
+            dining_philosophers, mux_sem_abs, mux_sem_n, peterson_abs, token_ring_abs, token_ring_n,
+        };
+        let catalogue: Vec<(String, Program)> = vec![
+            ("peterson".into(), peterson_abs()),
+            ("mux-sem".into(), mux_sem_abs(Fairness::Strong)),
+            ("mux-sem-weak".into(), mux_sem_abs(Fairness::Weak)),
+            ("token-ring".into(), token_ring_abs(true)),
+            ("token-ring-stalled".into(), token_ring_abs(false)),
+        ]
+        .into_iter()
+        .chain((2..=5).flat_map(|n| {
+            [
+                (format!("mux-sem-n{n}"), mux_sem_n(n)),
+                (format!("token-ring-n{n}"), token_ring_n(n)),
+                (format!("dining-phil-{n}"), dining_philosophers(n)),
+            ]
+        }))
+        .collect();
+        for (name, prog) in catalogue {
+            let codes = abs_codes(&prog);
+            assert!(
+                !codes.contains("FTS008"),
+                "{name}: clean program fired FTS008"
+            );
+        }
+    }
 }
 
 /// Adds `states` to the first `Fin` atom of the condition, marking

@@ -12,9 +12,11 @@ cargo test --offline --workspace --quiet
 # parallel classification path is exercised even on single-core hosts.
 HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
   --test analysis_cross_validation --test parallel_stress --quiet
-# The abstract-interpretation differential suite, plus the same suite with
-# the worker pool forced on (the invariant engine itself is sequential, but
-# spec-lint batches programs through the pool).
+# The abstract-interpretation differential suite (cartesian + relational
+# domains, paper programs, the parameterized N-process families, and the
+# random sweep), plus the same suite with the worker pool forced on (the
+# invariant engine itself is sequential, but spec-lint batches programs
+# through the pool).
 cargo test --offline -p temporal-properties --test absint_soundness --quiet
 HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
   --test absint_soundness --quiet
@@ -25,7 +27,8 @@ cargo test --offline -p temporal-properties --test minimize_soundness --quiet
 HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
   --test minimize_soundness --quiet
 # Smoke the invariant-vs-explicit benchmark: its expect() lines are the
-# acceptance checks (verdict identity, safety discharge, certificates).
+# acceptance checks (verdict identity, safety discharge incl. Peterson
+# under the relational domain, the states-vs-N family series, certificates).
 cargo run --release --offline -p hierarchy-bench --bin tab_absint -- --smoke \
   > /dev/null
 # Smoke the quotient-first benchmark: verdict identity raw vs quotient

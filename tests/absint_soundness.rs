@@ -58,9 +58,34 @@ fn paper_suite() -> Vec<(String, Program, Alphabet)> {
     ]
 }
 
+/// The parameterized families at N ∈ {2..5} — the scale where the
+/// explicit product is still cheap enough to cross-validate against.
+fn family_suite() -> Vec<(String, Program, Alphabet)> {
+    let sigma = programs::observation_alphabet();
+    let mut out = Vec::new();
+    for n in 2..=5 {
+        out.push((format!("mux-sem-n{n}"), absint::mux_sem_n(n), sigma.clone()));
+        out.push((
+            format!("token-ring-n{n}"),
+            absint::token_ring_n(n),
+            sigma.clone(),
+        ));
+        out.push((
+            format!("dining-phil-{n}"),
+            absint::dining_philosophers(n),
+            sigma.clone(),
+        ));
+    }
+    out
+}
+
 #[test]
 fn abstract_invariant_covers_exact_reachable_set() {
-    for (name, prog, sigma) in paper_suite().into_iter().chain(random_suite()) {
+    for (name, prog, sigma) in paper_suite()
+        .into_iter()
+        .chain(family_suite())
+        .chain(random_suite())
+    {
         let (_, vals) = prog
             .to_builder(&sigma)
             .build_with_valuations()
@@ -80,7 +105,11 @@ fn abstract_invariant_covers_exact_reachable_set() {
 
 #[test]
 fn every_certificate_passes_both_checkers() {
-    for (name, prog, _) in paper_suite().into_iter().chain(random_suite()) {
+    for (name, prog, _) in paper_suite()
+        .into_iter()
+        .chain(family_suite())
+        .chain(random_suite())
+    {
         for kind in DomainKind::ALL {
             let inv = analyze(&prog, kind);
             certify(&prog, &inv)
@@ -91,36 +120,75 @@ fn every_certificate_passes_both_checkers() {
     }
 }
 
+/// The relational invariant is never less precise than any cartesian
+/// domain's: at every location, every variable's relational mask is a
+/// subset of the cartesian mask.
+#[test]
+fn relational_invariants_refine_every_cartesian_domain() {
+    for (name, prog, _) in paper_suite()
+        .into_iter()
+        .chain(family_suite())
+        .chain(random_suite())
+    {
+        let rel = analyze(&prog, DomainKind::Relational);
+        for kind in DomainKind::CARTESIAN {
+            let cart = analyze(&prog, kind);
+            for (l, (rloc, cloc)) in rel.locations.iter().zip(&cart.locations).enumerate() {
+                for (x, (&rm, &cm)) in rloc.values.iter().zip(&cloc.values).enumerate() {
+                    assert_eq!(
+                        rm & !cm,
+                        0,
+                        "{name}: relational mask exceeds {} at location {l}, var {x}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn invariant_first_verdicts_match_explicit_verdicts() {
-    for (name, prog, sigma) in random_suite() {
+    for (name, prog, sigma) in random_suite().into_iter().chain(family_suite()) {
         let ts = prog
             .to_builder(&sigma)
             .build()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        for spec in SPECS {
+        let specs = if name.starts_with("seed-") {
+            &SPECS[..]
+        } else {
+            // The families observe [c1, c2, t1, t2]; the mutex safety
+            // spec is the one the relational domain discharges.
+            &["G !(c1 & c2)"][..]
+        };
+        for spec in specs {
             let prop = compile_over(&sigma, &Formula::parse(&sigma, spec).unwrap()).unwrap();
             let explicit = verify(&ts, &prop).unwrap_or_else(|e| panic!("{name}: {e}"));
-            let (invfirst, stats) =
-                check_with_invariants(&prog, &sigma, &prop, DomainKind::ValueSets)
+            for kind in [DomainKind::ValueSets, DomainKind::Relational] {
+                let (invfirst, stats) = check_with_invariants(&prog, &sigma, &prop, kind)
                     .unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert_eq!(
-                stats.certificate_ok,
-                Some(true),
-                "{name}/{spec}: certificate must validate"
-            );
-            assert_eq!(
-                explicit.holds(),
-                invfirst.holds(),
-                "{name}/{spec}: verdicts diverge"
-            );
-            assert_eq!(
-                stats.pruned_states, 0,
-                "{name}/{spec}: pruning removed a node"
-            );
-            if let Verdict::Violated(cex) = &invfirst {
-                validate_violation(&ts, &prop, cex)
-                    .unwrap_or_else(|e| panic!("{name}/{spec}: bad counterexample: {e}"));
+                assert_eq!(
+                    stats.certificate_ok,
+                    Some(true),
+                    "{name}/{spec}/{}: certificate must validate",
+                    kind.name()
+                );
+                assert_eq!(
+                    explicit.holds(),
+                    invfirst.holds(),
+                    "{name}/{spec}/{}: verdicts diverge",
+                    kind.name()
+                );
+                assert_eq!(
+                    stats.pruned_product_states,
+                    0,
+                    "{name}/{spec}/{}: pruning removed a node",
+                    kind.name()
+                );
+                if let Verdict::Violated(cex) = &invfirst {
+                    validate_violation(&ts, &prop, cex)
+                        .unwrap_or_else(|e| panic!("{name}/{spec}: bad counterexample: {e}"));
+                }
             }
         }
     }
