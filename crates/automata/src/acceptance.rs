@@ -63,6 +63,46 @@ impl Acceptance {
         Acceptance::Fin(states.into_iter().collect())
     }
 
+    /// The min-even parity condition for a per-state priority
+    /// assignment: a run is accepting iff the minimal priority among
+    /// the states it visits infinitely often is even.
+    ///
+    /// The result is the standard `Inf`/`Fin` chain
+    /// `Inf(S₀) ∨ (Fin(S₁) ∧ (Inf(S₂) ∨ …))` (where `Sₚ` is the set of
+    /// states with priority `p`), which [`crate::inclusion::ParityView`]
+    /// recognizes, so automata built from it take the parity fast path
+    /// of the direct inclusion oracle.
+    ///
+    /// ```
+    /// use hierarchy_automata::acceptance::Acceptance;
+    /// use hierarchy_automata::bitset::BitSet;
+    ///
+    /// let acc = Acceptance::parity_min_even(&[0, 1, 2]);
+    /// assert!(acc.accepts_infinity_set(&BitSet::from_iter([0, 1])));
+    /// assert!(!acc.accepts_infinity_set(&BitSet::from_iter([1, 2])));
+    /// ```
+    pub fn parity_min_even(priorities: &[u32]) -> Acceptance {
+        let max = priorities.iter().copied().max().unwrap_or(0);
+        let mut acc = Acceptance::False;
+        for p in (0..=max).rev() {
+            let level: BitSet = priorities
+                .iter()
+                .enumerate()
+                .filter(|&(_, &q)| q == p)
+                .map(|(i, _)| i)
+                .collect();
+            if level.is_empty() {
+                continue;
+            }
+            acc = if p % 2 == 0 {
+                Acceptance::Inf(level).or(acc)
+            } else {
+                Acceptance::Fin(level).and(acc)
+            };
+        }
+        acc
+    }
+
     /// Conjunction of two conditions.
     pub fn and(self, other: Acceptance) -> Acceptance {
         match (self, other) {
@@ -363,6 +403,28 @@ mod tests {
         assert!(shifted.accepts_infinity_set(&set(&[11])));
         assert!(!shifted.accepts_infinity_set(&set(&[1])));
         assert!(!shifted.accepts_infinity_set(&set(&[11, 12])));
+    }
+
+    #[test]
+    fn parity_min_even_matches_direct_evaluation() {
+        // Priorities with a gap (no priority-3 states) and a repeated level.
+        let prios: Vec<u32> = vec![2, 0, 1, 4, 2, 1];
+        let acc = Acceptance::parity_min_even(&prios);
+        for bits in 1u8..64 {
+            let inf: BitSet = (0..6).filter(|i| bits & (1 << i) != 0).collect();
+            let min = inf.iter().map(|q| prios[q]).min().unwrap();
+            assert_eq!(
+                acc.accepts_infinity_set(&inf),
+                min % 2 == 0,
+                "parity chain disagrees on {inf:?} (min priority {min})"
+            );
+        }
+        // Degenerate assignments collapse to the constants.
+        assert_eq!(
+            Acceptance::parity_min_even(&[0, 0]),
+            Acceptance::inf([0, 1])
+        );
+        assert_eq!(Acceptance::parity_min_even(&[]), Acceptance::False);
     }
 
     #[test]

@@ -95,6 +95,11 @@ pub struct AnalysisStats {
     pub products_built: u64,
     /// Product requests served from the memo table.
     pub product_hits: u64,
+    /// Direct inclusion/equivalence oracle runs actually executed
+    /// (see [`Analysis::is_subset_of`]).
+    pub inclusion_checks: u64,
+    /// Inclusion/equivalence requests served from the memo table.
+    pub inclusion_hits: u64,
 }
 
 #[derive(Debug, Default)]
@@ -104,6 +109,8 @@ struct StatCells {
     scc_hits: AtomicU64,
     products_built: AtomicU64,
     product_hits: AtomicU64,
+    inclusion_checks: AtomicU64,
+    inclusion_hits: AtomicU64,
 }
 
 impl StatCells {
@@ -114,6 +121,8 @@ impl StatCells {
             scc_hits: self.scc_hits.load(Ordering::Relaxed),
             products_built: self.products_built.load(Ordering::Relaxed),
             product_hits: self.product_hits.load(Ordering::Relaxed),
+            inclusion_checks: self.inclusion_checks.load(Ordering::Relaxed),
+            inclusion_hits: self.inclusion_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -124,6 +133,8 @@ impl StatCells {
             scc_hits: AtomicU64::new(s.scc_hits),
             products_built: AtomicU64::new(s.products_built),
             product_hits: AtomicU64::new(s.product_hits),
+            inclusion_checks: AtomicU64::new(s.inclusion_checks),
+            inclusion_hits: AtomicU64::new(s.inclusion_hits),
         }
     }
 }
@@ -153,17 +164,52 @@ struct ProductKey {
 
 impl ProductKey {
     fn of(other: &OmegaAutomaton, op: ProductOp) -> ProductKey {
-        let mut delta = Vec::with_capacity(other.num_states() * other.alphabet().len());
-        for q in 0..other.num_states() as StateId {
-            for sym in other.alphabet().symbols() {
-                delta.push(other.step(q, sym));
-            }
-        }
         ProductKey {
-            delta,
+            delta: delta_table(other),
             initial: other.initial(),
             acceptance: other.acceptance().clone(),
             op,
+        }
+    }
+}
+
+fn delta_table(aut: &OmegaAutomaton) -> Vec<StateId> {
+    let mut delta = Vec::with_capacity(aut.num_states() * aut.alphabet().len());
+    for q in 0..aut.num_states() as StateId {
+        for sym in aut.alphabet().symbols() {
+            delta.push(aut.step(q, sym));
+        }
+    }
+    delta
+}
+
+/// Which verdict of the direct oracle a memo entry answers (see
+/// [`Analysis::is_subset_of`] / [`Analysis::equivalent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OracleQuery {
+    /// `L(self) ⊆ L(other)`.
+    Included,
+    /// `L(self) = L(other)`.
+    Equivalent,
+}
+
+/// Cache key of a memoized inclusion/equivalence verdict: the *other*
+/// operand's structure plus which question was asked.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct InclusionKey {
+    delta: Vec<StateId>,
+    initial: StateId,
+    acceptance: Acceptance,
+    query: OracleQuery,
+}
+
+impl InclusionKey {
+    fn of(other: &OmegaAutomaton, query: OracleQuery) -> InclusionKey {
+        InclusionKey {
+            delta: delta_table(other),
+            initial: other.initial(),
+            acceptance: other.acceptance().clone(),
+            query,
         }
     }
 }
@@ -222,6 +268,9 @@ pub struct Analysis {
     classification: OnceLock<Classification>,
     counter_freedom: OnceLock<CounterFreedom>,
     products: Mutex<HashMap<ProductKey, Arc<OmegaAutomaton>>>,
+    /// Memoized verdicts of the direct inclusion/equivalence oracle,
+    /// keyed by the other operand (quotiented when the pipeline is on).
+    inclusions: Mutex<HashMap<InclusionKey, bool>>,
 }
 
 impl Clone for Analysis {
@@ -241,6 +290,7 @@ impl Clone for Analysis {
             classification: self.classification.clone(),
             counter_freedom: self.counter_freedom.clone(),
             products: Mutex::new(lock_recover(&self.products).clone()),
+            inclusions: Mutex::new(lock_recover(&self.inclusions).clone()),
         }
     }
 }
@@ -281,6 +331,7 @@ impl Analysis {
             classification: OnceLock::new(),
             counter_freedom: OnceLock::new(),
             products: Mutex::new(HashMap::new()),
+            inclusions: Mutex::new(HashMap::new()),
         }
     }
 
@@ -721,35 +772,59 @@ impl Analysis {
             .map_or(&self.aut, |q| q.automaton())
     }
 
-    /// Language inclusion `L(self) ⊆ L(other)`, through the product
-    /// cache (quotient-first when enabled).
+    /// Language inclusion `L(self) ⊆ L(other)`, decided by the direct
+    /// product-graph oracle of [`crate::inclusion`] (no complement, no
+    /// DNF) on the quotiented operands when the quotient-first pipeline
+    /// is enabled, memoized per operand. In debug builds every verdict
+    /// is cross-checked against the classical complement+product oracle
+    /// on the *raw* operands — one tripwire covering both the
+    /// quotient-first routing and the new algorithm.
     pub fn is_subset_of(&self, other: &OmegaAutomaton) -> bool {
-        let res = self.product_with(other, ProductOp::Difference).is_empty();
-        debug_assert!(
-            !self.quotient_enabled || res == self.aut.difference(other).is_empty(),
-            "quotient-first tripwire: inclusion verdict mismatch"
-        );
-        res
+        self.inclusion_verdict(other, OracleQuery::Included)
     }
 
-    /// Language equivalence, through the product cache for the forward
-    /// inclusion (quotient-first when enabled).
+    /// Language equivalence through the same direct oracle (both
+    /// directions share one product graph), memoized per operand, with
+    /// the same debug-mode differential tripwire as
+    /// [`Self::is_subset_of`].
     pub fn equivalent(&self, other: &OmegaAutomaton) -> bool {
-        if !self.is_subset_of(other) {
-            return false;
-        }
+        self.inclusion_verdict(other, OracleQuery::Equivalent)
+    }
+
+    fn inclusion_verdict(&self, other: &OmegaAutomaton, query: OracleQuery) -> bool {
         let lhs = self.effective_automaton();
-        if self.quotient_enabled {
-            let rhs_min = minimize(other);
-            let rhs = if rhs_min.reduced() {
+        let rhs_min;
+        let rhs = if self.quotient_enabled {
+            rhs_min = minimize(other);
+            if rhs_min.reduced() {
                 &rhs_min.quotient
             } else {
                 other
-            };
-            rhs.difference(lhs).is_empty()
+            }
         } else {
-            other.difference(lhs).is_empty()
+            other
+        };
+        let key = InclusionKey::of(rhs, query);
+        if let Some(&hit) = lock_recover(&self.inclusions).get(&key) {
+            self.stats.inclusion_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
         }
+        self.stats.inclusion_checks.fetch_add(1, Ordering::Relaxed);
+        let res = match query {
+            OracleQuery::Included => crate::inclusion::included(lhs, rhs),
+            OracleQuery::Equivalent => crate::inclusion::equivalent(lhs, rhs),
+        };
+        debug_assert_eq!(
+            res,
+            match query {
+                OracleQuery::Included => self.aut.is_subset_of_via_complement(other),
+                OracleQuery::Equivalent => self.aut.equivalent_via_complement(other),
+            },
+            "inclusion-oracle tripwire: direct verdict on the (quotiented) \
+             operands differs from the complement oracle on the raw ones"
+        );
+        lock_recover(&self.inclusions).insert(key, res);
+        res
     }
 
     /// A snapshot of the cache counters of *this* context only. The
@@ -773,6 +848,8 @@ impl Analysis {
             s.scc_hits += qs.scc_hits;
             s.products_built += qs.products_built;
             s.product_hits += qs.product_hits;
+            s.inclusion_checks += qs.inclusion_checks;
+            s.inclusion_hits += qs.inclusion_hits;
         }
         s
     }
@@ -841,11 +918,35 @@ mod tests {
         let sigma = ab();
         let ctx = Analysis::new(last_sym(&sigma, Acceptance::inf([1])));
         let other = last_sym(&sigma, Acceptance::fin([1]));
-        assert!(!ctx.is_subset_of(&other));
-        assert!(!ctx.is_subset_of(&other));
+        let p1 = ctx.product_with(&other, ProductOp::Union);
+        let p2 = ctx.product_with(&other, ProductOp::Union);
+        assert!(p1.equivalent(&p2));
         let s = ctx.stats();
         assert_eq!(s.products_built, 1);
         assert_eq!(s.product_hits, 1);
+    }
+
+    #[test]
+    fn inclusion_memo_hits_on_repeat_and_both_directions_are_checked() {
+        let sigma = ab();
+        // □◇b and ◇□a are disjoint non-empty languages, so *neither*
+        // inclusion direction holds. (This used to assert the forward
+        // direction twice, leaving the reverse direction untested.)
+        let ctx = Analysis::new(last_sym(&sigma, Acceptance::inf([1])));
+        let other = last_sym(&sigma, Acceptance::fin([1]));
+        assert!(!ctx.is_subset_of(&other));
+        assert!(!ctx.is_subset_of(&other)); // repeat: memo hit
+        let rev = Analysis::new(other.clone());
+        assert!(!rev.is_subset_of(ctx.automaton()));
+        let s = ctx.stats();
+        assert_eq!(s.inclusion_checks, 1);
+        assert_eq!(s.inclusion_hits, 1);
+        // Equivalence is a distinct memo entry, then hits on repeat.
+        assert!(!ctx.equivalent(&other));
+        assert!(!ctx.equivalent(&other));
+        let s = ctx.stats();
+        assert_eq!(s.inclusion_checks, 2);
+        assert_eq!(s.inclusion_hits, 2);
     }
 
     #[test]
@@ -877,6 +978,7 @@ mod tests {
             let _sccs = lock_recover(&ctx.sccs);
             let _live = lock_recover(&ctx.live_for);
             let _products = lock_recover(&ctx.products);
+            let _inclusions = lock_recover(&ctx.inclusions);
             panic!("worker dies holding the cache locks");
         }));
         assert!(died.is_err());

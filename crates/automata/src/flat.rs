@@ -73,6 +73,19 @@ impl FlatGraph {
         FlatGraph { offsets, targets }
     }
 
+    /// Builds the deduplicated successor graph of a flattened
+    /// deterministic transition table `delta[q·k + s]` over `n` states
+    /// and `k` symbols. Shared by [`FlatAutomaton::of`] and the ad-hoc
+    /// product builders (e.g. [`crate::inclusion`]) so every flat delta
+    /// gets its CSR graph through one audited path.
+    pub fn from_delta(n: usize, k: usize, delta: &[StateId]) -> Self {
+        debug_assert_eq!(delta.len(), n * k, "delta table has wrong shape");
+        FlatGraph::from_fn(n, |q| {
+            let base = q as usize * k;
+            delta[base..base + k].to_vec()
+        })
+    }
+
     /// Snapshots any [`Successors`] implementation into CSR form
     /// (deduplicated). This is the constructor the analysis layers use to
     /// flatten an [`OmegaAutomaton`] or an
@@ -134,10 +147,7 @@ impl FlatAutomaton {
                 delta.push(aut.step(q, sym));
             }
         }
-        let graph = FlatGraph::from_fn(n, |q| {
-            let base = q as usize * k;
-            delta[base..base + k].to_vec()
-        });
+        let graph = FlatGraph::from_delta(n, k, &delta);
         FlatAutomaton {
             num_states: n,
             alphabet_len: k,

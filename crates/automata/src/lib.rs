@@ -24,9 +24,15 @@
 //!   (Wagner's alternating-chain analysis, implemented through a
 //!   color-lattice SCC construction).
 //! * [`analysis::Analysis`] — a per-automaton memoized context that shares
-//!   reachability, restricted SCC decompositions, the condensation DAG and
-//!   pairwise products across all of the above, turning a full
-//!   classification into a single color-lattice walk.
+//!   reachability, restricted SCC decompositions, the condensation DAG,
+//!   pairwise products and inclusion verdicts across all of the above,
+//!   turning a full classification into a single color-lattice walk.
+//! * [`inclusion`] — direct polynomial-time inclusion/equivalence for
+//!   deterministic acceptors (Angluin–Fisman): a min-even parity view
+//!   with a product-SCC fast path, whole-pair Streett refinement for
+//!   general conditions, and counterexample-lasso extraction — the
+//!   default oracle behind `is_subset_of`/`equivalent`, differential
+//!   against the complement construction.
 //! * [`par`] — a zero-dependency scoped-thread worker pool
 //!   (`HIERARCHY_THREADS` sets the worker count) that fans the
 //!   color-lattice sweep and the batch classifier
@@ -69,6 +75,7 @@ pub mod dot;
 pub mod emptiness;
 pub mod flat;
 pub mod hoa;
+pub mod inclusion;
 pub mod lasso;
 pub mod minimize;
 pub mod nba;
@@ -93,6 +100,7 @@ pub mod prelude {
     pub use crate::classify;
     pub use crate::dfa::Dfa;
     pub use crate::flat::{FlatAutomaton, FlatGraph};
+    pub use crate::inclusion::ParityView;
     pub use crate::lasso::Lasso;
     pub use crate::minimize::{minimize, Minimization};
     pub use crate::nba::Nba;

@@ -105,6 +105,38 @@ impl OmegaAutomaton {
         }
     }
 
+    /// Debug-mode structural audit for the constructor paths that
+    /// assemble an automaton by struct literal after a renumbering
+    /// (product, trim, reduce) instead of going through [`Self::build`]:
+    /// every transition target, the initial state, and — the historically
+    /// risky part — every acceptance atom set must stay inside
+    /// `0..num_states` after the renumbering.
+    fn audited(self) -> Self {
+        debug_assert!(
+            (self.initial as usize) < self.num_states,
+            "initial state {} out of range (num_states = {})",
+            self.initial,
+            self.num_states
+        );
+        debug_assert_eq!(
+            self.delta.len(),
+            self.num_states * self.alphabet.len(),
+            "transition table has wrong shape"
+        );
+        debug_assert!(
+            self.delta.iter().all(|&t| (t as usize) < self.num_states),
+            "transition target out of range"
+        );
+        debug_assert!(
+            self.acceptance
+                .atom_sets()
+                .iter()
+                .all(|s| s.iter().all(|q| q < self.num_states)),
+            "acceptance atom sets must be subsets of the state set"
+        );
+        self
+    }
+
     /// The automaton accepting the empty ω-language.
     pub fn empty(alphabet: &Alphabet) -> Self {
         OmegaAutomaton::build(alphabet, 1, 0, |_, _| 0, Acceptance::False)
@@ -303,6 +335,7 @@ impl OmegaAutomaton {
             delta,
             acceptance: combine(left, right),
         }
+        .audited()
     }
 
     /// Intersection of the two ω-languages.
@@ -320,22 +353,55 @@ impl OmegaAutomaton {
         self.product_with(&other.complement(), Acceptance::and)
     }
 
-    /// Whether `L(self) ⊆ L(other)`.
+    /// Whether `L(self) ⊆ L(other)`, decided by the direct product-graph
+    /// algorithm of [`crate::inclusion`] (Angluin & Fisman) — no
+    /// complement automaton, no acceptance DNF. In debug builds the
+    /// verdict is cross-checked against
+    /// [`Self::is_subset_of_via_complement`].
     pub fn is_subset_of(&self, other: &OmegaAutomaton) -> bool {
+        let res = crate::inclusion::included(self, other);
+        debug_assert_eq!(
+            res,
+            self.is_subset_of_via_complement(other),
+            "direct-inclusion tripwire: verdict differs from the complement oracle"
+        );
+        res
+    }
+
+    /// Whether `L(self) ⊆ L(other)` via the classical construction:
+    /// `L(self) ∖ L(other)` is built as a complement + product and tested
+    /// for emptiness. Kept as the independent differential oracle for
+    /// [`Self::is_subset_of`].
+    pub fn is_subset_of_via_complement(&self, other: &OmegaAutomaton) -> bool {
         self.difference(other).is_empty()
     }
 
-    /// Whether the two automata accept the same ω-language.
+    /// Whether the two automata accept the same ω-language, decided by
+    /// the direct product-graph algorithm of [`crate::inclusion`] (both
+    /// directions share one product). In debug builds the verdict is
+    /// cross-checked against [`Self::equivalent_via_complement`].
     pub fn equivalent(&self, other: &OmegaAutomaton) -> bool {
-        self.is_subset_of(other) && other.is_subset_of(self)
+        let res = crate::inclusion::equivalent(self, other);
+        debug_assert_eq!(
+            res,
+            self.equivalent_via_complement(other),
+            "direct-equivalence tripwire: verdict differs from the complement oracle"
+        );
+        res
+    }
+
+    /// Equivalence via the classical complement+product+emptiness
+    /// construction, kept as the independent differential oracle for
+    /// [`Self::equivalent`].
+    pub fn equivalent_via_complement(&self, other: &OmegaAutomaton) -> bool {
+        self.is_subset_of_via_complement(other) && other.is_subset_of_via_complement(self)
     }
 
     /// A lasso accepted by exactly one of the two automata, if the languages
-    /// differ.
+    /// differ. Extracted from the direct inclusion check's witness region
+    /// (see [`crate::inclusion::distinguishing_lasso`]).
     pub fn distinguishing_lasso(&self, other: &OmegaAutomaton) -> Option<Lasso> {
-        self.difference(other)
-            .accepted_lasso()
-            .or_else(|| other.difference(self).accepted_lasso())
+        crate::inclusion::distinguishing_lasso(self, other)
     }
 
     /// Restricts the automaton to its reachable part, renumbering states
@@ -372,6 +438,7 @@ impl OmegaAutomaton {
             delta,
             acceptance,
         }
+        .audited()
     }
 
     /// Reduces the automaton by merging states that are equivalent under
@@ -445,6 +512,7 @@ impl OmegaAutomaton {
             delta,
             acceptance,
         }
+        .audited()
     }
 
     /// The same automaton started from `q`.

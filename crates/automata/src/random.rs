@@ -265,6 +265,45 @@ pub fn random_streett<R: Rng>(
     (aut, pairs)
 }
 
+/// A random deterministic Rabin automaton: `k` pairs `(Eᵢ, Fᵢ)` whose
+/// member sets include each state with probability `p`, as the
+/// disjunction `⋁ᵢ Inf(Fᵢ) ∧ Fin(Eᵢ)`.
+pub fn random_rabin<R: Rng>(
+    rng: &mut R,
+    alphabet: &Alphabet,
+    num_states: usize,
+    k: usize,
+    p: f64,
+) -> OmegaAutomaton {
+    let pairs: Vec<(BitSet, BitSet)> = (0..k)
+        .map(|_| {
+            let avoid: BitSet = (0..num_states).filter(|_| rng.gen_bool(p)).collect();
+            let visit: BitSet = (0..num_states).filter(|_| rng.gen_bool(p)).collect();
+            (avoid, visit)
+        })
+        .collect();
+    let structure = random_structure(rng, alphabet, num_states);
+    structure.with_acceptance(crate::streett::rabin(&pairs))
+}
+
+/// A random deterministic parity automaton (min-even): every state gets
+/// a uniform priority in `0..=max_priority`, encoded through
+/// [`Acceptance::parity_min_even`](crate::acceptance::Acceptance::parity_min_even)
+/// so the resulting condition admits a
+/// [`ParityView`](crate::inclusion::ParityView).
+pub fn random_parity<R: Rng>(
+    rng: &mut R,
+    alphabet: &Alphabet,
+    num_states: usize,
+    max_priority: u32,
+) -> OmegaAutomaton {
+    let priorities: Vec<u32> = (0..num_states)
+        .map(|_| rng.gen_range(0..=max_priority as usize) as u32)
+        .collect();
+    let structure = random_structure(rng, alphabet, num_states);
+    structure.with_acceptance(crate::acceptance::Acceptance::parity_min_even(&priorities))
+}
+
 /// A random lasso with spoke length up to `max_spoke` and loop length in
 /// `1..=max_cycle`.
 pub fn random_lasso<R: Rng>(
@@ -320,6 +359,22 @@ mod tests {
             assert!(!c.is_safety || c.is_obligation);
             assert!(!c.is_guarantee || c.is_obligation);
             assert!(c.reactivity_index >= 1);
+        }
+    }
+
+    #[test]
+    fn random_rabin_and_parity_are_wellformed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sigma = ab();
+        for _ in 0..10 {
+            let r = random_rabin(&mut rng, &sigma, 6, 2, 0.3);
+            assert_eq!(r.num_states(), 6);
+            let _ = crate::classify::classify(&r);
+            let p = random_parity(&mut rng, &sigma, 6, 3);
+            assert!(
+                crate::inclusion::ParityView::try_of(p.acceptance(), 6).is_some(),
+                "parity automata must admit a parity view"
+            );
         }
     }
 

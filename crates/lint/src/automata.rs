@@ -49,7 +49,8 @@ pub fn lint_automaton(aut: &OmegaAutomaton) -> Vec<Diagnostic> {
 }
 
 /// Lints the automaton held by an existing analysis context, reusing its
-/// memoized reachability, liveness, condensation, and product caches.
+/// memoized reachability, liveness, condensation, product and
+/// inclusion-verdict caches.
 pub fn lint_automaton_ctx(ctx: &Analysis) -> Vec<Diagnostic> {
     let aut = ctx.automaton();
     let n = aut.num_states();
@@ -202,7 +203,13 @@ pub fn lint_automaton_ctx(ctx: &Analysis) -> Vec<Diagnostic> {
 
     // AUT006: droppable acceptance conjuncts (redundant Streett pairs).
     // (Empty languages never get here — AUT001 returned early — so every
-    // redundancy reported is about a genuinely non-empty language.)
+    // redundancy reported is about a genuinely non-empty language.) Each
+    // candidate is an `Analysis::equivalent` query, which since ISSUE 8
+    // routes through the direct product-graph oracle
+    // (`hierarchy_automata::inclusion`) and its per-context memo — the
+    // per-conjunct cost is polynomial in the pair count instead of the
+    // old complement+DNF construction's exponential blow-up, so linting
+    // wide Streett conditions stays cheap.
     if let Acceptance::And(xs) = aut.acceptance() {
         if xs.len() >= 2 {
             for i in 0..xs.len() {

@@ -26,6 +26,13 @@ HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
 cargo test --offline -p temporal-properties --test minimize_soundness --quiet
 HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
   --test minimize_soundness --quiet
+# The direct-inclusion differential suite (Streett/Rabin/parity verdicts
+# vs the complement oracle, counterexample-lasso replay, structural
+# invariants), plus the same suite with the worker pool forced on (the
+# Analysis memo tables are thread-shared).
+cargo test --offline -p temporal-properties --test inclusion_soundness --quiet
+HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
+  --test inclusion_soundness --quiet
 # Smoke the invariant-vs-explicit benchmark: its expect() lines are the
 # acceptance checks (verdict identity, safety discharge incl. Peterson
 # under the relational domain, the states-vs-N family series, certificates).
@@ -34,6 +41,10 @@ cargo run --release --offline -p hierarchy-bench --bin tab_absint -- --smoke \
 # Smoke the quotient-first benchmark: verdict identity raw vs quotient
 # and the state/sweep reduction expectations.
 cargo run --release --offline -p hierarchy-bench --bin tab_minimize -- --smoke \
+  > /dev/null
+# Smoke the direct-inclusion benchmark: old-vs-new verdict identity on
+# every seeded case is its expect() gate.
+cargo run --release --offline -p hierarchy-bench --bin tab_inclusion -- --smoke \
   > /dev/null
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
