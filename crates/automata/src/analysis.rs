@@ -102,6 +102,43 @@ pub struct AnalysisStats {
     pub inclusion_hits: u64,
 }
 
+impl AnalysisStats {
+    /// The per-field difference `self − baseline`, saturating at zero.
+    ///
+    /// This is how a long-lived context (the classification daemon keeps
+    /// one per warm artifact) attributes cost to a single request: take
+    /// a snapshot before, one after, and subtract. Saturating rather
+    /// than panicking keeps a stale baseline — e.g. one taken before a
+    /// concurrent [`Analysis::reset_stats`] — harmless.
+    pub fn delta_since(&self, baseline: AnalysisStats) -> AnalysisStats {
+        AnalysisStats {
+            scc_passes: self.scc_passes.saturating_sub(baseline.scc_passes),
+            scc_state_visits: self
+                .scc_state_visits
+                .saturating_sub(baseline.scc_state_visits),
+            scc_hits: self.scc_hits.saturating_sub(baseline.scc_hits),
+            products_built: self.products_built.saturating_sub(baseline.products_built),
+            product_hits: self.product_hits.saturating_sub(baseline.product_hits),
+            inclusion_checks: self
+                .inclusion_checks
+                .saturating_sub(baseline.inclusion_checks),
+            inclusion_hits: self.inclusion_hits.saturating_sub(baseline.inclusion_hits),
+        }
+    }
+
+    /// Sum of all counters — a single "work units" scalar for coarse
+    /// per-request reporting.
+    pub fn total(&self) -> u64 {
+        self.scc_passes
+            + self.scc_state_visits
+            + self.scc_hits
+            + self.products_built
+            + self.product_hits
+            + self.inclusion_checks
+            + self.inclusion_hits
+    }
+}
+
 #[derive(Debug, Default)]
 struct StatCells {
     scc_passes: AtomicU64,
@@ -136,6 +173,16 @@ impl StatCells {
             inclusion_checks: AtomicU64::new(s.inclusion_checks),
             inclusion_hits: AtomicU64::new(s.inclusion_hits),
         }
+    }
+
+    fn reset(&self) {
+        self.scc_passes.store(0, Ordering::Relaxed);
+        self.scc_state_visits.store(0, Ordering::Relaxed);
+        self.scc_hits.store(0, Ordering::Relaxed);
+        self.products_built.store(0, Ordering::Relaxed);
+        self.product_hits.store(0, Ordering::Relaxed);
+        self.inclusion_checks.store(0, Ordering::Relaxed);
+        self.inclusion_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -853,6 +900,23 @@ impl Analysis {
         }
         s
     }
+
+    /// Zeroes the cache counters of this context (and of its quotient
+    /// context, if one has been created), leaving every memo table
+    /// intact.
+    ///
+    /// Long-lived contexts — the classification daemon holds one per
+    /// warm artifact — use this together with
+    /// [`AnalysisStats::delta_since`] to report per-request work without
+    /// rebuilding the context. Takes `&self`: the counters are atomics,
+    /// so a reset is safe (if imprecise for in-flight requests) even
+    /// while workers are querying.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        if let Some(Some(q)) = self.quotient.get() {
+            q.reset_stats();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1018,5 +1082,64 @@ mod tests {
             free_live.intersect_with(ctx.reachable());
             assert_eq!(*ctx.live(), free_live);
         }
+    }
+
+    /// Per-request attribution: snapshot → work → delta shows exactly
+    /// that work; reset zeroes the counters without touching the memo
+    /// tables (the second classification is still a pure cache hit).
+    #[test]
+    fn stats_delta_and_reset() {
+        let sigma = ab();
+        let ctx = Analysis::new(last_sym(&sigma, Acceptance::inf([1])));
+        let before = ctx.stats_total();
+        ctx.classification();
+        let after_cold = ctx.stats_total();
+        let cold = after_cold.delta_since(before);
+        assert!(cold.scc_passes > 0, "cold classification runs passes");
+
+        ctx.reset_stats();
+        let zero = ctx.stats_total();
+        assert_eq!(zero, AnalysisStats::default());
+
+        // The memo survives the reset: a repeat query does no new passes.
+        ctx.classification();
+        let warm = ctx.stats_total().delta_since(zero);
+        assert_eq!(warm.scc_passes, 0, "classification memo must survive reset");
+
+        // A stale baseline (taken before the reset) saturates, never
+        // underflows.
+        let stale = after_cold;
+        let sat = ctx.stats_total().delta_since(stale);
+        assert_eq!(sat.scc_passes, 0);
+        assert!(sat.total() <= after_cold.total());
+    }
+
+    /// Resetting propagates into the quotient context when one exists,
+    /// so `stats_total` deltas stay honest for quotient-routed work.
+    #[test]
+    fn reset_stats_covers_quotient_context() {
+        let sigma = ab();
+        // Duplicate the 2-state tracker into 4 states so the quotient
+        // strictly shrinks and quotient-first routing kicks in.
+        let b = sigma.symbol("b").unwrap();
+        let aut = OmegaAutomaton::build(
+            &sigma,
+            4,
+            0,
+            |q, s| {
+                let bit = if s == b { 1 } else { 0 };
+                bit + 2 * (1 - q / 2) // flip halves so both copies are reachable
+            },
+            Acceptance::inf([1, 3]),
+        );
+        let ctx = Analysis::new(aut);
+        ctx.classification();
+        assert!(
+            ctx.quotient_analysis().is_some(),
+            "test needs quotient routing"
+        );
+        assert!(ctx.stats_total().total() > 0);
+        ctx.reset_stats();
+        assert_eq!(ctx.stats_total(), AnalysisStats::default());
     }
 }

@@ -29,6 +29,11 @@ pub enum AutomatonError {
     /// A deterministic automaton was required but the transition structure is
     /// incomplete or nondeterministic.
     NotDeterministic,
+    /// An HOA document could not be parsed (see [`crate::hoa::hoa_to_omega`]).
+    HoaParse {
+        /// What went wrong, with the offending line when available.
+        message: String,
+    },
 }
 
 impl fmt::Display for AutomatonError {
@@ -49,6 +54,9 @@ impl fmt::Display for AutomatonError {
             }
             AutomatonError::NotDeterministic => {
                 write!(f, "a complete deterministic automaton is required")
+            }
+            AutomatonError::HoaParse { message } => {
+                write!(f, "HOA parse error: {message}")
             }
         }
     }

@@ -68,6 +68,7 @@ pub mod acceptance;
 pub mod alphabet;
 pub mod analysis;
 pub mod bitset;
+pub mod canonical;
 pub mod classify;
 pub mod counterfree;
 pub mod dfa;
@@ -97,6 +98,7 @@ pub mod prelude {
     pub use crate::alphabet::{Alphabet, Symbol, SymbolSet};
     pub use crate::analysis::{Analysis, AnalysisStats, ProductOp};
     pub use crate::bitset::BitSet;
+    pub use crate::canonical::{hash_bytes, structural_hash, ArtifactHash};
     pub use crate::classify;
     pub use crate::dfa::Dfa;
     pub use crate::flat::{FlatAutomaton, FlatGraph};

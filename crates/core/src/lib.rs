@@ -48,13 +48,15 @@ pub use hierarchy_logic as logic;
 pub use hierarchy_topology as topology;
 
 mod property;
+mod servable;
 
 pub use property::{HierarchyClass, Property, PropertyError, PropertyReport};
+pub use servable::Servable;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
     pub use crate::automata::prelude::*;
     pub use crate::lang::{operators, witnesses, FinitaryProperty};
     pub use crate::logic::{Formula, SyntacticClass};
-    pub use crate::{HierarchyClass, Property, PropertyReport};
+    pub use crate::{HierarchyClass, Property, PropertyReport, Servable};
 }

@@ -393,6 +393,24 @@ pub fn random_program(rng: &mut StdRng) -> Program {
     p
 }
 
+/// The named example catalogue shared by `spec-lint program` and the
+/// classification daemon's `ingest {"kind": "program"}` endpoint: every
+/// built-in program with its stable lookup name, all over the
+/// `[c1, c2, t1, t2]` observation alphabet
+/// ([`programs::observation_alphabet`](crate::programs::observation_alphabet)).
+pub fn catalogue() -> Vec<(&'static str, Program)> {
+    vec![
+        ("peterson", peterson_abs()),
+        ("mux-sem", mux_sem_abs(Fairness::Strong)),
+        ("mux-sem-weak", mux_sem_abs(Fairness::Weak)),
+        ("token-ring", token_ring_abs(true)),
+        ("token-ring-stalled", token_ring_abs(false)),
+        ("mux-sem-n4", mux_sem_n(4)),
+        ("token-ring-n4", token_ring_n(4)),
+        ("dining-phil-3", dining_philosophers(3)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -624,6 +624,131 @@ impl Default for Program {
     }
 }
 
+// ---- structural encoding (content addressing) ----
+
+fn enc_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn enc_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn enc_str(out: &mut Vec<u8>, s: &str) {
+    enc_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn enc_expr(out: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Const(k) => {
+            out.push(0);
+            enc_i64(out, *k);
+        }
+        Expr::Var(i) => {
+            out.push(1);
+            enc_u64(out, *i as u64);
+        }
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            out.push(match e {
+                Expr::Add(..) => 2,
+                Expr::Sub(..) => 3,
+                _ => 4,
+            });
+            enc_expr(out, a);
+            enc_expr(out, b);
+        }
+        Expr::Mod(a, m) => {
+            out.push(5);
+            enc_expr(out, a);
+            enc_u64(out, *m);
+        }
+    }
+}
+
+fn enc_guard(out: &mut Vec<u8>, g: &Guard) {
+    match g {
+        Guard::True => out.push(0),
+        Guard::False => out.push(1),
+        Guard::Cmp(op, a, b) => {
+            out.push(2);
+            out.push(match op {
+                Cmp::Eq => 0,
+                Cmp::Ne => 1,
+                Cmp::Lt => 2,
+                Cmp::Le => 3,
+                Cmp::Gt => 4,
+                Cmp::Ge => 5,
+            });
+            enc_expr(out, a);
+            enc_expr(out, b);
+        }
+        Guard::Not(inner) => {
+            out.push(3);
+            enc_guard(out, inner);
+        }
+        Guard::And(a, b) | Guard::Or(a, b) => {
+            out.push(if matches!(g, Guard::And(..)) { 4 } else { 5 });
+            enc_guard(out, a);
+            enc_guard(out, b);
+        }
+    }
+}
+
+impl Program {
+    /// An unambiguous byte encoding of the whole program — every field,
+    /// length-prefixed and tagged, so two programs encode equal iff they
+    /// are structurally equal (`==`). This is the payload the
+    /// classification service hashes to content-address program
+    /// artifacts (`hierarchy_automata::canonical::hash_bytes`).
+    pub fn structural_encoding(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"absint-program/v1\0");
+        enc_u64(&mut out, self.var_names.len() as u64);
+        for (name, &dom) in self.var_names.iter().zip(&self.domains) {
+            enc_str(&mut out, name);
+            enc_u64(&mut out, dom as u64);
+        }
+        enc_u64(&mut out, self.inits.len() as u64);
+        for init in &self.inits {
+            enc_u64(&mut out, init.len() as u64);
+            for &v in init {
+                enc_u64(&mut out, v as u64);
+            }
+        }
+        enc_u64(&mut out, self.observations.len() as u64);
+        for g in &self.observations {
+            enc_guard(&mut out, g);
+        }
+        enc_u64(&mut out, self.commands.len() as u64);
+        for cmd in &self.commands {
+            enc_str(&mut out, &cmd.name);
+            out.push(match cmd.fairness {
+                Fairness::None => 0,
+                Fairness::Weak => 1,
+                Fairness::Strong => 2,
+            });
+            enc_guard(&mut out, &cmd.guard);
+            enc_u64(&mut out, cmd.branches.len() as u64);
+            for br in &cmd.branches {
+                enc_u64(&mut out, br.assigns.len() as u64);
+                for (x, e) in &br.assigns {
+                    enc_u64(&mut out, *x as u64);
+                    enc_expr(&mut out, e);
+                }
+            }
+        }
+        match self.pc {
+            None => out.push(0),
+            Some(p) => {
+                out.push(1);
+                enc_u64(&mut out, p as u64);
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +826,38 @@ mod tests {
         assert_eq!(p.validate(), Ok(()));
         p.domains[x] = 65;
         assert!(matches!(p.validate(), Err(IrError::BadDomain { .. })));
+    }
+
+    #[test]
+    fn structural_encoding_separates_structurally_distinct_programs() {
+        let mut p = Program::new();
+        let x = p.var("x", 2);
+        p.init(&[0]);
+        p.observe_prop(Guard::var_eq(x, 1));
+        p.command(
+            "toggle",
+            Fairness::Weak,
+            Guard::True,
+            vec![Branch::assign(vec![(x, Expr::c(1).sub(Expr::v(x)))])],
+        );
+        let base = p.structural_encoding();
+        assert_eq!(base, p.clone().structural_encoding(), "deterministic");
+
+        let mut renamed = p.clone();
+        renamed.var_names[0] = "y".to_string();
+        assert_ne!(base, renamed.structural_encoding());
+
+        let mut refair = p.clone();
+        refair.commands[0].fairness = Fairness::Strong;
+        assert_ne!(base, refair.structural_encoding());
+
+        let mut rewired = p.clone();
+        rewired.commands[0].guard = Guard::var_eq(x, 0);
+        assert_ne!(base, rewired.structural_encoding());
+
+        let mut with_pc = p.clone();
+        with_pc.set_pc(x);
+        assert_ne!(base, with_pc.structural_encoding());
     }
 
     #[test]

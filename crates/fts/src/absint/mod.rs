@@ -48,8 +48,8 @@ pub use domain::{
     ValueSetDomain,
 };
 pub use examples::{
-    dining_philosophers, mux_sem_abs, mux_sem_n, peterson_abs, random_program, token_ring_abs,
-    token_ring_n,
+    catalogue, dining_philosophers, mux_sem_abs, mux_sem_n, peterson_abs, random_program,
+    token_ring_abs, token_ring_n,
 };
 pub use ir::{Branch, Cmp, Command, Expr, Guard, IrError, Program};
 pub use relation::LocationRelations;

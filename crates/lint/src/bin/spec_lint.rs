@@ -244,18 +244,11 @@ fn cmd_regex(args: Vec<&str>) -> ExitCode {
     report(&suite, opts.json)
 }
 
-/// The built-in declarative programs `spec-lint program` knows by name.
+/// The built-in declarative programs `spec-lint program` knows by name
+/// (the shared catalogue, so the CLI and the classification daemon agree
+/// on names).
 fn program_catalogue() -> Vec<(&'static str, absint::Program)> {
-    vec![
-        ("peterson", absint::peterson_abs()),
-        ("mux-sem", absint::mux_sem_abs(Fairness::Strong)),
-        ("mux-sem-weak", absint::mux_sem_abs(Fairness::Weak)),
-        ("token-ring", absint::token_ring_abs(true)),
-        ("token-ring-stalled", absint::token_ring_abs(false)),
-        ("mux-sem-n4", absint::mux_sem_n(4)),
-        ("token-ring-n4", absint::token_ring_n(4)),
-        ("dining-phil-3", absint::dining_philosophers(3)),
-    ]
+    absint::catalogue()
 }
 
 /// `spec-lint program --list`: enumerates the catalogue without linting.

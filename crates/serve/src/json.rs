@@ -1,0 +1,458 @@
+//! A minimal JSON value type with a parser and a compact serializer.
+//!
+//! The daemon speaks line-delimited JSON-RPC with **byte-exact**
+//! response goldens in its protocol suite, so serialization must be
+//! fully deterministic: object keys keep insertion order, numbers that
+//! are mathematically integral print without a decimal point, and no
+//! whitespace is emitted. The parser accepts standard JSON (RFC 8259)
+//! minus two conveniences nothing zero-dependency needs: `\uXXXX`
+//! escapes for characters outside the two-character escape set are
+//! supported, but surrogate pairs are combined only when well-formed
+//! (lone surrogates are rejected).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that is an exact integer.
+    Int(i64),
+    /// Any other finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; pairs keep insertion order (serialization is
+    /// deterministic, and duplicate keys are rejected by the parser).
+    Obj(Vec<(String, Json)>),
+    /// A pre-rendered JSON fragment spliced verbatim into the output
+    /// (used to embed `lint::report_to_json` without re-parsing).
+    Raw(String),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// The value under `key`, for objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, when this is an integral number.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the whole string must be one value).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    /// Compact serialization: no whitespace, insertion-ordered keys.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Json {
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Num(x) => {
+                // Integral floats print as integers so output never
+                // depends on how a count was computed.
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    out.push_str(&format!("{}", *x as i64));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+            Json::Raw(s) => out.push_str(s),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') if self.literal("null") => Ok(Json::Null),
+            Some(b't') if self.literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut xs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(xs));
+                }
+                loop {
+                    xs.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(xs));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs: Vec<(String, Json)> = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    if pairs.iter().any(|(k, _)| *k == key) {
+                        return Err(format!("duplicate key {key:?}"));
+                    }
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected byte {:?} at {}", c as char, self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Decode the next UTF-8 scalar from the remaining bytes.
+            let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| "invalid UTF-8 in string".to_string())?;
+            let mut chars = rest.chars();
+            let c = chars.next().ok_or("unterminated string")?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let e = chars.next().ok_or("dangling escape")?;
+                    self.pos += e.len_utf8();
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hi = self.hex4()?;
+                            let scalar = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if !self.literal("\\u") {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{other}")),
+                    }
+                }
+                c if (c as u32) < 0x20 => {
+                    return Err("unescaped control character in string".to_string())
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let s = std::str::from_utf8(chunk).map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape {s:?}"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        let x: f64 = text.parse().map_err(|_| format!("bad number {text:?}"))?;
+        if !x.is_finite() {
+            return Err(format!("non-finite number {text:?}"));
+        }
+        Ok(Json::Num(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compactly() {
+        for src in [
+            "null",
+            "true",
+            "[1,2,3]",
+            "{\"a\":1,\"b\":[false,\"x\"]}",
+            "{\"nested\":{\"k\":\"v\"},\"n\":-7}",
+            "\"tab\\tnewline\\n\"",
+        ] {
+            let v = Json::parse(src).unwrap();
+            assert_eq!(v.to_string(), src, "compact round trip of {src}");
+        }
+    }
+
+    #[test]
+    fn parses_with_whitespace_and_preserves_key_order() {
+        let v = Json::parse("  { \"z\" : 1 , \"a\" : 2 }  ").unwrap();
+        assert_eq!(v.to_string(), "{\"z\":1,\"a\":2}");
+        assert_eq!(v.get("z"), Some(&Json::Int(1)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn numbers_split_int_and_float() {
+        assert_eq!(Json::parse("42"), Ok(Json::Int(42)));
+        assert_eq!(Json::parse("-3"), Ok(Json::Int(-3)));
+        assert!(matches!(Json::parse("1.5"), Ok(Json::Num(_))));
+        assert!(matches!(Json::parse("1e3"), Ok(Json::Num(_))));
+        assert_eq!(Json::parse("1.5").unwrap().to_string(), "1.5");
+        assert_eq!(Json::parse("2e2").unwrap().to_string(), "200");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            Json::parse("\"\\u00e9\\uD83D\\uDE00\"").unwrap(),
+            Json::Str("é😀".to_string())
+        );
+        assert!(Json::parse("\"\\uD83D\"").is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1,\"a\":2}",
+            "truex",
+            "\"unterminated",
+            "[1] 2",
+            "{'a':1}",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn raw_splices_verbatim() {
+        let v = Json::obj([("diags", Json::Raw("[{\"x\": 1}]".to_string()))]);
+        assert_eq!(v.to_string(), "{\"diags\":[{\"x\": 1}]}");
+    }
+
+    #[test]
+    fn control_characters_escape_on_output() {
+        assert_eq!(Json::Str("\u{1}".into()).to_string(), "\"\\u0001\"");
+        let back = Json::parse("\"\\u0001\"").unwrap();
+        assert_eq!(back, Json::Str("\u{1}".into()));
+    }
+}

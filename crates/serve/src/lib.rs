@@ -1,0 +1,916 @@
+#![warn(missing_docs)]
+
+//! Hierarchy-as-a-service: a persistent classification daemon.
+//!
+//! The paper's decision procedures — hierarchy classification,
+//! inclusion, linting, invariant-first model checking — are all cheap
+//! *after* their [`Analysis`] context has warmed up: SCC decompositions,
+//! products and inclusion verdicts are memoized per automaton. A
+//! one-shot CLI throws that context away between queries. This crate
+//! keeps it alive: a daemon speaking **line-delimited JSON-RPC** over
+//! stdin/stdout (or TCP, see [`listen`](Service::listen)) that ingests
+//! artifacts once and answers every later query against the warm
+//! context.
+//!
+//! Artifacts are **content-addressed** ([`Servable::content_hash`]):
+//! automata hash in canonical quotient form, so α-equivalent automata,
+//! formulas and regexes collide on purpose, and an ingest-time
+//! equivalence sweep aliases even hash-distinct equal languages onto
+//! one stored entry (see [`store`]). The store is a capacity-bounded
+//! LRU.
+//!
+//! # Protocol
+//!
+//! One request per line, one response per line, both compact JSON:
+//!
+//! ```text
+//! → {"id":1,"method":"ingest","params":{"kind":"formula","props":["p"],"source":"G F p"}}
+//! ← {"id":1,"result":{"artifact":"86ac…","kind":"automaton","known":false,"states":2,"evicted":[]}}
+//! → {"id":2,"method":"classify","params":{"artifact":"86ac…"}}
+//! ← {"id":2,"result":{"artifact":"86ac…","class":"recurrence","borel":"Π₂",…}}
+//! ```
+//!
+//! Errors follow JSON-RPC: `{"id":N,"error":{"code":C,"message":"…"}}`
+//! with the standard codes (`-32700` parse, `-32600` invalid request,
+//! `-32601` unknown method, `-32602` invalid params) plus the daemon's
+//! own range: `-32001` unknown artifact, `-32002` bad artifact (HOA
+//! parse, formula compile, unknown program), `-32003` artifact kind or
+//! alphabet mismatch.
+//!
+//! Methods: `ingest`, `classify`, `lint`, `include`, `check`, `stats`,
+//! `evict`, and the batch forms `classify_batch` / `lint_batch` that
+//! fan out over the worker pool ([`par`]).
+//!
+//! `include` is verdict-only by default (the verdict rides the
+//! `Analysis` inclusion memo, so repeats are cache hits); pass
+//! `"witness":true` to also extract a counterexample lasso on failure.
+//! The extractor's witness tours *every* state of the violating product
+//! region — exact, but quadratic in the region and enormous on large
+//! random automata — so a service must only pay it on request.
+
+use hierarchy_core::automata::analysis::{Analysis, AnalysisStats};
+use hierarchy_core::automata::canonical::ArtifactHash;
+use hierarchy_core::automata::lasso::Lasso;
+use hierarchy_core::automata::omega::OmegaAutomaton;
+use hierarchy_core::automata::{hoa, inclusion, par};
+use hierarchy_core::fts::absint::{self, DomainKind};
+use hierarchy_core::fts::checker::check_with_invariants;
+use hierarchy_core::fts::CheckError;
+use hierarchy_core::lang::{operators, FinitaryProperty};
+use hierarchy_core::lint::{lint_abstract_program, lint_automaton_ctx, report_to_json};
+use hierarchy_core::prelude::Alphabet;
+use hierarchy_core::{HierarchyClass, Property};
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+pub mod json;
+pub mod store;
+
+use json::Json;
+use store::{Entry, Ingested, Store};
+
+/// The default batch-endpoint worker count: `HIERARCHY_THREADS` when
+/// set, the machine's core count otherwise (see [`par::thread_count`]).
+pub fn default_jobs() -> usize {
+    par::thread_count()
+}
+
+/// JSON-RPC error codes used by the daemon.
+pub mod code {
+    /// The request line is not valid JSON.
+    pub const PARSE: i64 = -32700;
+    /// The request is valid JSON but not a valid request object.
+    pub const INVALID_REQUEST: i64 = -32600;
+    /// The method name is not recognized.
+    pub const UNKNOWN_METHOD: i64 = -32601;
+    /// The params are missing or ill-typed for the method.
+    pub const INVALID_PARAMS: i64 = -32602;
+    /// The named artifact is not in the store (never ingested, or
+    /// evicted).
+    pub const UNKNOWN_ARTIFACT: i64 = -32001;
+    /// The submitted artifact is malformed (HOA parse error, formula
+    /// compile error, unknown catalogue program, bad regex).
+    pub const BAD_ARTIFACT: i64 = -32002;
+    /// The artifact exists but has the wrong kind for the method, or
+    /// two operands observe different alphabets.
+    pub const KIND_MISMATCH: i64 = -32003;
+}
+
+/// A method-level failure: code plus human-readable message.
+struct RpcError {
+    code: i64,
+    message: String,
+}
+
+impl RpcError {
+    fn new(code: i64, message: impl Into<String>) -> RpcError {
+        RpcError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+type RpcResult = Result<Json, RpcError>;
+
+/// The daemon: a content-addressed store of warm [`Analysis`] contexts
+/// behind a JSON-RPC dispatcher. Thread-safe — wrap in [`Arc`] and call
+/// [`handle_line`](Service::handle_line) from any number of
+/// connections.
+pub struct Service {
+    store: Mutex<Store>,
+    jobs: usize,
+}
+
+impl Service {
+    /// A service holding at most `capacity` artifacts, fanning batch
+    /// endpoints across `jobs` workers.
+    pub fn new(capacity: usize, jobs: usize) -> Service {
+        Service {
+            store: Mutex::new(Store::new(capacity)),
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// Handles one request line, returning the response line (without
+    /// trailing newline). Never panics on malformed input.
+    pub fn handle_line(&self, line: &str) -> String {
+        let (id, outcome) = self.dispatch(line);
+        let body = match outcome {
+            Ok(result) => ("result", result),
+            Err(e) => (
+                "error",
+                Json::obj([
+                    ("code", Json::Int(e.code)),
+                    ("message", Json::str(e.message)),
+                ]),
+            ),
+        };
+        Json::obj([("id", id), (body.0, body.1)]).to_string()
+    }
+
+    fn dispatch(&self, line: &str) -> (Json, RpcResult) {
+        let request = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return (
+                    Json::Null,
+                    Err(RpcError::new(code::PARSE, format!("parse error: {e}"))),
+                )
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        if !matches!(id, Json::Null | Json::Int(_) | Json::Str(_)) {
+            return (
+                Json::Null,
+                Err(RpcError::new(
+                    code::INVALID_REQUEST,
+                    "id must be a number, string or absent",
+                )),
+            );
+        }
+        let method = match request.get("method").and_then(Json::as_str) {
+            Some(m) => m,
+            None => {
+                return (
+                    id,
+                    Err(RpcError::new(code::INVALID_REQUEST, "missing method")),
+                )
+            }
+        };
+        let empty = Json::Obj(Vec::new());
+        let params = request.get("params").unwrap_or(&empty);
+        if !matches!(params, Json::Obj(_)) {
+            return (
+                id,
+                Err(RpcError::new(
+                    code::INVALID_PARAMS,
+                    "params must be an object",
+                )),
+            );
+        }
+        let outcome = match method {
+            "ingest" => self.rpc_ingest(params),
+            "classify" => self.rpc_classify(params),
+            "lint" => self.rpc_lint(params),
+            "include" => self.rpc_include(params),
+            "check" => self.rpc_check(params),
+            "stats" => self.rpc_stats(),
+            "evict" => self.rpc_evict(params),
+            "classify_batch" => self.rpc_batch(params, classify_entry),
+            "lint_batch" => self.rpc_batch(params, lint_entry),
+            other => Err(RpcError::new(
+                code::UNKNOWN_METHOD,
+                format!("unknown method {other:?}"),
+            )),
+        };
+        (id, outcome)
+    }
+
+    // ---- ingest -----------------------------------------------------
+
+    fn rpc_ingest(&self, params: &Json) -> RpcResult {
+        let kind = require_str(params, "kind")?;
+        match kind {
+            "automaton" => {
+                let src = require_str(params, "hoa")?;
+                let aut = hoa::hoa_to_omega(src)
+                    .map_err(|e| RpcError::new(code::BAD_ARTIFACT, e.to_string()))?;
+                Ok(self.ingest_automaton(aut, "hoa"))
+            }
+            "formula" => {
+                let source = require_str(params, "source")?;
+                let sigma = params_alphabet(params)?;
+                let prop = Property::parse(&sigma, source)
+                    .map_err(|e| RpcError::new(code::BAD_ARTIFACT, e.to_string()))?;
+                Ok(self.ingest_automaton(prop.automaton().clone(), "formula"))
+            }
+            "regex" => {
+                let pattern = require_str(params, "pattern")?;
+                let sigma = params_alphabet(params)?;
+                let phi = FinitaryProperty::parse(&sigma, pattern)
+                    .map_err(|e| RpcError::new(code::BAD_ARTIFACT, e.to_string()))?;
+                let operator = optional_str(params, "operator")?.unwrap_or("A");
+                let aut = match operator {
+                    "A" => operators::a(&phi),
+                    "E" => operators::e(&phi),
+                    "R" => operators::r(&phi),
+                    "P" => operators::p(&phi),
+                    other => {
+                        return Err(RpcError::new(
+                            code::INVALID_PARAMS,
+                            format!("operator must be A, E, R or P, got {other:?}"),
+                        ))
+                    }
+                };
+                Ok(self.ingest_automaton(aut, "regex"))
+            }
+            "program" => {
+                let name = require_str(params, "name")?;
+                let program = absint::catalogue()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, p)| p)
+                    .ok_or_else(|| {
+                        RpcError::new(
+                            code::BAD_ARTIFACT,
+                            format!("unknown catalogue program {name:?}"),
+                        )
+                    })?;
+                let ingested = self.store.lock().unwrap().ingest_program(program);
+                Ok(ingest_result(&ingested, Json::str(name)))
+            }
+            other => Err(RpcError::new(
+                code::INVALID_PARAMS,
+                format!("kind must be automaton, formula, regex or program, got {other:?}"),
+            )),
+        }
+    }
+
+    fn ingest_automaton(&self, aut: OmegaAutomaton, origin: &'static str) -> Json {
+        let states = aut.num_states();
+        let ingested = self.store.lock().unwrap().ingest_automaton(aut, origin);
+        ingest_result(&ingested, Json::Int(states as i64))
+    }
+
+    // ---- single-artifact queries ------------------------------------
+
+    fn resolve(&self, params: &Json, key: &'static str) -> Result<Arc<Entry>, RpcError> {
+        let hex = require_str(params, key)?;
+        let hash = ArtifactHash::parse(hex).ok_or_else(|| {
+            RpcError::new(
+                code::INVALID_PARAMS,
+                format!("{key} must be a 32-digit hex hash"),
+            )
+        })?;
+        self.store
+            .lock()
+            .unwrap()
+            .resolve(hash)
+            .ok_or_else(|| RpcError::new(code::UNKNOWN_ARTIFACT, format!("unknown artifact {hex}")))
+    }
+
+    fn rpc_classify(&self, params: &Json) -> RpcResult {
+        let entry = self.resolve(params, "artifact")?;
+        let warm = Store::record_query(&entry) > 0;
+        classify_entry(&entry, warm)
+    }
+
+    fn rpc_lint(&self, params: &Json) -> RpcResult {
+        let entry = self.resolve(params, "artifact")?;
+        let warm = Store::record_query(&entry) > 0;
+        lint_entry(&entry, warm)
+    }
+
+    fn rpc_include(&self, params: &Json) -> RpcResult {
+        let lhs = self.resolve(params, "lhs")?;
+        let rhs = self.resolve(params, "rhs")?;
+        Store::record_query(&lhs);
+        Store::record_query(&rhs);
+        let a = require_automaton(&lhs)?;
+        let b = require_automaton(&rhs)?;
+        if a.automaton().alphabet() != b.automaton().alphabet() {
+            return Err(RpcError::new(
+                code::KIND_MISMATCH,
+                "lhs and rhs observe different alphabets",
+            ));
+        }
+        let witness = params
+            .get("witness")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let included = a.is_subset_of(b.automaton());
+        let equivalent = included && b.is_subset_of(a.automaton());
+        // The every-region-state witness tour is quadratic in the
+        // violating product region, so it is opt-in: the default
+        // response is the memoized verdict alone.
+        let counterexample = if included || !witness {
+            Json::Null
+        } else {
+            match inclusion::inclusion_counterexample(a.automaton(), b.automaton()) {
+                Some(lasso) => lasso_json(a.automaton(), &lasso),
+                None => Json::Null,
+            }
+        };
+        Ok(Json::obj([
+            ("lhs", Json::str(lhs.hash.to_string())),
+            ("rhs", Json::str(rhs.hash.to_string())),
+            ("included", Json::Bool(included)),
+            ("equivalent", Json::Bool(equivalent)),
+            ("counterexample", counterexample),
+        ]))
+    }
+
+    fn rpc_check(&self, params: &Json) -> RpcResult {
+        let prog_entry = self.resolve(params, "program")?;
+        let prop_entry = self.resolve(params, "property")?;
+        Store::record_query(&prog_entry);
+        Store::record_query(&prop_entry);
+        let program = prog_entry.program().ok_or_else(|| {
+            RpcError::new(code::KIND_MISMATCH, "program must name a program artifact")
+        })?;
+        let property = require_automaton(&prop_entry)?;
+        let domain = match optional_str(params, "domain")?.unwrap_or("relational") {
+            "constants" => DomainKind::Constants,
+            "intervals" => DomainKind::Intervals,
+            "value-sets" => DomainKind::ValueSets,
+            "relational" => DomainKind::Relational,
+            other => {
+                return Err(RpcError::new(
+                    code::INVALID_PARAMS,
+                    format!(
+                        "domain must be constants, intervals, value-sets or relational, \
+                         got {other:?}"
+                    ),
+                ))
+            }
+        };
+        let sigma = property.automaton().alphabet().clone();
+        let (verdict, stats) = check_with_invariants(program, &sigma, property.automaton(), domain)
+            .map_err(|e| {
+                let code = match e {
+                    CheckError::AlphabetMismatch => code::KIND_MISMATCH,
+                    _ => code::BAD_ARTIFACT,
+                };
+                RpcError::new(code, e.to_string())
+            })?;
+        let (holds, counterexample) = match &verdict {
+            hierarchy_core::fts::checker::Verdict::Holds => (true, Json::Null),
+            hierarchy_core::fts::checker::Verdict::Violated(cex) => (
+                false,
+                Json::obj([
+                    ("stem", int_array(&cex.stem)),
+                    ("cycle", int_array(&cex.cycle)),
+                ]),
+            ),
+        };
+        Ok(Json::obj([
+            (
+                "verdict",
+                Json::str(if holds { "holds" } else { "violated" }),
+            ),
+            ("counterexample", counterexample),
+            (
+                "stats",
+                Json::obj([
+                    ("product_states", Json::Int(stats.product_states as i64)),
+                    (
+                        "pruned_product_states",
+                        Json::Int(stats.pruned_product_states as i64),
+                    ),
+                    ("abstract_pairs", Json::Int(stats.abstract_pairs as i64)),
+                    ("discharged", Json::Bool(stats.discharged)),
+                    (
+                        "certificate_ok",
+                        match stats.certificate_ok {
+                            Some(b) => Json::Bool(b),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ),
+        ]))
+    }
+
+    // ---- store management -------------------------------------------
+
+    fn rpc_stats(&self) -> RpcResult {
+        let store = self.store.lock().unwrap();
+        let s = store.stats();
+        let artifacts: Vec<Json> = store
+            .list()
+            .into_iter()
+            .map(|e| {
+                Json::obj([
+                    ("artifact", Json::str(e.hash.to_string())),
+                    ("kind", Json::str(e.kind())),
+                    ("origin", Json::str(e.origin)),
+                    (
+                        "queries",
+                        Json::Int(e.queries.load(std::sync::atomic::Ordering::Relaxed) as i64),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("capacity", Json::Int(store.capacity() as i64)),
+            ("entries", Json::Int(store.len() as i64)),
+            ("ingests", Json::Int(s.ingests as i64)),
+            ("dedup_hits", Json::Int(s.dedup_hits as i64)),
+            ("hits", Json::Int(s.hits as i64)),
+            ("misses", Json::Int(s.misses as i64)),
+            ("evictions", Json::Int(s.evictions as i64)),
+            ("artifacts", Json::Arr(artifacts)),
+        ]))
+    }
+
+    fn rpc_evict(&self, params: &Json) -> RpcResult {
+        let hex = require_str(params, "artifact")?;
+        let hash = ArtifactHash::parse(hex).ok_or_else(|| {
+            RpcError::new(code::INVALID_PARAMS, "artifact must be a 32-digit hex hash")
+        })?;
+        let evicted = self.store.lock().unwrap().evict(hash);
+        Ok(Json::obj([("evicted", Json::Bool(evicted))]))
+    }
+
+    // ---- batches ----------------------------------------------------
+
+    fn rpc_batch(&self, params: &Json, f: impl Fn(&Entry, bool) -> RpcResult + Sync) -> RpcResult {
+        let hexes = params
+            .get("artifacts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| {
+                RpcError::new(code::INVALID_PARAMS, "artifacts must be an array of hashes")
+            })?;
+        let mut entries = Vec::with_capacity(hexes.len());
+        {
+            let mut store = self.store.lock().unwrap();
+            for h in hexes {
+                let hex = h.as_str().ok_or_else(|| {
+                    RpcError::new(code::INVALID_PARAMS, "artifacts must be an array of hashes")
+                })?;
+                let hash = ArtifactHash::parse(hex).ok_or_else(|| {
+                    RpcError::new(
+                        code::INVALID_PARAMS,
+                        format!("{hex:?} is not a 32-digit hex hash"),
+                    )
+                })?;
+                let entry = store.resolve(hash).ok_or_else(|| {
+                    RpcError::new(code::UNKNOWN_ARTIFACT, format!("unknown artifact {hex}"))
+                })?;
+                entries.push(entry);
+            }
+        }
+        // Fan the per-artifact work across the pool; each entry's warm
+        // Analysis memoizes internally, so workers share one cache.
+        let results = par::map_with(self.jobs, &entries, |entry| {
+            let warm = Store::record_query(entry) > 0;
+            f(entry, warm)
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            out.push(r?);
+        }
+        Ok(Json::obj([("results", Json::Arr(out))]))
+    }
+
+    // ---- transports -------------------------------------------------
+
+    /// Serves requests line-by-line from `reader`, writing one response
+    /// line per request to `writer` (flushed after each response).
+    /// Returns when the reader reaches end-of-input. Blank lines are
+    /// skipped.
+    pub fn serve(&self, reader: impl BufRead, writer: &mut impl Write) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line(&line);
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Accept loop: serves every connection on its own thread, all
+    /// sharing this service's store. Runs until the listener errors.
+    pub fn listen(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        loop {
+            let (stream, _) = listener.accept()?;
+            let service = Arc::clone(self);
+            std::thread::spawn(move || {
+                let reader = std::io::BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                let mut writer = stream;
+                let _ = service.serve(reader, &mut writer);
+            });
+        }
+    }
+}
+
+// ---- shared response builders ---------------------------------------
+
+fn ingest_result(ingested: &Ingested, detail: Json) -> Json {
+    let detail_key = match ingested.entry.kind() {
+        "program" => "name",
+        _ => "states",
+    };
+    Json::obj([
+        ("artifact", Json::str(ingested.hash.to_string())),
+        ("kind", Json::str(ingested.entry.kind())),
+        ("known", Json::Bool(ingested.known)),
+        (detail_key, detail),
+        (
+            "evicted",
+            Json::Arr(
+                ingested
+                    .evicted
+                    .iter()
+                    .map(|h| Json::str(h.to_string()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn require_automaton(entry: &Entry) -> Result<&Analysis, RpcError> {
+    entry.analysis().ok_or_else(|| {
+        RpcError::new(
+            code::KIND_MISMATCH,
+            format!(
+                "artifact {} is a {}, not an automaton",
+                entry.hash,
+                entry.kind()
+            ),
+        )
+    })
+}
+
+fn classify_entry(entry: &Entry, warm: bool) -> RpcResult {
+    let ctx = require_automaton(entry)?;
+    let before = ctx.stats_total();
+    let c = ctx.classification().clone();
+    let delta = ctx.stats_total().delta_since(before);
+    let class = HierarchyClass::from_classification(&c);
+    Ok(Json::obj([
+        ("artifact", Json::str(entry.hash.to_string())),
+        ("class", Json::str(class.to_string())),
+        ("strictest", Json::str(c.strictest_class_name())),
+        ("borel", Json::str(c.borel_name())),
+        ("safety", Json::Bool(c.is_safety)),
+        ("guarantee", Json::Bool(c.is_guarantee)),
+        ("obligation", Json::Bool(c.is_obligation)),
+        ("recurrence", Json::Bool(c.is_recurrence)),
+        ("persistence", Json::Bool(c.is_persistence)),
+        ("simple_reactivity", Json::Bool(c.is_simple_reactivity)),
+        (
+            "obligation_index",
+            match c.obligation_index {
+                Some(k) => Json::Int(k as i64),
+                None => Json::Null,
+            },
+        ),
+        ("reactivity_index", Json::Int(c.reactivity_index as i64)),
+        ("warm", Json::Bool(warm)),
+        ("stats", stats_json(&delta)),
+    ]))
+}
+
+fn lint_entry(entry: &Entry, warm: bool) -> RpcResult {
+    let diagnostics = match (entry.analysis(), entry.program()) {
+        (Some(ctx), _) => lint_automaton_ctx(ctx),
+        (_, Some(program)) => lint_abstract_program(program)
+            .map_err(|e| RpcError::new(code::BAD_ARTIFACT, e.to_string()))?,
+        _ => unreachable!("entry is always an automaton or a program"),
+    };
+    Ok(Json::obj([
+        ("artifact", Json::str(entry.hash.to_string())),
+        ("kind", Json::str(entry.kind())),
+        ("count", Json::Int(diagnostics.len() as i64)),
+        ("diagnostics", Json::Raw(report_to_json(&diagnostics))),
+        ("warm", Json::Bool(warm)),
+    ]))
+}
+
+fn stats_json(s: &AnalysisStats) -> Json {
+    Json::obj([
+        ("scc_passes", Json::Int(s.scc_passes as i64)),
+        ("scc_state_visits", Json::Int(s.scc_state_visits as i64)),
+        ("scc_hits", Json::Int(s.scc_hits as i64)),
+        ("products_built", Json::Int(s.products_built as i64)),
+        ("product_hits", Json::Int(s.product_hits as i64)),
+        ("inclusion_checks", Json::Int(s.inclusion_checks as i64)),
+        ("inclusion_hits", Json::Int(s.inclusion_hits as i64)),
+    ])
+}
+
+fn lasso_json(aut: &OmegaAutomaton, lasso: &Lasso) -> Json {
+    let names = |syms: &[hierarchy_core::prelude::Symbol]| {
+        Json::Arr(
+            syms.iter()
+                .map(|&s| Json::str(aut.alphabet().name(s)))
+                .collect(),
+        )
+    };
+    Json::obj([
+        ("stem", names(lasso.spoke())),
+        ("cycle", names(lasso.cycle())),
+    ])
+}
+
+fn int_array(xs: &[usize]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Int(x as i64)).collect())
+}
+
+// ---- param helpers ---------------------------------------------------
+
+fn require_str<'p>(params: &'p Json, key: &'static str) -> Result<&'p str, RpcError> {
+    params.get(key).and_then(Json::as_str).ok_or_else(|| {
+        RpcError::new(
+            code::INVALID_PARAMS,
+            format!("missing string param {key:?}"),
+        )
+    })
+}
+
+fn optional_str<'p>(params: &'p Json, key: &'static str) -> Result<Option<&'p str>, RpcError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_str().map(Some).ok_or_else(|| {
+            RpcError::new(
+                code::INVALID_PARAMS,
+                format!("param {key:?} must be a string"),
+            )
+        }),
+    }
+}
+
+/// Reads the alphabet from `props` (proposition names, ≤ 6) or
+/// `letters` (symbol names); exactly one must be present.
+fn params_alphabet(params: &Json) -> Result<Alphabet, RpcError> {
+    let names = |v: &Json| -> Result<Vec<String>, RpcError> {
+        v.as_arr()
+            .map(|xs| {
+                xs.iter()
+                    .map(|x| x.as_str().map(str::to_string))
+                    .collect::<Option<Vec<_>>>()
+            })
+            .and_then(|o| o)
+            .ok_or_else(|| {
+                RpcError::new(code::INVALID_PARAMS, "alphabet must be an array of strings")
+            })
+    };
+    match (params.get("props"), params.get("letters")) {
+        (Some(p), None) => Alphabet::of_propositions(names(p)?)
+            .map_err(|e| RpcError::new(code::INVALID_PARAMS, e.to_string())),
+        (None, Some(l)) => {
+            Alphabet::new(names(l)?).map_err(|e| RpcError::new(code::INVALID_PARAMS, e.to_string()))
+        }
+        _ => Err(RpcError::new(
+            code::INVALID_PARAMS,
+            "exactly one of props / letters is required",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ingest_formula(svc: &Service, source: &str) -> String {
+        let req = format!(
+            "{{\"id\":1,\"method\":\"ingest\",\"params\":{{\"kind\":\"formula\",\"props\":[\"p\",\"q\"],\"source\":{}}}}}",
+            Json::str(source)
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        resp.get("result")
+            .and_then(|r| r.get("artifact"))
+            .and_then(Json::as_str)
+            .expect("ingest must succeed")
+            .to_string()
+    }
+
+    #[test]
+    fn ingest_then_classify_round_trip() {
+        let svc = Service::new(8, 1);
+        let hash = ingest_formula(&svc, "G F p");
+        let req =
+            format!("{{\"id\":2,\"method\":\"classify\",\"params\":{{\"artifact\":\"{hash}\"}}}}");
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        let result = resp.get("result").expect("classify succeeds");
+        assert_eq!(
+            result.get("class").and_then(Json::as_str),
+            Some("recurrence")
+        );
+        assert_eq!(result.get("borel").and_then(Json::as_str), Some("Π₂"));
+        assert_eq!(result.get("warm").and_then(Json::as_bool), Some(false));
+        // Second classify is warm and costs no SCC passes.
+        let resp2 = Json::parse(&svc.handle_line(&req)).unwrap();
+        let result2 = resp2.get("result").unwrap();
+        assert_eq!(result2.get("warm").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            result2
+                .get("stats")
+                .and_then(|s| s.get("scc_passes"))
+                .and_then(Json::as_int),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn alpha_equivalent_formulas_dedup() {
+        let svc = Service::new(8, 1);
+        let h1 = ingest_formula(&svc, "G (p -> F q)");
+        let h2 = ingest_formula(&svc, "G (F q | !p)");
+        assert_eq!(h1, h2, "α-equivalent formulas share one artifact");
+        let resp = Json::parse(&svc.handle_line("{\"id\":3,\"method\":\"stats\"}")).unwrap();
+        let result = resp.get("result").unwrap();
+        assert_eq!(result.get("entries").and_then(Json::as_int), Some(1));
+        assert_eq!(result.get("dedup_hits").and_then(Json::as_int), Some(1));
+    }
+
+    #[test]
+    fn error_codes() {
+        let svc = Service::new(8, 1);
+        let cases = [
+            ("not json", code::PARSE),
+            ("{\"id\":1}", code::INVALID_REQUEST),
+            ("{\"id\":1,\"method\":\"nope\"}", code::UNKNOWN_METHOD),
+            ("{\"id\":1,\"method\":\"classify\"}", code::INVALID_PARAMS),
+            (
+                "{\"id\":1,\"method\":\"classify\",\"params\":{\"artifact\":\"00000000000000000000000000000000\"}}",
+                code::UNKNOWN_ARTIFACT,
+            ),
+            (
+                "{\"id\":1,\"method\":\"ingest\",\"params\":{\"kind\":\"automaton\",\"hoa\":\"garbage\"}}",
+                code::BAD_ARTIFACT,
+            ),
+        ];
+        for (line, want) in cases {
+            let resp = Json::parse(&svc.handle_line(line)).unwrap();
+            let got = resp
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_int);
+            assert_eq!(got, Some(want), "for request {line:?}");
+        }
+    }
+
+    #[test]
+    fn include_and_kind_mismatch() {
+        let svc = Service::new(8, 1);
+        let gfp = ingest_formula(&svc, "G F p");
+        let gp = ingest_formula(&svc, "G p");
+        let req = format!(
+            "{{\"id\":1,\"method\":\"include\",\"params\":{{\"lhs\":\"{gp}\",\"rhs\":\"{gfp}\"}}}}"
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        let result = resp.get("result").unwrap();
+        assert_eq!(result.get("included").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            result.get("equivalent").and_then(Json::as_bool),
+            Some(false)
+        );
+        // Reverse direction fails; the counterexample lasso only comes
+        // with "witness":true (the tour is opt-in).
+        let req = format!(
+            "{{\"id\":2,\"method\":\"include\",\"params\":{{\"lhs\":\"{gfp}\",\"rhs\":\"{gp}\"}}}}"
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        let result = resp.get("result").unwrap();
+        assert_eq!(result.get("included").and_then(Json::as_bool), Some(false));
+        assert!(matches!(result.get("counterexample"), Some(Json::Null)));
+        let req = format!(
+            "{{\"id\":2,\"method\":\"include\",\"params\":{{\"lhs\":\"{gfp}\",\"rhs\":\"{gp}\",\"witness\":true}}}}"
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        let result = resp.get("result").unwrap();
+        assert!(result
+            .get("counterexample")
+            .map(|c| !matches!(c, Json::Null))
+            .unwrap_or(false));
+        // Program vs automaton in include → kind mismatch.
+        let resp = Json::parse(
+            &svc.handle_line(
+                "{\"id\":3,\"method\":\"ingest\",\"params\":{\"kind\":\"program\",\"name\":\"peterson\"}}",
+            ),
+        )
+        .unwrap();
+        let prog = resp
+            .get("result")
+            .and_then(|r| r.get("artifact"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let req = format!(
+            "{{\"id\":4,\"method\":\"include\",\"params\":{{\"lhs\":\"{prog}\",\"rhs\":\"{gfp}\"}}}}"
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_int),
+            Some(code::KIND_MISMATCH)
+        );
+    }
+
+    #[test]
+    fn check_discharges_mutual_exclusion() {
+        let svc = Service::new(8, 1);
+        let resp = Json::parse(
+            &svc.handle_line(
+                "{\"id\":1,\"method\":\"ingest\",\"params\":{\"kind\":\"program\",\"name\":\"mux-sem\"}}",
+            ),
+        )
+        .unwrap();
+        let prog = resp
+            .get("result")
+            .and_then(|r| r.get("artifact"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let resp = Json::parse(&svc.handle_line(
+            "{\"id\":2,\"method\":\"ingest\",\"params\":{\"kind\":\"formula\",\"props\":[\"c1\",\"c2\",\"t1\",\"t2\"],\"source\":\"G !(c1 & c2)\"}}",
+        ))
+        .unwrap();
+        let prop = resp
+            .get("result")
+            .and_then(|r| r.get("artifact"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let req = format!(
+            "{{\"id\":3,\"method\":\"check\",\"params\":{{\"program\":\"{prog}\",\"property\":\"{prop}\",\"domain\":\"value-sets\"}}}}"
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        let result = resp.get("result").expect("check succeeds");
+        assert_eq!(result.get("verdict").and_then(Json::as_str), Some("holds"));
+        let stats = result.get("stats").unwrap();
+        assert_eq!(stats.get("discharged").and_then(Json::as_bool), Some(true));
+        assert_eq!(stats.get("product_states").and_then(Json::as_int), Some(0));
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let svc = Service::new(8, 2);
+        let h1 = ingest_formula(&svc, "G p");
+        let h2 = ingest_formula(&svc, "F p");
+        let req = format!(
+            "{{\"id\":1,\"method\":\"classify_batch\",\"params\":{{\"artifacts\":[\"{h1}\",\"{h2}\"]}}}}"
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        let results = resp
+            .get("result")
+            .and_then(|r| r.get("results"))
+            .and_then(Json::as_arr)
+            .expect("batch succeeds")
+            .to_vec();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("class").and_then(Json::as_str),
+            Some("safety")
+        );
+        assert_eq!(
+            results[1].get("class").and_then(Json::as_str),
+            Some("guarantee")
+        );
+    }
+
+    #[test]
+    fn serve_loop_and_eof() {
+        let svc = Service::new(8, 1);
+        let input = b"\n{\"id\":7,\"method\":\"stats\"}\n".to_vec();
+        let mut out = Vec::new();
+        svc.serve(&input[..], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "blank line skipped, one response");
+        let resp = Json::parse(lines[0]).unwrap();
+        assert_eq!(resp.get("id").and_then(Json::as_int), Some(7));
+    }
+}

@@ -1,0 +1,415 @@
+//! The content-addressed artifact store: live [`Analysis`] contexts and
+//! programs behind a capacity-bounded LRU.
+//!
+//! Every artifact is keyed by its structural hash
+//! ([`Servable::content_hash`]): the canonical quotient form for
+//! automata (so α-equivalent submissions collide by construction), the
+//! exact structural encoding for programs. On top of the hash key the
+//! store runs an **equivalence sweep** at automaton ingest: a new hash
+//! whose language equals an already-stored same-alphabet artifact (the
+//! Angluin–Fisman oracle answers through the stored entry's warm
+//! [`Analysis`]) is recorded as an *alias* of the stored entry instead
+//! of a new entry — near-duplicate submissions across users converge on
+//! one warm context even when their canonical forms differ (e.g. a
+//! Büchi and an equivalent one-pair Streett condition).
+//!
+//! Eviction is least-recently-used over entries (aliases follow their
+//! entry); the clock ticks on every resolve and ingest touch.
+
+use hierarchy_core::automata::analysis::Analysis;
+use hierarchy_core::automata::canonical::ArtifactHash;
+use hierarchy_core::automata::omega::OmegaAutomaton;
+use hierarchy_core::fts::absint::Program;
+use hierarchy_core::Servable;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate store counters, all monotone over a daemon's lifetime
+/// (eviction does not roll anything back).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Ingest requests processed (including deduplicated ones).
+    pub ingests: u64,
+    /// Ingests resolved to an already-stored entry — by hash, by alias,
+    /// or by the equivalence sweep.
+    pub dedup_hits: u64,
+    /// Queries resolved to a live entry.
+    pub hits: u64,
+    /// Queries naming an unknown (or evicted) artifact.
+    pub misses: u64,
+    /// Entries dropped by the LRU bound or explicit `evict`.
+    pub evictions: u64,
+}
+
+/// What an entry holds.
+pub enum Payload {
+    /// A deterministic ω-automaton wrapped in its live [`Analysis`]
+    /// context (classification, SCCs, products, inclusion verdicts all
+    /// memoized across requests).
+    Automaton(Box<Analysis>),
+    /// A declarative guarded-command program.
+    Program(Box<Program>),
+}
+
+/// One stored artifact.
+pub struct Entry {
+    /// The content hash (the store key, printed as 32 hex digits).
+    pub hash: ArtifactHash,
+    /// The artifact itself.
+    pub payload: Payload,
+    /// How the artifact first arrived (`"hoa"`, `"formula"`, `"regex"`,
+    /// `"program"`) — informational, surfaced by `stats`.
+    pub origin: &'static str,
+    /// Number of queries served from this entry (not counting the
+    /// ingests that created or deduplicated onto it).
+    pub queries: AtomicU64,
+}
+
+impl Entry {
+    /// The artifact kind tag (`"automaton"` / `"program"`).
+    pub fn kind(&self) -> &'static str {
+        match &self.payload {
+            Payload::Automaton(_) => "automaton",
+            Payload::Program(_) => "program",
+        }
+    }
+
+    /// The analysis context, when this is an automaton entry.
+    pub fn analysis(&self) -> Option<&Analysis> {
+        match &self.payload {
+            Payload::Automaton(a) => Some(a),
+            Payload::Program(_) => None,
+        }
+    }
+
+    /// The program, when this is a program entry.
+    pub fn program(&self) -> Option<&Program> {
+        match &self.payload {
+            Payload::Automaton(_) => None,
+            Payload::Program(p) => Some(p),
+        }
+    }
+}
+
+/// The outcome of an ingest.
+pub struct Ingested {
+    /// The (possibly pre-existing) entry now addressing the artifact.
+    pub entry: Arc<Entry>,
+    /// The hash the *submitted* artifact resolves under — equal to
+    /// `entry.hash` unless the equivalence sweep aliased it.
+    pub hash: ArtifactHash,
+    /// Whether the artifact was already stored (hash, alias, or
+    /// equivalence hit).
+    pub known: bool,
+    /// Hashes evicted by the LRU bound to make room, oldest first.
+    pub evicted: Vec<ArtifactHash>,
+}
+
+/// The LRU store. Wrap it in a `Mutex` for concurrent use ([`Service`]
+/// does); entry payloads are themselves thread-safe, so resolved
+/// [`Arc<Entry>`]s can be queried outside the lock.
+///
+/// [`Service`]: crate::Service
+pub struct Store {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<ArtifactHash, (Arc<Entry>, u64)>,
+    aliases: HashMap<ArtifactHash, ArtifactHash>,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// An empty store holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Store {
+        Store {
+            capacity: capacity.max(1),
+            clock: 0,
+            entries: HashMap::new(),
+            aliases: HashMap::new(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entry count (aliases not counted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn touch(&mut self, hash: ArtifactHash) {
+        let stamp = self.tick();
+        if let Some((_, used)) = self.entries.get_mut(&hash) {
+            *used = stamp;
+        }
+    }
+
+    /// Resolves a hash (following aliases) to a live entry, bumping its
+    /// recency. `None` counts a miss.
+    pub fn resolve(&mut self, hash: ArtifactHash) -> Option<Arc<Entry>> {
+        let canonical = *self.aliases.get(&hash).unwrap_or(&hash);
+        match self.entries.get(&canonical) {
+            Some((entry, _)) => {
+                let entry = Arc::clone(entry);
+                self.touch(canonical);
+                self.stats.hits += 1;
+                Some(entry)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Drops an entry (and every alias onto it). Returns whether the
+    /// hash named a live entry.
+    pub fn evict(&mut self, hash: ArtifactHash) -> bool {
+        let canonical = *self.aliases.get(&hash).unwrap_or(&hash);
+        if self.entries.remove(&canonical).is_none() {
+            return false;
+        }
+        self.aliases.retain(|_, target| *target != canonical);
+        self.stats.evictions += 1;
+        true
+    }
+
+    fn evict_lru(&mut self, keep: ArtifactHash) -> Vec<ArtifactHash> {
+        let mut evicted = Vec::new();
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(h, _)| **h != keep)
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(h, _)| *h);
+            match victim {
+                Some(h) => {
+                    self.evict(h);
+                    evicted.push(h);
+                }
+                None => break, // capacity 0 with only `keep` present
+            }
+        }
+        evicted
+    }
+
+    /// Ingests an automaton: hash → alias → equivalence sweep → fresh
+    /// entry, in that order (see the module docs).
+    pub fn ingest_automaton(&mut self, aut: OmegaAutomaton, origin: &'static str) -> Ingested {
+        self.stats.ingests += 1;
+        let hash = aut.content_hash();
+        let canonical = *self.aliases.get(&hash).unwrap_or(&hash);
+        if let Some((entry, _)) = self.entries.get(&canonical) {
+            let entry = Arc::clone(entry);
+            self.touch(canonical);
+            self.stats.dedup_hits += 1;
+            return Ingested {
+                entry,
+                hash,
+                known: true,
+                evicted: Vec::new(),
+            };
+        }
+        // Equivalence sweep: the hash is new, but the language may not
+        // be. Only same-alphabet entries can match (the oracle requires
+        // it), and the check runs on the stored entry's warm context, so
+        // repeat sweeps against the same store amortize.
+        let candidate = self.entries.values().find_map(|(entry, _)| {
+            let ctx = entry.analysis()?;
+            (ctx.automaton().alphabet() == aut.alphabet() && ctx.equivalent(&aut))
+                .then(|| Arc::clone(entry))
+        });
+        if let Some(entry) = candidate {
+            let target = entry.hash;
+            self.aliases.insert(hash, target);
+            self.touch(target);
+            self.stats.dedup_hits += 1;
+            return Ingested {
+                entry,
+                hash,
+                known: true,
+                evicted: Vec::new(),
+            };
+        }
+        let entry = Arc::new(Entry {
+            hash,
+            payload: Payload::Automaton(Box::new(Analysis::new(aut))),
+            origin,
+            queries: AtomicU64::new(0),
+        });
+        let stamp = self.tick();
+        self.entries.insert(hash, (Arc::clone(&entry), stamp));
+        let evicted = self.evict_lru(hash);
+        Ingested {
+            entry,
+            hash,
+            known: false,
+            evicted,
+        }
+    }
+
+    /// Ingests a program (hash-keyed only; programs have no equivalence
+    /// sweep).
+    pub fn ingest_program(&mut self, program: Program) -> Ingested {
+        self.stats.ingests += 1;
+        let hash = program.content_hash();
+        if let Some((entry, _)) = self.entries.get(&hash) {
+            let entry = Arc::clone(entry);
+            self.touch(hash);
+            self.stats.dedup_hits += 1;
+            return Ingested {
+                entry,
+                hash,
+                known: true,
+                evicted: Vec::new(),
+            };
+        }
+        let entry = Arc::new(Entry {
+            hash,
+            payload: Payload::Program(Box::new(program)),
+            origin: "program",
+            queries: AtomicU64::new(0),
+        });
+        let stamp = self.tick();
+        self.entries.insert(hash, (Arc::clone(&entry), stamp));
+        let evicted = self.evict_lru(hash);
+        Ingested {
+            entry,
+            hash,
+            known: false,
+            evicted,
+        }
+    }
+
+    /// Every live entry, sorted by hash (a deterministic order for the
+    /// `stats` endpoint).
+    pub fn list(&self) -> Vec<Arc<Entry>> {
+        let mut all: Vec<Arc<Entry>> = self.entries.values().map(|(e, _)| Arc::clone(e)).collect();
+        all.sort_by_key(|e| e.hash);
+        all
+    }
+
+    /// Marks a served query on an entry (atomic; callable outside the
+    /// store lock).
+    pub fn record_query(entry: &Entry) -> u64 {
+        entry.queries.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierarchy_core::automata::acceptance::Acceptance;
+    use hierarchy_core::automata::alphabet::Alphabet;
+    use hierarchy_core::fts::absint;
+
+    fn tracker(n: u32) -> OmegaAutomaton {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let b = sigma.symbol("b").unwrap();
+        OmegaAutomaton::build(
+            &sigma,
+            n as usize + 2,
+            0,
+            move |q, s| {
+                if s == b {
+                    (q + 1) % (n + 2)
+                } else {
+                    q
+                }
+            },
+            Acceptance::inf([0]),
+        )
+    }
+
+    #[test]
+    fn hash_and_alias_dedup() {
+        let mut store = Store::new(8);
+        let first = store.ingest_automaton(tracker(1), "hoa");
+        assert!(!first.known);
+        let again = store.ingest_automaton(tracker(1), "hoa");
+        assert!(again.known);
+        assert_eq!(again.entry.hash, first.entry.hash);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().dedup_hits, 1);
+        assert_eq!(store.stats().ingests, 2);
+    }
+
+    #[test]
+    fn equivalence_sweep_aliases_distinct_hashes() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        // Σω two ways: `True` acceptance vs `Inf` of the whole state set
+        // — same language, different canonical acceptance, so the hashes
+        // differ and only the sweep can merge them.
+        let all_true = OmegaAutomaton::universal(&sigma);
+        let all_inf = OmegaAutomaton::build(&sigma, 1, 0, |_, _| 0, Acceptance::inf([0]));
+        assert_ne!(all_true.content_hash(), all_inf.content_hash());
+
+        let mut store = Store::new(8);
+        let first = store.ingest_automaton(all_true.clone(), "hoa");
+        let second = store.ingest_automaton(all_inf.clone(), "hoa");
+        assert!(second.known, "sweep must catch the equivalent automaton");
+        assert_eq!(second.entry.hash, first.entry.hash);
+        assert_eq!(store.len(), 1);
+        // The alias resolves from now on.
+        assert!(store.resolve(all_inf.content_hash()).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_aliases_follow() {
+        let mut store = Store::new(2);
+        let a = store.ingest_automaton(tracker(1), "hoa");
+        let b = store.ingest_automaton(tracker(2), "hoa");
+        // Touch `a` so `b` is the LRU victim.
+        assert!(store.resolve(a.entry.hash).is_some());
+        let c = store.ingest_automaton(tracker(3), "hoa");
+        assert_eq!(c.evicted, vec![b.entry.hash]);
+        assert!(store.resolve(b.entry.hash).is_none(), "b evicted");
+        assert!(store.resolve(a.entry.hash).is_some());
+        assert_eq!(store.stats().evictions, 1);
+        assert_eq!(store.stats().misses, 1);
+    }
+
+    #[test]
+    fn programs_are_hash_keyed() {
+        let mut store = Store::new(4);
+        let p = store.ingest_program(absint::peterson_abs());
+        assert!(!p.known);
+        assert_eq!(p.entry.kind(), "program");
+        let again = store.ingest_program(absint::peterson_abs());
+        assert!(again.known);
+        assert_eq!(store.len(), 1);
+        assert!(store.resolve(p.entry.hash).unwrap().program().is_some());
+    }
+
+    #[test]
+    fn explicit_evict_and_readmission() {
+        let mut store = Store::new(4);
+        let a = store.ingest_automaton(tracker(1), "hoa");
+        assert!(store.evict(a.entry.hash));
+        assert!(!store.evict(a.entry.hash), "double evict is a no-op");
+        assert!(store.resolve(a.entry.hash).is_none());
+        let back = store.ingest_automaton(tracker(1), "hoa");
+        assert!(!back.known, "re-ingest after eviction is cold");
+        assert_eq!(back.entry.hash, a.entry.hash, "same content, same hash");
+    }
+}

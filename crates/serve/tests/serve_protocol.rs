@@ -1,0 +1,761 @@
+//! Protocol golden tests: drive the real `spec-serve` binary over a
+//! pipe and compare every response **byte for byte** against goldens
+//! built from direct library calls on the same artifacts. Covers every
+//! method, every error shape, the exit-code contract, and the LRU
+//! eviction/re-ingest cycle on the paper's running examples.
+
+use hierarchy_core::automata::analysis::Analysis;
+use hierarchy_core::automata::omega::OmegaAutomaton;
+use hierarchy_core::automata::{hoa, inclusion};
+use hierarchy_core::fts::absint::{self, DomainKind};
+use hierarchy_core::fts::checker::check_with_invariants;
+use hierarchy_core::lint::{lint_abstract_program, lint_automaton_ctx, report_to_json};
+use hierarchy_core::prelude::*;
+use hierarchy_core::{HierarchyClass, Property};
+use hierarchy_serve::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+/// A live daemon with scripted request/response access.
+struct Daemon {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_spec-serve"))
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn spec-serve");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Daemon {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().unwrap();
+        let mut response = String::new();
+        self.stdout.read_line(&mut response).expect("read response");
+        assert!(
+            response.ends_with('\n'),
+            "daemon died mid-response for {line:?}"
+        );
+        response.pop();
+        response
+    }
+
+    /// Closes stdin (the shutdown signal) and asserts a clean exit.
+    fn shutdown(mut self) {
+        drop(self.stdin);
+        let status = self.child.wait().expect("wait for daemon");
+        assert_eq!(status.code(), Some(0), "EOF on stdin must exit 0");
+    }
+}
+
+// ---- golden builders (direct library calls) -------------------------
+
+/// The paper's running examples: mutual exclusion (safety), the
+/// response property (recurrence), termination (guarantee),
+/// stabilization (persistence), and a proper obligation.
+const RUNNING_EXAMPLES: &[(&str, &[&str])] = &[
+    ("G !(c1 & c2)", &["c1", "c2", "t1", "t2"]),
+    ("G (p -> F q)", &["p", "q"]),
+    ("F p", &["p", "q"]),
+    ("F G p", &["p", "q"]),
+    ("G p | F q", &["p", "q"]),
+];
+
+fn compile(source: &str, props: &[&str]) -> OmegaAutomaton {
+    let sigma = Alphabet::of_propositions(props.iter().copied()).unwrap();
+    Property::parse(&sigma, source).unwrap().automaton().clone()
+}
+
+fn ingest_formula_request(id: i64, source: &str, props: &[&str]) -> String {
+    let props_json = Json::Arr(props.iter().map(|p| Json::str(*p)).collect());
+    Json::obj([
+        ("id", Json::Int(id)),
+        ("method", Json::str("ingest")),
+        (
+            "params",
+            Json::obj([
+                ("kind", Json::str("formula")),
+                ("props", props_json),
+                ("source", Json::str(source)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+fn golden_ingest(id: i64, aut: &OmegaAutomaton, known: bool) -> String {
+    Json::obj([
+        ("id", Json::Int(id)),
+        (
+            "result",
+            Json::obj([
+                ("artifact", Json::str(aut.content_hash().to_string())),
+                ("kind", Json::str("automaton")),
+                ("known", Json::Bool(known)),
+                ("states", Json::Int(aut.num_states() as i64)),
+                ("evicted", Json::Arr(vec![])),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+fn stats_json(s: &hierarchy_core::automata::analysis::AnalysisStats) -> Json {
+    Json::obj([
+        ("scc_passes", Json::Int(s.scc_passes as i64)),
+        ("scc_state_visits", Json::Int(s.scc_state_visits as i64)),
+        ("scc_hits", Json::Int(s.scc_hits as i64)),
+        ("products_built", Json::Int(s.products_built as i64)),
+        ("product_hits", Json::Int(s.product_hits as i64)),
+        ("inclusion_checks", Json::Int(s.inclusion_checks as i64)),
+        ("inclusion_hits", Json::Int(s.inclusion_hits as i64)),
+    ])
+}
+
+/// Replays the daemon's classify endpoint against a reference context:
+/// `queries_before` selects the cold (0) or warm (≥1) response.
+fn golden_classify(id: i64, ctx: &Analysis, warm: bool) -> String {
+    let before = ctx.stats_total();
+    let c = ctx.classification().clone();
+    let delta = ctx.stats_total().delta_since(before);
+    let class = HierarchyClass::from_classification(&c);
+    Json::obj([
+        ("id", Json::Int(id)),
+        (
+            "result",
+            Json::obj([
+                (
+                    "artifact",
+                    Json::str(ctx.automaton().content_hash().to_string()),
+                ),
+                ("class", Json::str(class.to_string())),
+                ("strictest", Json::str(c.strictest_class_name())),
+                ("borel", Json::str(c.borel_name())),
+                ("safety", Json::Bool(c.is_safety)),
+                ("guarantee", Json::Bool(c.is_guarantee)),
+                ("obligation", Json::Bool(c.is_obligation)),
+                ("recurrence", Json::Bool(c.is_recurrence)),
+                ("persistence", Json::Bool(c.is_persistence)),
+                ("simple_reactivity", Json::Bool(c.is_simple_reactivity)),
+                (
+                    "obligation_index",
+                    match c.obligation_index {
+                        Some(k) => Json::Int(k as i64),
+                        None => Json::Null,
+                    },
+                ),
+                ("reactivity_index", Json::Int(c.reactivity_index as i64)),
+                ("warm", Json::Bool(warm)),
+                ("stats", stats_json(&delta)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+// ---- the golden session ---------------------------------------------
+
+#[test]
+fn golden_running_examples_session() {
+    let mut daemon = Daemon::spawn(&[]);
+    let mut id = 0i64;
+    let mut next = || {
+        id += 1;
+        id
+    };
+
+    // Ingest + cold/warm classify for each running example, with the
+    // expected bytes replayed on a reference Analysis per artifact.
+    for (source, props) in RUNNING_EXAMPLES {
+        let aut = compile(source, props);
+        let reference = Analysis::new(aut.clone());
+
+        let i = next();
+        let got = daemon.request(&ingest_formula_request(i, source, props));
+        assert_eq!(got, golden_ingest(i, &aut, false), "ingest {source}");
+
+        let hash = aut.content_hash().to_string();
+        let classify = |id: i64| {
+            format!(
+                "{{\"id\":{id},\"method\":\"classify\",\"params\":{{\"artifact\":\"{hash}\"}}}}"
+            )
+        };
+        let i = next();
+        let got = daemon.request(&classify(i));
+        assert_eq!(got, golden_classify(i, &reference, false), "cold {source}");
+        let i = next();
+        let got = daemon.request(&classify(i));
+        assert_eq!(got, golden_classify(i, &reference, true), "warm {source}");
+    }
+
+    // Re-ingesting a running example is a dedup hit, byte-for-byte.
+    let mux = compile(RUNNING_EXAMPLES[0].0, RUNNING_EXAMPLES[0].1);
+    let i = next();
+    let got = daemon.request(&ingest_formula_request(
+        i,
+        RUNNING_EXAMPLES[0].0,
+        RUNNING_EXAMPLES[0].1,
+    ));
+    assert_eq!(got, golden_ingest(i, &mux, true), "re-ingest dedups");
+
+    daemon.shutdown();
+}
+
+#[test]
+fn golden_lint_include_and_evict() {
+    let mut daemon = Daemon::spawn(&[]);
+
+    let gp = compile("G p", &["p"]);
+    let gfp = compile("G F p", &["p"]);
+    for (i, (source, props)) in [("G p", &["p"] as &[&str]), ("G F p", &["p"])]
+        .iter()
+        .enumerate()
+    {
+        daemon.request(&ingest_formula_request(i as i64, source, props));
+    }
+    let gp_hash = gp.content_hash().to_string();
+    let gfp_hash = gfp.content_hash().to_string();
+
+    // Lint: bytes replayed through the same lint + report_to_json path.
+    let reference = Analysis::new(gp.clone());
+    let diags = lint_automaton_ctx(&reference);
+    let want = Json::obj([
+        ("id", Json::Int(10)),
+        (
+            "result",
+            Json::obj([
+                ("artifact", Json::str(gp_hash.clone())),
+                ("kind", Json::str("automaton")),
+                ("count", Json::Int(diags.len() as i64)),
+                ("diagnostics", Json::Raw(report_to_json(&diags))),
+                ("warm", Json::Bool(false)),
+            ]),
+        ),
+    ])
+    .to_string();
+    let got = daemon.request(&format!(
+        "{{\"id\":10,\"method\":\"lint\",\"params\":{{\"artifact\":\"{gp_hash}\"}}}}"
+    ));
+    assert_eq!(got, want, "lint golden");
+
+    // include: G p ⊆ G F p strictly; the reverse, asked with
+    // "witness":true, carries a lasso whose symbols replay from the
+    // library's counterexample extractor (without the flag the verdict
+    // comes back alone — the witness tour is opt-in).
+    let got = daemon.request(&format!(
+        "{{\"id\":11,\"method\":\"include\",\"params\":{{\"lhs\":\"{gp_hash}\",\"rhs\":\"{gfp_hash}\"}}}}"
+    ));
+    let want = Json::obj([
+        ("id", Json::Int(11)),
+        (
+            "result",
+            Json::obj([
+                ("lhs", Json::str(gp_hash.clone())),
+                ("rhs", Json::str(gfp_hash.clone())),
+                ("included", Json::Bool(true)),
+                ("equivalent", Json::Bool(false)),
+                ("counterexample", Json::Null),
+            ]),
+        ),
+    ])
+    .to_string();
+    assert_eq!(got, want, "inclusion golden");
+
+    let lasso = inclusion::inclusion_counterexample(&gfp, &gp).expect("G F p ⊄ G p");
+    let names = |syms: &[Symbol]| {
+        Json::Arr(
+            syms.iter()
+                .map(|&s| Json::str(gfp.alphabet().name(s)))
+                .collect(),
+        )
+    };
+    // Verdict-only by default…
+    let got = daemon.request(&format!(
+        "{{\"id\":12,\"method\":\"include\",\"params\":{{\"lhs\":\"{gfp_hash}\",\"rhs\":\"{gp_hash}\"}}}}"
+    ));
+    let bare = |counterexample: Json| {
+        Json::obj([
+            ("id", Json::Int(12)),
+            (
+                "result",
+                Json::obj([
+                    ("lhs", Json::str(gfp_hash.clone())),
+                    ("rhs", Json::str(gp_hash.clone())),
+                    ("included", Json::Bool(false)),
+                    ("equivalent", Json::Bool(false)),
+                    ("counterexample", counterexample),
+                ]),
+            ),
+        ])
+        .to_string()
+    };
+    assert_eq!(got, bare(Json::Null), "verdict-only inclusion golden");
+    // …and the lasso on request.
+    let got = daemon.request(&format!(
+        "{{\"id\":12,\"method\":\"include\",\"params\":{{\"lhs\":\"{gfp_hash}\",\"rhs\":\"{gp_hash}\",\"witness\":true}}}}"
+    ));
+    let want = bare(Json::obj([
+        ("stem", names(lasso.spoke())),
+        ("cycle", names(lasso.cycle())),
+    ]));
+    assert_eq!(got, want, "counterexample golden");
+
+    // evict: true once, false after.
+    let got = daemon.request(&format!(
+        "{{\"id\":13,\"method\":\"evict\",\"params\":{{\"artifact\":\"{gp_hash}\"}}}}"
+    ));
+    assert_eq!(
+        got,
+        format!("{{\"id\":13,\"result\":{{\"evicted\":true}}}}")
+    );
+    let got = daemon.request(&format!(
+        "{{\"id\":14,\"method\":\"evict\",\"params\":{{\"artifact\":\"{gp_hash}\"}}}}"
+    ));
+    assert_eq!(
+        got,
+        format!("{{\"id\":14,\"result\":{{\"evicted\":false}}}}")
+    );
+    let got = daemon.request(&format!(
+        "{{\"id\":15,\"method\":\"classify\",\"params\":{{\"artifact\":\"{gp_hash}\"}}}}"
+    ));
+    assert_eq!(
+        got,
+        format!(
+            "{{\"id\":15,\"error\":{{\"code\":-32001,\"message\":\"unknown artifact {gp_hash}\"}}}}"
+        )
+    );
+
+    daemon.shutdown();
+}
+
+#[test]
+fn golden_program_check_and_batches() {
+    let mut daemon = Daemon::spawn(&[]);
+
+    // Program ingest from the catalogue, with the program's own hash.
+    let program = absint::catalogue()
+        .into_iter()
+        .find(|(n, _)| *n == "mux-sem")
+        .unwrap()
+        .1;
+    let prog_hash = program.content_hash().to_string();
+    let got = daemon.request(
+        "{\"id\":1,\"method\":\"ingest\",\"params\":{\"kind\":\"program\",\"name\":\"mux-sem\"}}",
+    );
+    assert_eq!(
+        got,
+        format!(
+            "{{\"id\":1,\"result\":{{\"artifact\":\"{prog_hash}\",\"kind\":\"program\",\"known\":false,\"name\":\"mux-sem\",\"evicted\":[]}}}}"
+        )
+    );
+
+    // Program lint golden.
+    let diags = lint_abstract_program(&program).unwrap();
+    let got = daemon.request(&format!(
+        "{{\"id\":2,\"method\":\"lint\",\"params\":{{\"artifact\":\"{prog_hash}\"}}}}"
+    ));
+    let want = Json::obj([
+        ("id", Json::Int(2)),
+        (
+            "result",
+            Json::obj([
+                ("artifact", Json::str(prog_hash.clone())),
+                ("kind", Json::str("program")),
+                ("count", Json::Int(diags.len() as i64)),
+                ("diagnostics", Json::Raw(report_to_json(&diags))),
+                ("warm", Json::Bool(false)),
+            ]),
+        ),
+    ])
+    .to_string();
+    assert_eq!(got, want, "program lint golden");
+
+    // check: mutual exclusion discharged in the abstract; golden stats
+    // replayed through the same checker entry point.
+    let mux = compile("G !(c1 & c2)", &["c1", "c2", "t1", "t2"]);
+    let mux_hash = mux.content_hash().to_string();
+    daemon.request(&ingest_formula_request(
+        3,
+        "G !(c1 & c2)",
+        &["c1", "c2", "t1", "t2"],
+    ));
+    let sigma = mux.alphabet().clone();
+    let (verdict, stats) =
+        check_with_invariants(&program, &sigma, &mux, DomainKind::ValueSets).unwrap();
+    assert!(verdict.holds());
+    let got = daemon.request(&format!(
+        "{{\"id\":4,\"method\":\"check\",\"params\":{{\"program\":\"{prog_hash}\",\"property\":\"{mux_hash}\",\"domain\":\"value-sets\"}}}}"
+    ));
+    let want = Json::obj([
+        ("id", Json::Int(4)),
+        (
+            "result",
+            Json::obj([
+                ("verdict", Json::str("holds")),
+                ("counterexample", Json::Null),
+                (
+                    "stats",
+                    Json::obj([
+                        ("product_states", Json::Int(stats.product_states as i64)),
+                        (
+                            "pruned_product_states",
+                            Json::Int(stats.pruned_product_states as i64),
+                        ),
+                        ("abstract_pairs", Json::Int(stats.abstract_pairs as i64)),
+                        ("discharged", Json::Bool(stats.discharged)),
+                        (
+                            "certificate_ok",
+                            match stats.certificate_ok {
+                                Some(b) => Json::Bool(b),
+                                None => Json::Null,
+                            },
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+    ])
+    .to_string();
+    assert_eq!(got, want, "check golden");
+    assert!(got.contains("\"discharged\":true"), "safety discharged");
+
+    // A violated check: token-ring-stalled has an unfair loop, so the
+    // response carries a concrete lasso over system states.
+    let stalled = absint::catalogue()
+        .into_iter()
+        .find(|(n, _)| *n == "token-ring-stalled")
+        .unwrap()
+        .1;
+    let stalled_hash = stalled.content_hash().to_string();
+    daemon.request(
+        "{\"id\":5,\"method\":\"ingest\",\"params\":{\"kind\":\"program\",\"name\":\"token-ring-stalled\"}}",
+    );
+    let got = daemon.request(&format!(
+        "{{\"id\":6,\"method\":\"check\",\"params\":{{\"program\":\"{stalled_hash}\",\"property\":\"{mux_hash}\",\"domain\":\"value-sets\"}}}}"
+    ));
+    let resp = Json::parse(&got).unwrap();
+    let verdict_str = resp
+        .get("result")
+        .and_then(|r| r.get("verdict"))
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    let direct = check_with_invariants(&stalled, &sigma, &mux, DomainKind::ValueSets);
+    match direct {
+        Ok((v, _)) => {
+            let want = if v.holds() { "holds" } else { "violated" };
+            assert_eq!(verdict_str.as_deref(), Some(want), "verdict identity");
+        }
+        Err(_) => {
+            assert!(resp.get("error").is_some(), "error identity");
+        }
+    }
+
+    // Batches: results arrive in request order and agree with singles.
+    let fp = compile("F p", &["p", "q"]);
+    daemon.request(&ingest_formula_request(7, "F p", &["p", "q"]));
+    let fp_hash = fp.content_hash().to_string();
+    let got = daemon.request(&format!(
+        "{{\"id\":8,\"method\":\"classify_batch\",\"params\":{{\"artifacts\":[\"{mux_hash}\",\"{fp_hash}\"]}}}}"
+    ));
+    let resp = Json::parse(&got).unwrap();
+    let results = resp
+        .get("result")
+        .and_then(|r| r.get("results"))
+        .and_then(Json::as_arr)
+        .expect("batch result")
+        .to_vec();
+    assert_eq!(results.len(), 2);
+    assert_eq!(
+        results[0].get("class").and_then(Json::as_str),
+        Some("safety")
+    );
+    assert_eq!(
+        results[1].get("class").and_then(Json::as_str),
+        Some("guarantee")
+    );
+    let got = daemon.request(&format!(
+        "{{\"id\":9,\"method\":\"lint_batch\",\"params\":{{\"artifacts\":[\"{mux_hash}\",\"{prog_hash}\"]}}}}"
+    ));
+    let resp = Json::parse(&got).unwrap();
+    let results = resp
+        .get("result")
+        .and_then(|r| r.get("results"))
+        .and_then(Json::as_arr)
+        .expect("lint batch result")
+        .to_vec();
+    assert_eq!(results.len(), 2);
+    assert_eq!(
+        results[1].get("count").and_then(Json::as_int),
+        Some(diags.len() as i64)
+    );
+
+    daemon.shutdown();
+}
+
+// ---- error shapes (fully literal goldens) ---------------------------
+
+#[test]
+fn golden_error_shapes() {
+    let mut daemon = Daemon::spawn(&[]);
+    let cases: &[(&str, &str)] = &[
+        // -32700: not JSON at all (id unrecoverable → null).
+        (
+            "this is not json",
+            "{\"id\":null,\"error\":{\"code\":-32700,\"message\":\"parse error: unexpected byte 't' at 0\"}}",
+        ),
+        // -32600: valid JSON, no method.
+        (
+            "{\"id\":9}",
+            "{\"id\":9,\"error\":{\"code\":-32600,\"message\":\"missing method\"}}",
+        ),
+        // -32600: id of a bad type.
+        (
+            "{\"id\":[1],\"method\":\"stats\"}",
+            "{\"id\":null,\"error\":{\"code\":-32600,\"message\":\"id must be a number, string or absent\"}}",
+        ),
+        // -32601: unknown method.
+        (
+            "{\"id\":1,\"method\":\"transmogrify\"}",
+            "{\"id\":1,\"error\":{\"code\":-32601,\"message\":\"unknown method \\\"transmogrify\\\"\"}}",
+        ),
+        // -32602: missing params.
+        (
+            "{\"id\":2,\"method\":\"classify\"}",
+            "{\"id\":2,\"error\":{\"code\":-32602,\"message\":\"missing string param \\\"artifact\\\"\"}}",
+        ),
+        // -32602: params of the wrong type.
+        (
+            "{\"id\":3,\"method\":\"classify\",\"params\":[]}",
+            "{\"id\":3,\"error\":{\"code\":-32602,\"message\":\"params must be an object\"}}",
+        ),
+        // -32602: a hash that is not a hash.
+        (
+            "{\"id\":4,\"method\":\"classify\",\"params\":{\"artifact\":\"zz\"}}",
+            "{\"id\":4,\"error\":{\"code\":-32602,\"message\":\"artifact must be a 32-digit hex hash\"}}",
+        ),
+        // -32001: a well-formed hash never ingested.
+        (
+            "{\"id\":5,\"method\":\"classify\",\"params\":{\"artifact\":\"00112233445566778899aabbccddeeff\"}}",
+            "{\"id\":5,\"error\":{\"code\":-32001,\"message\":\"unknown artifact 00112233445566778899aabbccddeeff\"}}",
+        ),
+        // -32002: unknown catalogue program.
+        (
+            "{\"id\":6,\"method\":\"ingest\",\"params\":{\"kind\":\"program\",\"name\":\"quicksort\"}}",
+            "{\"id\":6,\"error\":{\"code\":-32002,\"message\":\"unknown catalogue program \\\"quicksort\\\"\"}}",
+        ),
+        // -32002: malformed HOA.
+        (
+            "{\"id\":7,\"method\":\"ingest\",\"params\":{\"kind\":\"automaton\",\"hoa\":\"HOA: v2\"}}",
+            "{\"id\":7,\"error\":{\"code\":-32002,\"message\":\"HOA parse error: expected \\\"HOA: v1\\\" header, found Some(\\\"HOA: v2\\\")\"}}",
+        ),
+        // -32602: unknown ingest kind.
+        (
+            "{\"id\":8,\"method\":\"ingest\",\"params\":{\"kind\":\"sonnet\"}}",
+            "{\"id\":8,\"error\":{\"code\":-32602,\"message\":\"kind must be automaton, formula, regex or program, got \\\"sonnet\\\"\"}}",
+        ),
+    ];
+    for (request, want) in cases {
+        let got = daemon.request(request);
+        assert_eq!(&got, want, "for request {request:?}");
+    }
+
+    // -32003 needs live artifacts: alphabet mismatch between operands.
+    daemon.request(&ingest_formula_request(20, "G p", &["p"]));
+    daemon.request(&ingest_formula_request(21, "G q", &["p", "q"]));
+    let a = compile("G p", &["p"]).content_hash().to_string();
+    let b = compile("G q", &["p", "q"]).content_hash().to_string();
+    let got = daemon.request(&format!(
+        "{{\"id\":22,\"method\":\"include\",\"params\":{{\"lhs\":\"{a}\",\"rhs\":\"{b}\"}}}}"
+    ));
+    assert_eq!(
+        got,
+        "{\"id\":22,\"error\":{\"code\":-32003,\"message\":\"lhs and rhs observe different alphabets\"}}"
+    );
+
+    daemon.shutdown();
+}
+
+// ---- transport details ----------------------------------------------
+
+#[test]
+fn blank_lines_and_missing_ids() {
+    let mut daemon = Daemon::spawn(&[]);
+    // Blank lines produce no response: the next real request's answer
+    // arrives first, proving nothing was emitted in between.
+    writeln!(daemon.stdin, "   \n\n{{\"id\":77,\"method\":\"stats\"}}").unwrap();
+    daemon.stdin.flush().unwrap();
+    let mut line = String::new();
+    daemon.stdout.read_line(&mut line).unwrap();
+    let resp = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(resp.get("id").and_then(Json::as_int), Some(77));
+
+    // A request with no id still answers, with id null.
+    let got = daemon.request("{\"method\":\"stats\"}");
+    assert!(got.starts_with("{\"id\":null,\"result\":{"), "got {got}");
+    daemon.shutdown();
+}
+
+#[test]
+fn lru_eviction_and_reingest_reproduce_identical_responses() {
+    let mut daemon = Daemon::spawn(&["--capacity", "2"]);
+    let f1 = compile("G p", &["p", "q"]);
+    let f2 = compile("F p", &["p", "q"]);
+    let f3 = compile("G F p", &["p", "q"]);
+    let (h1, h2, h3) = (
+        f1.content_hash().to_string(),
+        f2.content_hash().to_string(),
+        f3.content_hash().to_string(),
+    );
+
+    daemon.request(&ingest_formula_request(1, "G p", &["p", "q"]));
+    daemon.request(&ingest_formula_request(2, "F p", &["p", "q"]));
+    let classify = |id: i64, hash: &str| {
+        format!("{{\"id\":{id},\"method\":\"classify\",\"params\":{{\"artifact\":\"{hash}\"}}}}")
+    };
+    // Warm both, then make f1 the LRU victim by touching f2 last.
+    let cold_f1 = daemon.request(&classify(3, &h1));
+    daemon.request(&classify(4, &h2));
+
+    // The third ingest overflows capacity 2 and reports the victim.
+    let got = daemon.request(&ingest_formula_request(5, "G F p", &["p", "q"]));
+    let resp = Json::parse(&got).unwrap();
+    let evicted: Vec<String> = resp
+        .get("result")
+        .and_then(|r| r.get("evicted"))
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|h| h.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(evicted, vec![h1.clone()], "LRU victim is f1");
+    assert_eq!(
+        resp.get("result")
+            .and_then(|r| r.get("artifact"))
+            .and_then(Json::as_str),
+        Some(h3.as_str())
+    );
+
+    // The victim is gone; the survivors are warm.
+    let got = daemon.request(&classify(6, &h1));
+    assert!(got.contains("\"code\":-32001"), "evicted artifact unknown");
+
+    // Re-ingest after eviction: cold again, and the classify response is
+    // byte-identical to the pre-eviction one (same id ⇒ same bytes) —
+    // content addressing makes eviction invisible to verdicts and stats.
+    let got = daemon.request(&ingest_formula_request(7, "G p", &["p", "q"]));
+    assert_eq!(got, {
+        let mut expected = golden_ingest(7, &f1, false);
+        // Room had to be made again: f2 was the oldest untouched entry.
+        expected = expected.replace("\"evicted\":[]", &format!("\"evicted\":[\"{h2}\"]"));
+        expected
+    });
+    let got = daemon.request(&classify(3, &h1));
+    assert_eq!(
+        got, cold_f1,
+        "re-ingested artifact reproduces verdict and stats"
+    );
+
+    daemon.shutdown();
+}
+
+#[test]
+fn regex_and_hoa_ingest_collide_with_equivalent_formulas() {
+    let mut daemon = Daemon::spawn(&[]);
+    // E(Σ*b) over letters {a, b}: "eventually b", byte-exact against the
+    // regex's own library compilation.
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+    let phi = hierarchy_core::lang::FinitaryProperty::parse(&sigma, ".*b").unwrap();
+    let regex_aut = hierarchy_core::lang::operators::e(&phi);
+    let got = daemon.request(
+        "{\"id\":1,\"method\":\"ingest\",\"params\":{\"kind\":\"regex\",\"letters\":[\"a\",\"b\"],\"pattern\":\".*b\",\"operator\":\"E\"}}",
+    );
+    assert_eq!(got, golden_ingest(1, &regex_aut, false));
+
+    // A formula artifact re-submitted through its HOA export lands on
+    // the same hash (known:true) — content addressing is format-blind.
+    // (Proposition alphabets round-trip by name through HOA; the letter
+    // alphabet above would come back renamed to bit propositions, which
+    // is a *different* artifact by design.)
+    let aut = compile("F p", &["p"]);
+    let hash = aut.content_hash().to_string();
+    let got = daemon.request(&ingest_formula_request(10, "F p", &["p"]));
+    assert_eq!(got, golden_ingest(10, &aut, false));
+    let hoa_src = hoa::omega_to_hoa(&aut);
+    let req = Json::obj([
+        ("id", Json::Int(2)),
+        ("method", Json::str("ingest")),
+        (
+            "params",
+            Json::obj([
+                ("kind", Json::str("automaton")),
+                ("hoa", Json::str(hoa_src)),
+            ]),
+        ),
+    ])
+    .to_string();
+    let got = daemon.request(&req);
+    let resp = Json::parse(&got).unwrap();
+    let result = resp.get("result").expect("hoa ingest succeeds");
+    assert_eq!(result.get("known").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        result.get("artifact").and_then(Json::as_str),
+        Some(hash.as_str())
+    );
+
+    daemon.shutdown();
+}
+
+// ---- exit codes ------------------------------------------------------
+
+#[test]
+fn exit_codes() {
+    // --help exits 0 and prints usage.
+    let out = Command::new(env!("CARGO_BIN_EXE_spec-serve"))
+        .arg("--help")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: spec-serve"));
+
+    // Usage errors exit 2.
+    for args in [
+        &["--capacity", "zero"] as &[&str],
+        &["--capacity"],
+        &["--jobs", "0"],
+        &["--listen"],
+        &["--frobnicate"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_spec-serve"))
+            .args(args)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: spec-serve"),
+            "usage goes to stderr for {args:?}"
+        );
+    }
+
+    // EOF on stdin exits 0 (covered again by every shutdown() above).
+    let mut child = Command::new(env!("CARGO_BIN_EXE_spec-serve"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .unwrap();
+    drop(child.stdin.take());
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+}

