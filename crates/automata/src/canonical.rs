@@ -38,6 +38,7 @@
 //! one trust domain, not for adversarial inputs.
 
 use crate::acceptance::Acceptance;
+use crate::analysis::Analysis;
 use crate::minimize::minimize;
 use crate::omega::OmegaAutomaton;
 use std::fmt;
@@ -205,6 +206,58 @@ pub fn structural_hash(aut: &OmegaAutomaton) -> ArtifactHash {
     hash_canonical(&minimize(aut).quotient)
 }
 
+/// How [`language_eq`] decided (or failed to decide) language equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LanguageEq {
+    /// The canonical hashes agree: language-equal with **no** oracle
+    /// call, since hash equality over a shared alphabet implies
+    /// identical canonical structure (see the module docs).
+    HashEqual,
+    /// The hashes differ but the
+    /// [`Analysis::equivalent`](crate::analysis::Analysis::equivalent)
+    /// oracle proved the languages equal — the same language recognized
+    /// through differently shaped acceptance conditions.
+    OracleEqual,
+    /// The languages provably differ.
+    Distinct,
+}
+
+impl LanguageEq {
+    /// Whether the verdict is "same language".
+    pub fn is_equal(self) -> bool {
+        !matches!(self, LanguageEq::Distinct)
+    }
+}
+
+/// Decides language equality of `lhs` — with its precomputed
+/// [`structural_hash`] and a live [`Analysis`] context — against `rhs`,
+/// trying the canonical hash before falling back to the polynomial
+/// equivalence oracle. Returns `None` when the alphabets differ
+/// (equivalence is undefined across alphabets).
+///
+/// This is the single implementation behind both the serve store's
+/// ingest-time equivalence sweep and the suite auditor's `SUITE002`
+/// duplicate rule, so the two paths cannot drift: hash-equal pairs are
+/// answered for free, and only hash-distinct pairs spend an oracle run.
+pub fn language_eq(
+    lhs_hash: ArtifactHash,
+    lhs: &Analysis,
+    rhs_hash: ArtifactHash,
+    rhs: &OmegaAutomaton,
+) -> Option<LanguageEq> {
+    if lhs.automaton().alphabet() != rhs.alphabet() {
+        return None;
+    }
+    if lhs_hash == rhs_hash {
+        return Some(LanguageEq::HashEqual);
+    }
+    if lhs.equivalent(rhs) {
+        Some(LanguageEq::OracleEqual)
+    } else {
+        Some(LanguageEq::Distinct)
+    }
+}
+
 /// A content hash for non-automaton artifacts: digests a kind tag plus
 /// an unambiguous byte encoding supplied by the caller (e.g.
 /// `Program::structural_encoding` in the `fts` crate). The tag keeps
@@ -304,5 +357,77 @@ mod tests {
         assert_ne!(hash_bytes("program", b"x"), hash_bytes("formula", b"x"));
         assert_ne!(hash_bytes("program", b"x"), hash_bytes("program", b"y"));
         assert_eq!(hash_bytes("program", b"x"), hash_bytes("program", b"x"));
+    }
+
+    #[test]
+    fn language_eq_hash_path_spends_no_oracle_run() {
+        let sigma = ab();
+        let mut rng = StdRng::seed_from_u64(0xDEDBEEF);
+        let (aut, _) = random_streett(&mut rng, &sigma, 6, 2, 0.3);
+        let renamed = {
+            // A bisimilar variant: the canonical quotient is identical,
+            // so the hashes collide and the oracle must stay cold.
+            minimize(&aut).quotient
+        };
+        let ctx = Analysis::new(aut.clone());
+        let verdict = language_eq(
+            structural_hash(&aut),
+            &ctx,
+            structural_hash(&renamed),
+            &renamed,
+        );
+        assert_eq!(verdict, Some(LanguageEq::HashEqual));
+        assert_eq!(
+            ctx.stats_total().inclusion_checks,
+            0,
+            "hash-equal pair must not reach the oracle"
+        );
+    }
+
+    #[test]
+    fn language_eq_oracle_path_closes_the_hash_gap() {
+        // The universal language written two ways: `Acceptance::True`
+        // versus an `Inf` set covering the only state. The canonical
+        // forms differ (acceptance shape is part of the hash), so only
+        // the oracle can identify them.
+        let sigma = ab();
+        let as_true = OmegaAutomaton::universal(&sigma);
+        let as_inf = as_true.with_acceptance(Acceptance::inf([0]));
+        let (ha, hb) = (structural_hash(&as_true), structural_hash(&as_inf));
+        assert_ne!(ha, hb);
+        let ctx = Analysis::new(as_true);
+        assert_eq!(
+            language_eq(ha, &ctx, hb, &as_inf),
+            Some(LanguageEq::OracleEqual)
+        );
+        assert!(ctx.stats_total().inclusion_checks > 0);
+    }
+
+    #[test]
+    fn language_eq_distinct_and_alphabet_mismatch() {
+        let sigma = ab();
+        let universal = OmegaAutomaton::universal(&sigma);
+        let empty = OmegaAutomaton::empty(&sigma);
+        let ctx = Analysis::new(universal.clone());
+        let verdict = language_eq(
+            structural_hash(&universal),
+            &ctx,
+            structural_hash(&empty),
+            &empty,
+        );
+        assert_eq!(verdict, Some(LanguageEq::Distinct));
+        assert!(!LanguageEq::Distinct.is_equal());
+        assert!(LanguageEq::HashEqual.is_equal() && LanguageEq::OracleEqual.is_equal());
+        let other = OmegaAutomaton::universal(&Alphabet::new(["x", "y"]).unwrap());
+        assert_eq!(
+            language_eq(
+                structural_hash(&universal),
+                &ctx,
+                structural_hash(&other),
+                &other
+            ),
+            None,
+            "cross-alphabet comparison is undefined, not false"
+        );
     }
 }

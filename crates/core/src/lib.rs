@@ -53,10 +53,28 @@ mod servable;
 pub use property::{HierarchyClass, Property, PropertyError, PropertyReport};
 pub use servable::Servable;
 
+/// Audits a suite of named [`Property`] values — the library front end
+/// of `spec-lint audit` (rules `SUITE001`–`SUITE005`, subsumption
+/// lattice, dominance DAG, hierarchy histogram; see
+/// [`lint::suite`]). The audit runs over each property's live
+/// [`Analysis`](automata::analysis::Analysis) context, so a re-audit of
+/// the same properties rides the memoized inclusion matrix.
+pub fn audit_properties<'a>(
+    items: impl IntoIterator<Item = (&'a str, &'a Property)>,
+    opts: &lint::AuditOptions,
+) -> Result<lint::SuiteAudit, lint::AuditError> {
+    let borrowed: Vec<(&str, &automata::analysis::Analysis)> = items
+        .into_iter()
+        .map(|(name, p)| (name, p.analysis()))
+        .collect();
+    lint::audit_suite_ctx(&borrowed, opts)
+}
+
 /// Commonly used items across the workspace.
 pub mod prelude {
     pub use crate::automata::prelude::*;
     pub use crate::lang::{operators, witnesses, FinitaryProperty};
+    pub use crate::lint::AuditOptions;
     pub use crate::logic::{Formula, SyntacticClass};
-    pub use crate::{HierarchyClass, Property, PropertyReport, Servable};
+    pub use crate::{audit_properties, HierarchyClass, Property, PropertyReport, Servable};
 }

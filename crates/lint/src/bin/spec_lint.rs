@@ -13,12 +13,19 @@
 //!                                        (name, locations, variables,
 //!                                        domain sizes, fairness)
 //! spec-lint examples [--json] [--jobs N] lint the paper's running examples
+//! spec-lint audit [OPTS] "<member>"…     whole-suite audit: subsumption
+//!                                        lattice, redundancy, duplicates,
+//!                                        conflicts, class overkill, dead
+//!                                        propositions (SUITE001–SUITE005);
+//!                                        members are formulas or A:/E:/R:/P:
+//!                                        operator properties over a regex
 //!
 //! OPTS:
 //!   --letters a,b,c    plain alphabet (default: a,b)
 //!   --props p,q        valuation alphabet over propositions
 //!   --jobs N           lint artifacts on N worker threads (default:
 //!                      HIERARCHY_THREADS, else the machine's cores)
+//!   --cap N            audit: state cap for suite-conjunction checks
 //!   --json             machine-readable output
 //! ```
 //!
@@ -38,7 +45,8 @@ use hierarchy_lang::witnesses;
 use hierarchy_lint::diagnostic::{is_clean, json_escape, report_to_json};
 use hierarchy_lint::registry::CATALOGUE;
 use hierarchy_lint::{
-    lint_abstract_program, lint_finitary, lint_formula, lint_regex, lint_system, Diagnostic,
+    audit_suite, lint_abstract_program, lint_finitary, lint_formula, lint_regex, lint_system,
+    AuditOptions, Diagnostic,
 };
 use hierarchy_logic::ast::Formula;
 use std::process::ExitCode;
@@ -52,6 +60,7 @@ fn main() -> ExitCode {
         Some("regex") => cmd_regex(rest.collect()),
         Some("program" | "fts") => cmd_program(rest.collect()),
         Some("examples") => cmd_examples(rest.collect()),
+        Some("audit") => cmd_audit(rest.collect()),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -78,12 +87,22 @@ USAGE:
                                          (name, locations, variables, domain
                                          sizes, fairness) without linting
   spec-lint examples [--json] [--jobs N] lint the paper's running examples
+  spec-lint audit [OPTS] \"<member>\"…     audit a whole suite across members:
+                                         subsumption lattice, SUITE001-005
+                                         (redundancy, duplicates, conflicts,
+                                         class overkill, dead propositions).
+                                         Members are temporal formulas, or
+                                         paper-notation operator properties
+                                         A:/E:/R:/P: followed by a regex
+                                         (e.g. \"A: a a* b*\")
 
 OPTS:
   --letters a,b,c    plain alphabet (default: a,b)
   --props p,q        valuation alphabet over propositions
   --jobs N           lint artifacts on N worker threads (default:
                      HIERARCHY_THREADS, else the machine's cores)
+  --cap N            audit only: state cap for the suite-conjunction checks
+                     behind SUITE001/SUITE004 (default 4096, 0 disables)
   --json             machine-readable output
 
 Exit status: 0 clean, 1 findings at warning level or above, 2 usage error.
@@ -469,6 +488,154 @@ fn cmd_examples(args: Vec<&str>) -> ExitCode {
     let suite: Vec<(String, Vec<Diagnostic>)> =
         par::map_with(opts.jobs, &jobs, |(name, job)| (name.clone(), job()));
     report(&suite, opts.json)
+}
+
+/// Compiles one `spec-lint audit` member: a temporal formula, or a
+/// paper-notation operator property `A:`/`E:`/`R:`/`P:` over a regex.
+fn compile_member(sigma: &Alphabet, src: &str) -> Result<OmegaAutomaton, String> {
+    if let Some((op, rest)) = src.split_once(':') {
+        let op = op.trim();
+        if matches!(op, "A" | "E" | "R" | "P") {
+            let phi = FinitaryProperty::from_regex(
+                sigma,
+                &Regex::parse(sigma, rest.trim()).map_err(|e| format!("{src:?}: {e}"))?,
+            );
+            return Ok(match op {
+                "A" => hierarchy_lang::operators::a(&phi),
+                "E" => hierarchy_lang::operators::e(&phi),
+                "R" => hierarchy_lang::operators::r(&phi),
+                _ => hierarchy_lang::operators::p(&phi),
+            });
+        }
+    }
+    let f = Formula::parse(sigma, src).map_err(|e| format!("{src:?}: {e}"))?;
+    hierarchy_logic::to_automaton::compile_over(sigma, &f).map_err(|e| format!("{src:?}: {e}"))
+}
+
+/// `spec-lint audit`: the whole-suite static analysis of
+/// [`hierarchy_lint::audit_suite`] over members given on the command
+/// line.
+fn cmd_audit(args: Vec<&str>) -> ExitCode {
+    // `--cap` is audit-specific, so strip it before parse_opts (which
+    // rejects unknown `--` flags).
+    let mut cap: usize = AuditOptions::default().conjunction_cap;
+    let mut filtered = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--cap" {
+            let value = match it.next() {
+                Some(v) => v,
+                None => return usage_error("--cap needs a state count"),
+            };
+            cap = match value.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    return usage_error(&format!(
+                        "--cap needs a non-negative integer, got {value:?}"
+                    ))
+                }
+            };
+        } else {
+            filtered.push(arg);
+        }
+    }
+    let opts = match parse_opts(filtered) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    if opts.positional.len() < 2 {
+        return usage_error("audit takes two or more suite members");
+    }
+    let mut members = Vec::with_capacity(opts.positional.len());
+    for src in &opts.positional {
+        match compile_member(&opts.alphabet, src) {
+            Ok(aut) => members.push((src.clone(), aut)),
+            Err(e) => {
+                eprintln!("spec-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let audit = match audit_suite(
+        &members,
+        &AuditOptions {
+            jobs: opts.jobs,
+            conjunction_cap: cap,
+        },
+    ) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("spec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        println!("{}", audit.to_json());
+    } else {
+        print_audit(&audit);
+    }
+    if audit.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Human-readable audit report: coverage histogram, dominance edges,
+/// findings, prefilter summary.
+fn print_audit(audit: &hierarchy_lint::SuiteAudit) {
+    let coverage: Vec<String> = audit
+        .histogram
+        .iter()
+        .map(|(class, count)| format!("{class} {count}"))
+        .collect();
+    println!("hierarchy coverage: {}", coverage.join(", "));
+    for &(a, b) in &audit.dominance {
+        println!(
+            "dominance: {:?} \u{228a} {:?}",
+            audit.names[a], audit.names[b]
+        );
+    }
+    let mut findings = 0usize;
+    for (name, diags) in audit.names.iter().zip(&audit.member_diagnostics) {
+        for d in diags {
+            findings += 1;
+            println!("{name}: {d}");
+        }
+    }
+    for d in &audit.suite_diagnostics {
+        findings += 1;
+        println!("suite: {d}");
+    }
+    let n = audit.names.len();
+    println!(
+        "{n} member{} audited, {findings} finding{}{}; prefilter decided {}/{} pairs, \
+         {} oracle call{}{}",
+        if n == 1 { "" } else { "s" },
+        if findings == 1 { "" } else { "s" },
+        if audit.is_clean() { " (clean)" } else { "" },
+        audit.prefilter.hash_decided,
+        audit.prefilter.pairs,
+        audit.prefilter.oracle_calls,
+        if audit.prefilter.oracle_calls == 1 {
+            ""
+        } else {
+            "s"
+        },
+        if audit.deep_checks_skipped > 0 {
+            format!(
+                " ({} deep check{} skipped at the state cap)",
+                audit.deep_checks_skipped,
+                if audit.deep_checks_skipped == 1 {
+                    ""
+                } else {
+                    "s"
+                }
+            )
+        } else {
+            String::new()
+        },
+    );
 }
 
 /// Prints a suite report and computes the exit code.

@@ -18,6 +18,7 @@
 //! | automata | [`automata::lint_automaton`] | `AUT001`–`AUT007` |
 //! | lang | [`lang::lint_regex`], [`lang::lint_finitary`], [`lang::lint_minex`] | `LANG001`–`LANG006` |
 //! | fts | [`fts::lint_system`], [`fts::lint_program`], [`fts::lint_abstract_program`] | `FTS001`–`FTS007` |
+//! | suite | [`suite::audit_suite`], [`suite::audit_suite_ctx`] | `SUITE001`–`SUITE005` |
 //!
 //! The semantic rules are decision procedures, not heuristics: they reuse
 //! the memoized [`Analysis`](hierarchy_automata::analysis::Analysis)
@@ -32,6 +33,7 @@ pub mod fts;
 pub mod lang;
 pub mod logic;
 pub mod registry;
+pub mod suite;
 
 pub use automata::{lint_automaton, lint_automaton_ctx};
 pub use diagnostic::{is_clean, report_to_json, worst_severity, Diagnostic, Location, Severity};
@@ -39,6 +41,7 @@ pub use fts::{lint_abstract_program, lint_abstract_program_ctx, lint_program, li
 pub use lang::{lint_finitary, lint_minex, lint_regex};
 pub use logic::{lint_formula, lint_formula_ctx};
 pub use registry::{rule, RuleInfo, CATALOGUE};
+pub use suite::{audit_suite, audit_suite_ctx, AuditError, AuditOptions, SuiteAudit};
 
 use hierarchy_automata::omega::OmegaAutomaton;
 use hierarchy_fts::system::TransitionSystem;

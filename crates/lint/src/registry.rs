@@ -17,6 +17,8 @@ pub enum Layer {
     Lang,
     /// Fair transition systems and programs (`hierarchy-fts`).
     Fts,
+    /// Whole-suite cross-property analysis (`lint::suite`).
+    Suite,
 }
 
 impl fmt::Display for Layer {
@@ -26,6 +28,7 @@ impl fmt::Display for Layer {
             Layer::Automata => write!(f, "automata"),
             Layer::Lang => write!(f, "lang"),
             Layer::Fts => write!(f, "fts"),
+            Layer::Suite => write!(f, "suite"),
         }
     }
 }
@@ -120,6 +123,16 @@ rules! {
         "the abstract invariant failed independent certification (internal analysis error)";
     FTS008 = "FTS008", "relationally-dead-command", Fts, Warning,
         "a command guard is feasible under the per-variable masks but infeasible under the certified pair relations";
+    SUITE001 = "SUITE001", "redundant-property", Suite, Warning,
+        "the property is implied by the conjunction of the rest of the suite";
+    SUITE002 = "SUITE002", "duplicate-property", Suite, Warning,
+        "another suite member recognizes exactly the same language";
+    SUITE003 = "SUITE003", "conflicting-pair", Suite, Error,
+        "two satisfiable properties are jointly unsatisfiable (their intersection is empty)";
+    SUITE004 = "SUITE004", "class-overkill", Suite, Info,
+        "relative to the rest of the suite, a strictly lower hierarchy class would suffice";
+    SUITE005 = "SUITE005", "dead-atomic-proposition", Suite, Warning,
+        "an atomic proposition is constrained by no property in the suite";
 }
 
 /// Looks up a rule by its code.
@@ -141,7 +154,7 @@ mod tests {
                 assert_ne!(r.name, other.name, "duplicate rule name");
             }
         }
-        assert_eq!(CATALOGUE.len(), 28);
+        assert_eq!(CATALOGUE.len(), 33);
     }
 
     #[test]
@@ -152,8 +165,14 @@ mod tests {
     }
 
     #[test]
-    fn layers_cover_all_four_substrates() {
-        for layer in [Layer::Logic, Layer::Automata, Layer::Lang, Layer::Fts] {
+    fn layers_cover_all_substrates_and_the_suite() {
+        for layer in [
+            Layer::Logic,
+            Layer::Automata,
+            Layer::Lang,
+            Layer::Fts,
+            Layer::Suite,
+        ] {
             assert!(CATALOGUE.iter().any(|r| r.layer == layer));
         }
     }

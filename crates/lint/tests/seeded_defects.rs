@@ -632,3 +632,326 @@ fn injected_constant_atom_fires_aut005() {
     }
     assert!(usable >= 5, "only {usable} usable seeds for AUT005");
 }
+
+// ---------------------------------------------------------------------------
+// SUITE defect injections: mutate a whole *suite* of properties and
+// assert the audit reports exactly the injected cross-property finding
+// — nothing on the untouched members, nothing extra at suite level.
+
+mod suite_defects {
+    use super::*;
+    use hierarchy_lint::suite::{audit_suite, AuditOptions, SuiteAudit};
+    use hierarchy_lint::Location;
+
+    fn audit_with(items: &[(String, OmegaAutomaton)], cap: usize) -> SuiteAudit {
+        audit_suite(
+            items,
+            &AuditOptions {
+                conjunction_cap: cap,
+                ..AuditOptions::default()
+            },
+        )
+        .expect("suites share one alphabet")
+    }
+
+    fn audit(items: &[(String, OmegaAutomaton)]) -> SuiteAudit {
+        audit_with(items, AuditOptions::default().conjunction_cap)
+    }
+
+    /// A usable baseline: no findings at all, every member non-empty,
+    /// all languages pairwise distinct — so the injection's diagnostic
+    /// is provably the only change in the mutated report.
+    fn clean_baseline(report: &SuiteAudit, items: &[(String, OmegaAutomaton)]) -> bool {
+        report.member_diagnostics.iter().all(Vec::is_empty)
+            && report.suite_diagnostics.is_empty()
+            && report
+                .representative
+                .iter()
+                .enumerate()
+                .all(|(i, &r)| r == i)
+            && items
+                .iter()
+                .all(|(_, a)| !Analysis::new(a.clone()).is_empty())
+    }
+
+    fn random_suite(seed: u64, sigma: &Alphabet, k: usize) -> Vec<(String, OmegaAutomaton)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..k)
+            .map(|i| {
+                (
+                    format!("m{i}"),
+                    random_streett(&mut rng, sigma, 6, 1, 0.4).0,
+                )
+            })
+            .collect()
+    }
+
+    fn member_codes(report: &SuiteAudit, i: usize) -> Vec<&'static str> {
+        report.member_diagnostics[i]
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    /// The union of the whole suite is implied by any single member
+    /// (fast path), and the conjunction-of-the-rest of every existing
+    /// member already lies inside the union — so injecting it adds
+    /// exactly one `SUITE001` and changes nothing else.
+    #[test]
+    fn injected_union_member_fires_suite001() {
+        let sigma = sigma();
+        let mut usable = 0;
+        for seed in 0..200u64 {
+            let members = random_suite(seed, &sigma, 3);
+            let baseline = audit(&members);
+            if !clean_baseline(&baseline, &members) {
+                continue;
+            }
+            let union = members
+                .iter()
+                .skip(1)
+                .fold(members[0].1.clone(), |acc, (_, a)| acc.union(a));
+            let mut mutated = members.clone();
+            mutated.push(("union".into(), union));
+            let report = audit(&mutated);
+            for i in 0..members.len() {
+                assert_eq!(
+                    member_codes(&report, i),
+                    Vec::<&str>::new(),
+                    "seed {seed}: untouched member {i} gained a finding"
+                );
+            }
+            assert_eq!(
+                member_codes(&report, members.len()),
+                ["SUITE001"],
+                "seed {seed}: the union member must be exactly redundant"
+            );
+            assert!(
+                report.suite_diagnostics.is_empty(),
+                "seed {seed}: no suite-level finding may appear"
+            );
+            usable += 1;
+        }
+        assert!(usable >= 5, "only {usable} usable seeds for SUITE001");
+    }
+
+    /// Maps every acceptance atom through a state permutation.
+    fn permute_acceptance(acc: &Acceptance, pi: &[u32]) -> Acceptance {
+        match acc {
+            Acceptance::Inf(s) => Acceptance::inf(s.iter().map(|q| pi[q] as usize)),
+            Acceptance::Fin(s) => Acceptance::fin(s.iter().map(|q| pi[q] as usize)),
+            Acceptance::And(xs) => {
+                Acceptance::And(xs.iter().map(|x| permute_acceptance(x, pi)).collect())
+            }
+            Acceptance::Or(xs) => {
+                Acceptance::Or(xs.iter().map(|x| permute_acceptance(x, pi)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// An α-renamed (state-permuted) copy of a member has an identical
+    /// canonical form, so the prefilter alone must convict it: exactly
+    /// one `SUITE002` on the copy, decided without the oracle.
+    #[test]
+    fn injected_alpha_renamed_duplicate_fires_suite002() {
+        let sigma = sigma();
+        let mut usable = 0;
+        for seed in 0..200u64 {
+            let members = random_suite(seed, &sigma, 3);
+            let baseline = audit(&members);
+            if !clean_baseline(&baseline, &members) {
+                continue;
+            }
+            let original = &members[0].1;
+            let n = original.num_states();
+            // Reversal is an involution, so it is its own inverse.
+            let pi: Vec<u32> = (0..n as u32).rev().collect();
+            let renamed = OmegaAutomaton::build(
+                &sigma,
+                n,
+                pi[original.initial() as usize],
+                |q, s| pi[original.step(pi[q as usize], s) as usize],
+                permute_acceptance(original.acceptance(), &pi),
+            );
+            let mut mutated = members.clone();
+            mutated.push(("renamed".into(), renamed));
+            let report = audit(&mutated);
+            for i in 0..members.len() {
+                assert_eq!(
+                    member_codes(&report, i),
+                    Vec::<&str>::new(),
+                    "seed {seed}: untouched member {i} gained a finding"
+                );
+            }
+            assert_eq!(
+                member_codes(&report, members.len()),
+                ["SUITE002"],
+                "seed {seed}: the renamed copy must be exactly a duplicate"
+            );
+            assert_eq!(
+                report.representative[members.len()],
+                0,
+                "seed {seed}: the copy joins member 0's language class"
+            );
+            assert!(
+                report.member_diagnostics[members.len()][0]
+                    .message
+                    .contains("identical canonical form"),
+                "seed {seed}: an α-renaming must be convicted by the hash prefilter"
+            );
+            assert!(report.suite_diagnostics.is_empty(), "seed {seed}");
+            usable += 1;
+        }
+        assert!(usable >= 5, "only {usable} usable seeds for SUITE002");
+    }
+
+    /// The complement of a member conflicts with it by construction,
+    /// and with nothing else on a clean baseline (a second conflict
+    /// `m_j ∩ ¬m_0 = ∅` would mean `m_j ⊆ m_0`, which the baseline's
+    /// containment silence excludes). Deep checks are disabled so the
+    /// advisory `SUITE004` cannot ride along and the report is exact.
+    #[test]
+    fn injected_complement_member_fires_suite003() {
+        let sigma = sigma();
+        let mut usable = 0;
+        for seed in 0..1400u64 {
+            if usable >= 8 {
+                break; // the sample is large enough
+            }
+            let members = random_suite(seed, &sigma, 3);
+            let baseline = audit_with(&members, 0);
+            if !clean_baseline(&baseline, &members) {
+                continue;
+            }
+            let negated = members[0].1.complement();
+            let neg_ctx = Analysis::new(negated.clone());
+            if neg_ctx.is_empty() {
+                continue; // m0 is universal, the complement is no member
+            }
+            // ¬m0 ⊆ m_j would fire SUITE001 on m_j; skip those seeds.
+            if members.iter().any(|(_, a)| {
+                neg_ctx.is_subset_of(a) || Analysis::new(a.clone()).is_subset_of(&negated)
+            }) {
+                continue;
+            }
+            let mut mutated = members.clone();
+            mutated.push(("negated-m0".into(), negated));
+            let report = audit_with(&mutated, 0);
+            for i in 0..mutated.len() {
+                assert_eq!(
+                    member_codes(&report, i),
+                    Vec::<&str>::new(),
+                    "seed {seed}: no member-level finding may appear"
+                );
+            }
+            let codes: Vec<&'static str> =
+                report.suite_diagnostics.iter().map(|d| d.code).collect();
+            assert_eq!(codes, ["SUITE003"], "seed {seed}");
+            let msg = &report.suite_diagnostics[0].message;
+            assert!(
+                msg.contains("\"m0\"") && msg.contains("\"negated-m0\""),
+                "seed {seed}: the conflict must name the injected pair, got: {msg}"
+            );
+            usable += 1;
+        }
+        assert!(usable >= 5, "only {usable} usable seeds for SUITE003");
+    }
+
+    /// Re-reading a clean suite over an alphabet extended by one fresh
+    /// proposition (every member lifted cylindrically, so all pairwise
+    /// relations survive) must add exactly one `SUITE005`, on the fresh
+    /// proposition.
+    #[test]
+    fn unconstrained_proposition_fires_suite005() {
+        let sigma2 = Alphabet::of_propositions(["p", "q"]).unwrap();
+        let sigma3 = Alphabet::of_propositions(["p", "q", "r"]).unwrap();
+        let mut usable = 0;
+        for seed in 0..200u64 {
+            let members = random_suite(seed, &sigma2, 3);
+            let baseline = audit(&members);
+            if !clean_baseline(&baseline, &members) {
+                continue; // includes SUITE005 on p or q: a masked seed
+            }
+            let lifted: Vec<(String, OmegaAutomaton)> = members
+                .iter()
+                .map(|(name, a)| {
+                    let lift = OmegaAutomaton::build(
+                        &sigma3,
+                        a.num_states(),
+                        a.initial(),
+                        |q, s| {
+                            let holds = [
+                                sigma3.proposition_holds(s, 0),
+                                sigma3.proposition_holds(s, 1),
+                            ];
+                            a.step(q, sigma2.valuation_symbol(&holds))
+                        },
+                        a.acceptance().clone(),
+                    );
+                    (name.clone(), lift)
+                })
+                .collect();
+            let report = audit(&lifted);
+            for i in 0..lifted.len() {
+                assert_eq!(
+                    member_codes(&report, i),
+                    Vec::<&str>::new(),
+                    "seed {seed}: lifting must not add member findings"
+                );
+            }
+            let codes: Vec<&'static str> =
+                report.suite_diagnostics.iter().map(|d| d.code).collect();
+            assert_eq!(codes, ["SUITE005"], "seed {seed}");
+            assert_eq!(
+                report.suite_diagnostics[0].location,
+                Location::Variable("r".into()),
+                "seed {seed}: the dead proposition is the fresh one"
+            );
+            assert_eq!(
+                report.classes, baseline.classes,
+                "seed {seed}: cylindrical lifting preserves every class"
+            );
+            usable += 1;
+        }
+        assert!(usable >= 5, "only {usable} usable seeds for SUITE005");
+    }
+
+    /// The paper's running examples, read as one suite over a shared
+    /// alphabet, audit clean: no redundancy, no duplicates, no
+    /// conflicts, no overkill, no dead proposition.
+    #[test]
+    fn paper_running_examples_audit_silently() {
+        use hierarchy_logic::ast::Formula;
+        use hierarchy_logic::to_automaton::compile_over;
+        let sigma = Alphabet::of_propositions(["c1", "c2", "t1", "t2"]).unwrap();
+        let sources = [
+            ("mutual-exclusion", "G !(c1 & c2)"),
+            ("response-1", "G (t1 -> F c1)"),
+            ("response-2", "G (t2 -> F c2)"),
+            ("eventual-entry", "F c1"),
+            ("quiescence", "F G !t2"),
+        ];
+        let suite: Vec<(String, OmegaAutomaton)> = sources
+            .iter()
+            .map(|(name, src)| {
+                let f = Formula::parse(&sigma, src).expect(src);
+                (name.to_string(), compile_over(&sigma, &f).expect(src))
+            })
+            .collect();
+        let report = audit(&suite);
+        assert_eq!(
+            report.all_diagnostics(),
+            vec![],
+            "the paper's examples must audit clean"
+        );
+        assert!(report.is_clean());
+        // The suite spans the hierarchy: safety, recurrence, guarantee,
+        // persistence all populated.
+        let classes: Vec<&str> = report.histogram.iter().map(|&(c, _)| c).collect();
+        assert_eq!(
+            classes,
+            ["safety", "guarantee", "recurrence", "persistence"]
+        );
+    }
+}

@@ -37,9 +37,17 @@
 //! parse, formula compile, unknown program), `-32003` artifact kind or
 //! alphabet mismatch.
 //!
-//! Methods: `ingest`, `classify`, `lint`, `include`, `check`, `stats`,
-//! `evict`, and the batch forms `classify_batch` / `lint_batch` that
-//! fan out over the worker pool ([`par`]).
+//! Methods: `ingest`, `classify`, `lint`, `include`, `check`, `audit`,
+//! `stats`, `evict`, and the batch forms `classify_batch` /
+//! `lint_batch` that fan out over the worker pool ([`par`]).
+//!
+//! `audit` runs the whole-suite analysis of
+//! [`lint::suite`](hierarchy_core::lint::suite) (`SUITE001`–`SUITE005`,
+//! subsumption lattice, dominance DAG, hierarchy histogram) over a list
+//! of already-ingested automaton artifacts. This is where the store
+//! pays off: the O(n²) containment matrix runs on warm [`Analysis`]
+//! contexts, so a re-audit after one more ingest mostly reads the
+//! inclusion memo (watch `stats.inclusion_hits` in the response).
 //!
 //! `include` is verdict-only by default (the verdict rides the
 //! `Analysis` inclusion memo, so repeats are cache hits); pass
@@ -57,7 +65,9 @@ use hierarchy_core::fts::absint::{self, DomainKind};
 use hierarchy_core::fts::checker::check_with_invariants;
 use hierarchy_core::fts::CheckError;
 use hierarchy_core::lang::{operators, FinitaryProperty};
-use hierarchy_core::lint::{lint_abstract_program, lint_automaton_ctx, report_to_json};
+use hierarchy_core::lint::{
+    audit_suite_ctx, lint_abstract_program, lint_automaton_ctx, report_to_json, AuditOptions,
+};
 use hierarchy_core::prelude::Alphabet;
 use hierarchy_core::{HierarchyClass, Property};
 use std::io::{BufRead, Write};
@@ -196,6 +206,7 @@ impl Service {
             "lint" => self.rpc_lint(params),
             "include" => self.rpc_include(params),
             "check" => self.rpc_check(params),
+            "audit" => self.rpc_audit(params),
             "stats" => self.rpc_stats(),
             "evict" => self.rpc_evict(params),
             "classify_batch" => self.rpc_batch(params, classify_entry),
@@ -410,6 +421,131 @@ impl Service {
                     ),
                 ]),
             ),
+        ]))
+    }
+
+    // ---- suite audit ------------------------------------------------
+
+    /// `audit`: the whole-suite static analysis of `lint::suite` over
+    /// ingested automaton artifacts. Params: `artifacts` (array of
+    /// hashes, the suite in order) and optionally `cap` (the conjunction
+    /// state cap behind `SUITE001`/`SUITE004`; `0` disables the deep
+    /// checks). Member names in the report are the artifact hashes.
+    fn rpc_audit(&self, params: &Json) -> RpcResult {
+        let hexes = params
+            .get("artifacts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| {
+                RpcError::new(code::INVALID_PARAMS, "artifacts must be an array of hashes")
+            })?;
+        if hexes.is_empty() {
+            return Err(RpcError::new(
+                code::INVALID_PARAMS,
+                "audit needs at least one artifact",
+            ));
+        }
+        let mut opts = AuditOptions {
+            jobs: self.jobs,
+            ..AuditOptions::default()
+        };
+        match params.get("cap") {
+            None | Some(Json::Null) => {}
+            Some(v) => {
+                let cap = v.as_int().filter(|&c| c >= 0).ok_or_else(|| {
+                    RpcError::new(code::INVALID_PARAMS, "cap must be a non-negative integer")
+                })?;
+                opts.conjunction_cap = cap as usize;
+            }
+        }
+        let mut entries = Vec::with_capacity(hexes.len());
+        {
+            let mut store = self.store.lock().unwrap();
+            for h in hexes {
+                let hex = h.as_str().ok_or_else(|| {
+                    RpcError::new(code::INVALID_PARAMS, "artifacts must be an array of hashes")
+                })?;
+                let hash = ArtifactHash::parse(hex).ok_or_else(|| {
+                    RpcError::new(
+                        code::INVALID_PARAMS,
+                        format!("{hex:?} is not a 32-digit hex hash"),
+                    )
+                })?;
+                let entry = store.resolve(hash).ok_or_else(|| {
+                    RpcError::new(code::UNKNOWN_ARTIFACT, format!("unknown artifact {hex}"))
+                })?;
+                entries.push(entry);
+            }
+        }
+        let warm: Vec<bool> = entries.iter().map(|e| Store::record_query(e) > 0).collect();
+        let names: Vec<String> = entries.iter().map(|e| e.hash.to_string()).collect();
+        let mut ctxs = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            ctxs.push(require_automaton(entry)?);
+        }
+        let items: Vec<(&str, &Analysis)> = names.iter().map(String::as_str).zip(ctxs).collect();
+        // The only audit-level failure is an alphabet mismatch between
+        // two members — the daemon's operand-mismatch code.
+        let audit = audit_suite_ctx(&items, &opts)
+            .map_err(|e| RpcError::new(code::KIND_MISMATCH, e.to_string()))?;
+        let members: Vec<Json> = (0..audit.names.len())
+            .map(|i| {
+                Json::obj([
+                    ("artifact", Json::str(audit.names[i].clone())),
+                    ("class", Json::str(audit.classes[i])),
+                    ("representative", Json::Int(audit.representative[i] as i64)),
+                    ("warm", Json::Bool(warm[i])),
+                    (
+                        "diagnostics",
+                        Json::Raw(report_to_json(&audit.member_diagnostics[i])),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("members", Json::Arr(members)),
+            (
+                "dominance",
+                Json::Arr(
+                    audit
+                        .dominance
+                        .iter()
+                        .map(|&(a, b)| Json::Arr(vec![Json::Int(a as i64), Json::Int(b as i64)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "histogram",
+                Json::obj(
+                    audit
+                        .histogram
+                        .iter()
+                        .map(|&(class, count)| (class, Json::Int(count as i64))),
+                ),
+            ),
+            (
+                "suite_diagnostics",
+                Json::Raw(report_to_json(&audit.suite_diagnostics)),
+            ),
+            ("clean", Json::Bool(audit.is_clean())),
+            (
+                "prefilter",
+                Json::obj([
+                    ("pairs", Json::Int(audit.prefilter.pairs as i64)),
+                    (
+                        "hash_decided",
+                        Json::Int(audit.prefilter.hash_decided as i64),
+                    ),
+                    (
+                        "oracle_calls",
+                        Json::Int(audit.prefilter.oracle_calls as i64),
+                    ),
+                ]),
+            ),
+            (
+                "deep_checks_skipped",
+                Json::Int(audit.deep_checks_skipped as i64),
+            ),
+            ("stats", stats_json(&audit.stats)),
         ]))
     }
 
@@ -899,6 +1035,118 @@ mod tests {
             results[1].get("class").and_then(Json::as_str),
             Some("guarantee")
         );
+    }
+
+    #[test]
+    fn audit_reports_suite_findings_over_warm_entries() {
+        let svc = Service::new(8, 2);
+        let ga = ingest_formula(&svc, "G p");
+        let fa = ingest_formula(&svc, "F p");
+        let req = format!(
+            "{{\"id\":1,\"method\":\"audit\",\"params\":{{\"artifacts\":[\"{ga}\",\"{fa}\"]}}}}"
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        let result = resp.get("result").expect("audit succeeds");
+        let members = result
+            .get("members")
+            .and_then(Json::as_arr)
+            .expect("members array")
+            .to_vec();
+        assert_eq!(members.len(), 2);
+        assert_eq!(
+            members[0].get("class").and_then(Json::as_str),
+            Some("safety")
+        );
+        assert_eq!(
+            members[1].get("class").and_then(Json::as_str),
+            Some("guarantee")
+        );
+        // G p ⊊ F p: one dominance edge, F p redundant (SUITE001).
+        assert_eq!(
+            result
+                .get("dominance")
+                .and_then(Json::as_arr)
+                .map(<[_]>::len),
+            Some(1)
+        );
+        let fa_diags = members[1].get("diagnostics").map(Json::to_string).unwrap();
+        assert!(fa_diags.contains("SUITE001"), "got {fa_diags}");
+        assert_eq!(result.get("clean").and_then(Json::as_bool), Some(false));
+        // Second audit runs on warm entries and reads the inclusion memo.
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        let result = resp.get("result").unwrap();
+        let members = result.get("members").and_then(Json::as_arr).unwrap();
+        assert!(members
+            .iter()
+            .all(|m| m.get("warm").and_then(Json::as_bool) == Some(true)));
+        let hits = result
+            .get("stats")
+            .and_then(|s| s.get("inclusion_hits"))
+            .and_then(Json::as_int)
+            .unwrap();
+        assert!(hits > 0, "warm re-audit must hit the inclusion memo");
+    }
+
+    #[test]
+    fn audit_error_shapes() {
+        let svc = Service::new(8, 1);
+        let gp = ingest_formula(&svc, "G p");
+        // Mixed alphabets → the operand-mismatch code.
+        let other = Json::parse(&svc.handle_line(
+            "{\"id\":1,\"method\":\"ingest\",\"params\":{\"kind\":\"formula\",\"props\":[\"r\"],\"source\":\"G r\"}}",
+        ))
+        .unwrap()
+        .get("result")
+        .and_then(|r| r.get("artifact"))
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+        let req = format!(
+            "{{\"id\":2,\"method\":\"audit\",\"params\":{{\"artifacts\":[\"{gp}\",\"{other}\"]}}}}"
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_int),
+            Some(code::KIND_MISMATCH)
+        );
+        // A program artifact in the suite → the same kind-mismatch code.
+        let prog = Json::parse(&svc.handle_line(
+            "{\"id\":3,\"method\":\"ingest\",\"params\":{\"kind\":\"program\",\"name\":\"peterson\"}}",
+        ))
+        .unwrap()
+        .get("result")
+        .and_then(|r| r.get("artifact"))
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+        let req = format!(
+            "{{\"id\":4,\"method\":\"audit\",\"params\":{{\"artifacts\":[\"{gp}\",\"{prog}\"]}}}}"
+        );
+        let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_int),
+            Some(code::KIND_MISMATCH)
+        );
+        // Empty suite and bad cap → invalid params.
+        for req in [
+            "{\"id\":5,\"method\":\"audit\",\"params\":{\"artifacts\":[]}}".to_string(),
+            format!(
+                "{{\"id\":6,\"method\":\"audit\",\"params\":{{\"artifacts\":[\"{gp}\"],\"cap\":-1}}}}"
+            ),
+        ] {
+            let resp = Json::parse(&svc.handle_line(&req)).unwrap();
+            assert_eq!(
+                resp.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_int),
+                Some(code::INVALID_PARAMS),
+                "for request {req}"
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! entry); the clock ticks on every resolve and ingest touch.
 
 use hierarchy_core::automata::analysis::Analysis;
-use hierarchy_core::automata::canonical::ArtifactHash;
+use hierarchy_core::automata::canonical::{self, ArtifactHash};
 use hierarchy_core::automata::omega::OmegaAutomaton;
 use hierarchy_core::fts::absint::Program;
 use hierarchy_core::Servable;
@@ -231,12 +231,15 @@ impl Store {
             };
         }
         // Equivalence sweep: the hash is new, but the language may not
-        // be. Only same-alphabet entries can match (the oracle requires
-        // it), and the check runs on the stored entry's warm context, so
-        // repeat sweeps against the same store amortize.
+        // be. [`canonical::language_eq`] (shared with the suite
+        // auditor's SUITE002) rejects cross-alphabet entries outright
+        // and only then asks the oracle — through the stored entry's
+        // warm context, so repeat sweeps against the same store
+        // amortize.
         let candidate = self.entries.values().find_map(|(entry, _)| {
             let ctx = entry.analysis()?;
-            (ctx.automaton().alphabet() == aut.alphabet() && ctx.equivalent(&aut))
+            canonical::language_eq(entry.hash, ctx, hash, &aut)
+                .is_some_and(|v| v.is_equal())
                 .then(|| Arc::clone(entry))
         });
         if let Some(entry) = candidate {

@@ -5,11 +5,14 @@
 //! eviction/re-ingest cycle on the paper's running examples.
 
 use hierarchy_core::automata::analysis::Analysis;
+use hierarchy_core::automata::canonical::{self, LanguageEq};
 use hierarchy_core::automata::omega::OmegaAutomaton;
 use hierarchy_core::automata::{hoa, inclusion};
 use hierarchy_core::fts::absint::{self, DomainKind};
 use hierarchy_core::fts::checker::check_with_invariants;
-use hierarchy_core::lint::{lint_abstract_program, lint_automaton_ctx, report_to_json};
+use hierarchy_core::lint::{
+    audit_suite_ctx, lint_abstract_program, lint_automaton_ctx, report_to_json, AuditOptions,
+};
 use hierarchy_core::prelude::*;
 use hierarchy_core::{HierarchyClass, Property};
 use hierarchy_serve::json::Json;
@@ -501,6 +504,189 @@ fn golden_program_check_and_batches() {
     assert_eq!(
         results[1].get("count").and_then(Json::as_int),
         Some(diags.len() as i64)
+    );
+
+    daemon.shutdown();
+}
+
+// ---- the suite audit ------------------------------------------------
+
+/// Replays the daemon's `audit` response on reference contexts. The
+/// members, dominance edges, histogram and diagnostics come straight
+/// from [`audit_suite_ctx`]; the `stats` delta is byte-identical only
+/// because the caller replayed the store's ingest-time equivalence
+/// sweep on the same contexts first (see [`golden_audit_session`]).
+fn golden_audit(id: i64, reference: &[(String, Analysis)], warm: bool) -> String {
+    let items: Vec<(&str, &Analysis)> = reference
+        .iter()
+        .map(|(name, ctx)| (name.as_str(), ctx))
+        .collect();
+    let opts = AuditOptions {
+        jobs: 1,
+        ..AuditOptions::default()
+    };
+    let audit = audit_suite_ctx(&items, &opts).expect("one alphabet");
+    let members: Vec<Json> = (0..audit.names.len())
+        .map(|i| {
+            Json::obj([
+                ("artifact", Json::str(audit.names[i].clone())),
+                ("class", Json::str(audit.classes[i])),
+                ("representative", Json::Int(audit.representative[i] as i64)),
+                ("warm", Json::Bool(warm)),
+                (
+                    "diagnostics",
+                    Json::Raw(report_to_json(&audit.member_diagnostics[i])),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("id", Json::Int(id)),
+        (
+            "result",
+            Json::obj([
+                ("members", Json::Arr(members)),
+                (
+                    "dominance",
+                    Json::Arr(
+                        audit
+                            .dominance
+                            .iter()
+                            .map(|&(a, b)| {
+                                Json::Arr(vec![Json::Int(a as i64), Json::Int(b as i64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "histogram",
+                    Json::obj(
+                        audit
+                            .histogram
+                            .iter()
+                            .map(|&(class, count)| (class, Json::Int(count as i64))),
+                    ),
+                ),
+                (
+                    "suite_diagnostics",
+                    Json::Raw(report_to_json(&audit.suite_diagnostics)),
+                ),
+                ("clean", Json::Bool(audit.is_clean())),
+                (
+                    "prefilter",
+                    Json::obj([
+                        ("pairs", Json::Int(audit.prefilter.pairs as i64)),
+                        (
+                            "hash_decided",
+                            Json::Int(audit.prefilter.hash_decided as i64),
+                        ),
+                        (
+                            "oracle_calls",
+                            Json::Int(audit.prefilter.oracle_calls as i64),
+                        ),
+                    ]),
+                ),
+                (
+                    "deep_checks_skipped",
+                    Json::Int(audit.deep_checks_skipped as i64),
+                ),
+                ("stats", stats_json(&audit.stats)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+#[test]
+fn golden_audit_session() {
+    // `--jobs 1` pins the daemon's audit worker count to the
+    // reference's: the verdicts are jobs-invariant, the stats deltas
+    // are not.
+    let mut daemon = Daemon::spawn(&["--jobs", "1"]);
+    let members: &[&str] = &["G (p -> F q)", "F p", "F G p", "G p | F q"];
+    let props: &[&str] = &["p", "q"];
+
+    let mut reference: Vec<(String, Analysis)> = Vec::new();
+    for (i, source) in members.iter().enumerate() {
+        let aut = compile(source, props);
+        let got = daemon.request(&ingest_formula_request(i as i64, source, props));
+        assert_eq!(got, golden_ingest(i as i64, &aut, false), "ingest {source}");
+        // Replay the store's ingest-time equivalence sweep: each new
+        // artifact is compared against every stored context through
+        // `language_eq`, and those oracle runs leave memo state that
+        // the audit's stats delta rides on.
+        let hash = canonical::structural_hash(&aut);
+        for (stored, ctx) in &reference {
+            let verdict = canonical::language_eq(
+                canonical::ArtifactHash::parse(stored).unwrap(),
+                ctx,
+                hash,
+                &aut,
+            );
+            assert_eq!(verdict, Some(LanguageEq::Distinct), "{source} vs {stored}");
+        }
+        reference.push((hash.to_string(), Analysis::new(aut)));
+    }
+
+    let artifacts = reference
+        .iter()
+        .map(|(h, _)| format!("\"{h}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    let audit_request = |id: i64| {
+        format!("{{\"id\":{id},\"method\":\"audit\",\"params\":{{\"artifacts\":[{artifacts}]}}}}")
+    };
+
+    // Cold, then warm: the second audit rides the memoized inclusion
+    // matrix, and the replay reproduces both stats deltas exactly.
+    // (The replay itself must run in the same order — the first
+    // `golden_audit` call is the one that warms the reference.)
+    let got = daemon.request(&audit_request(30));
+    assert_eq!(
+        got,
+        golden_audit(30, &reference, false),
+        "cold audit golden"
+    );
+    let got = daemon.request(&audit_request(31));
+    assert_eq!(got, golden_audit(31, &reference, true), "warm audit golden");
+    assert!(
+        !got.contains("\"inclusion_hits\":0"),
+        "warm audit must report memo hits, got {got}"
+    );
+
+    // Error shapes. An empty suite and a negative cap are parameter
+    // errors; a member of a different alphabet is the operand-mismatch
+    // code with the library's own message, naming members by hash.
+    let got = daemon.request("{\"id\":40,\"method\":\"audit\",\"params\":{\"artifacts\":[]}}");
+    assert_eq!(
+        got,
+        "{\"id\":40,\"error\":{\"code\":-32602,\"message\":\"audit needs at least one artifact\"}}"
+    );
+    let first = &reference[0].0;
+    let got = daemon.request(&format!(
+        "{{\"id\":41,\"method\":\"audit\",\"params\":{{\"artifacts\":[\"{first}\"],\"cap\":-1}}}}"
+    ));
+    assert_eq!(
+        got,
+        "{\"id\":41,\"error\":{\"code\":-32602,\"message\":\"cap must be a non-negative integer\"}}"
+    );
+
+    let mux = compile("G !(c1 & c2)", &["c1", "c2", "t1", "t2"]);
+    let mux_hash = mux.content_hash().to_string();
+    daemon.request(&ingest_formula_request(
+        42,
+        "G !(c1 & c2)",
+        &["c1", "c2", "t1", "t2"],
+    ));
+    let got = daemon.request(&format!(
+        "{{\"id\":43,\"method\":\"audit\",\"params\":{{\"artifacts\":[\"{first}\",\"{mux_hash}\"]}}}}"
+    ));
+    assert_eq!(
+        got,
+        format!(
+            "{{\"id\":43,\"error\":{{\"code\":-32003,\"message\":\"suite members \\\"{first}\\\" and \\\"{mux_hash}\\\" read different alphabets\"}}}}"
+        ),
+        "incompatible-alphabet audit error shape"
     );
 
     daemon.shutdown();

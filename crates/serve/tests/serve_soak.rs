@@ -8,6 +8,7 @@
 
 use hierarchy_core::automata::analysis::Analysis;
 use hierarchy_core::automata::random::rng::{Rng, SeedableRng, StdRng};
+use hierarchy_core::lint::{audit_suite, AuditOptions};
 use hierarchy_core::prelude::*;
 use hierarchy_core::{HierarchyClass, Property};
 use hierarchy_serve::json::Json;
@@ -19,7 +20,8 @@ const CLIENTS: usize = 4;
 const ITERATIONS: usize = 60;
 
 /// The seeded artifact mix: all over one proposition alphabet so every
-/// pair is a legal `include` operand.
+/// pair is a legal `include` operand and the whole mix is a legal
+/// `audit` suite.
 const WORKLOAD: &[&str] = &[
     "G p",
     "F p",
@@ -137,12 +139,28 @@ fn soak_tcp_clients_agree_with_library_and_counters_stay_monotone() {
         })
         .collect();
 
+    // And the whole-workload suite audit: every concurrent `audit` call
+    // on the warm store must reproduce these verdicts (stats and warm
+    // flags vary with contention, the report does not).
+    let suite: Vec<(String, OmegaAutomaton)> = expected
+        .iter()
+        .map(|e| (e.hash.clone(), e.automaton.clone()))
+        .collect();
+    let audit_expected = audit_suite(&suite, &AuditOptions::default()).expect("one alphabet");
+    let audit_artifacts = expected
+        .iter()
+        .map(|e| format!("\"{}\"", e.hash))
+        .collect::<Vec<_>>()
+        .join(",");
+
     // Fan out the clients.
     let per_client_resolves: Vec<u64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|client| {
                 let expected = &expected;
                 let inclusion_matrix = &inclusion_matrix;
+                let audit_expected = &audit_expected;
+                let audit_artifacts = &audit_artifacts;
                 let addr = addr.clone();
                 scope.spawn(move || {
                     let mut stream = TcpStream::connect(&addr).expect("connect");
@@ -154,7 +172,7 @@ fn soak_tcp_clients_agree_with_library_and_counters_stay_monotone() {
                         // Unique id per request: any cross-wired or
                         // duplicated response trips the echo check.
                         let id = (client * 1_000_000 + i) as i64;
-                        let op = rng.gen_range(0..8usize);
+                        let op = rng.gen_range(0..9usize);
                         let pick = rng.gen_range(0..expected.len());
                         let resp = match op {
                             0..=3 => {
@@ -212,6 +230,56 @@ fn soak_tcp_clients_agree_with_library_and_counters_stay_monotone() {
                                         .and_then(Json::as_int),
                                     Some(expected[pick].lint_count as i64),
                                     "lint identity on {hash}"
+                                );
+                                resp
+                            }
+                            7 => {
+                                // The whole-workload audit, repeated on
+                                // the ever-warmer store: the report must
+                                // stay byte-for-byte deterministic in
+                                // its verdicts against the direct
+                                // library audit, under full contention.
+                                let resp = request_over(
+                                    &mut stream,
+                                    &mut reader,
+                                    &format!(
+                                        "{{\"id\":{id},\"method\":\"audit\",\"params\":{{\"artifacts\":[{audit_artifacts}]}}}}"
+                                    ),
+                                );
+                                resolves += expected.len() as u64;
+                                let result = resp.get("result").expect("audit succeeds");
+                                assert_eq!(
+                                    result.get("clean").and_then(Json::as_bool),
+                                    Some(audit_expected.is_clean()),
+                                    "audit cleanliness identity"
+                                );
+                                let members = result
+                                    .get("members")
+                                    .and_then(Json::as_arr)
+                                    .expect("audit members")
+                                    .to_vec();
+                                assert_eq!(members.len(), expected.len());
+                                for (k, m) in members.iter().enumerate() {
+                                    assert_eq!(
+                                        m.get("class").and_then(Json::as_str),
+                                        Some(audit_expected.classes[k]),
+                                        "audit class identity for member {k}"
+                                    );
+                                    assert_eq!(
+                                        m.get("representative").and_then(Json::as_int),
+                                        Some(audit_expected.representative[k] as i64),
+                                        "audit representative identity for member {k}"
+                                    );
+                                }
+                                let suite_diags = result
+                                    .get("suite_diagnostics")
+                                    .and_then(Json::as_arr)
+                                    .expect("audit suite diagnostics")
+                                    .len();
+                                assert_eq!(
+                                    suite_diags,
+                                    audit_expected.suite_diagnostics.len(),
+                                    "audit suite-diagnostic identity"
                                 );
                                 resp
                             }

@@ -58,6 +58,19 @@ HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
 # calls and the warm-vs-cold latency gate are its expect() lines.
 cargo run --release --offline -p hierarchy-bench --bin tab_serve -- --smoke \
   > /dev/null
+# The suite-audit differential suite (subsumption matrix vs direct
+# oracles, duplicate classes, conflict pairs, worker-count identity) and
+# the seeded SUITE-rule defect injections, with the worker pool forced
+# on (the plain runs ride the workspace test pass above).
+HIERARCHY_THREADS=2 cargo test --offline -p temporal-properties \
+  --test audit_soundness --quiet
+HIERARCHY_THREADS=2 cargo test --offline -p hierarchy-lint \
+  --test seeded_defects --quiet
+# Smoke the suite-audit benchmark: warm-beats-cold, report identity cold
+# vs warm and across worker counts, and the prefilter-majority gates are
+# its expect() lines.
+HIERARCHY_THREADS=2 cargo run --release --offline -p hierarchy-bench \
+  --bin tab_audit -- --smoke > /dev/null
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
 

@@ -1,0 +1,332 @@
+//! Differential soundness for the suite auditor (`lint::suite`).
+//!
+//! The audit's whole-suite verdicts are cross-checked against direct
+//! single-purpose oracle calls on fresh contexts: every cell of the
+//! subsumption matrix against [`Analysis::is_subset_of`], the
+//! `SUITE002` equivalence classes against pairwise [`Analysis::equivalent`],
+//! the `SUITE003` conflicts against product emptiness, and the
+//! `SUITE001` verdicts against an explicitly folded rest-of-suite
+//! conjunction. A separate test pins the PR's acceptance scenario: a
+//! clean 20-property suite with one injected redundancy, one injected
+//! duplicate and one injected conflict reports exactly those three
+//! findings.
+
+use temporal_properties::audit_properties;
+use temporal_properties::automata::alphabet::Alphabet;
+use temporal_properties::automata::analysis::{Analysis, AnalysisStats};
+use temporal_properties::automata::omega::OmegaAutomaton;
+use temporal_properties::automata::random::random_streett;
+use temporal_properties::automata::random::rng::{SeedableRng, StdRng};
+use temporal_properties::lint::{audit_suite, AuditOptions, SuiteAudit};
+use temporal_properties::Property;
+
+fn sigma() -> Alphabet {
+    Alphabet::new(["a", "b"]).unwrap()
+}
+
+fn random_suite(seed: u64, sigma: &Alphabet) -> Vec<(String, OmegaAutomaton)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2 + (seed as usize % 3);
+    (0..n)
+        .map(|i| {
+            (
+                format!("m{i}"),
+                random_streett(&mut rng, sigma, 6, 1, 0.4).0,
+            )
+        })
+        .collect()
+}
+
+/// 200 seeded suites: every audit verdict agrees with the direct,
+/// memo-free oracle run.
+#[test]
+fn audit_agrees_with_direct_oracles_on_200_suites() {
+    let sigma = sigma();
+    for seed in 0..200u64 {
+        let suite = random_suite(seed, &sigma);
+        let n = suite.len();
+        let audit = audit_suite(&suite, &AuditOptions::default()).expect("one alphabet");
+        assert_eq!(
+            audit.deep_checks_skipped, 0,
+            "seed {seed}: tiny suites never hit the conjunction cap"
+        );
+        // Fresh, unshared contexts: the reference answers cannot ride
+        // any state the audit built up.
+        let direct: Vec<Analysis> = suite
+            .iter()
+            .map(|(_, a)| Analysis::new(a.clone()))
+            .collect();
+
+        // 1. The subsumption matrix, cell by cell.
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    audit.subsumption[i][j],
+                    direct[i].is_subset_of(direct[j].automaton()),
+                    "seed {seed}: matrix cell ({i},{j}) disagrees with the oracle"
+                );
+            }
+        }
+
+        // 2. SUITE002 ⇔ pairwise language equivalence: the
+        //    representative of i is the least j with the same language.
+        for i in 0..n {
+            let least = (0..=i)
+                .find(|&j| direct[j].equivalent(direct[i].automaton()))
+                .unwrap();
+            assert_eq!(
+                audit.representative[i], least,
+                "seed {seed}: member {i} joined the wrong language class"
+            );
+            let dup_reported = audit.member_diagnostics[i]
+                .iter()
+                .any(|d| d.code == "SUITE002");
+            assert_eq!(
+                dup_reported,
+                least < i,
+                "seed {seed}: SUITE002 on member {i} must mean a strictly earlier equal language"
+            );
+        }
+
+        // 3. SUITE003 ⇔ product emptiness on incomparable non-empty
+        //    representative pairs.
+        let empty: Vec<bool> = direct.iter().map(|c| c.is_empty()).collect();
+        let reps: Vec<usize> = (0..n).filter(|&i| audit.representative[i] == i).collect();
+        let mut expected_conflicts = Vec::new();
+        for (k, &a) in reps.iter().enumerate() {
+            for &b in &reps[k + 1..] {
+                let comparable = audit.subsumption[a][b] || audit.subsumption[b][a];
+                if !empty[a] && !empty[b] && !comparable {
+                    let product = suite[a].1.intersection(&suite[b].1);
+                    if Analysis::new(product).is_empty() {
+                        expected_conflicts.push((a, b));
+                    }
+                }
+            }
+        }
+        let reported: Vec<&str> = audit
+            .suite_diagnostics
+            .iter()
+            .filter(|d| d.code == "SUITE003")
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(
+            reported.len(),
+            expected_conflicts.len(),
+            "seed {seed}: conflict count disagrees with direct product emptiness"
+        );
+        for &(a, b) in &expected_conflicts {
+            assert!(
+                reported
+                    .iter()
+                    .any(|m| m.contains(&format!("\"{}\"", suite[a].0))
+                        && m.contains(&format!("\"{}\"", suite[b].0))),
+                "seed {seed}: conflict ({a},{b}) not reported"
+            );
+        }
+
+        // 4. SUITE001 against an explicitly folded rest-of-suite
+        //    conjunction (the auditor's fast path fires even when the
+        //    rest collapses, as long as one member alone implies i).
+        let any_empty = empty.iter().any(|&e| e);
+        for (i, direct_i) in direct.iter().enumerate() {
+            let class_size = audit
+                .representative
+                .iter()
+                .filter(|&&r| r == audit.representative[i])
+                .count();
+            let expected = if any_empty || class_size > 1 {
+                false
+            } else {
+                let fast = (0..n).any(|j| j != i && audit.subsumption[j][i]);
+                let rest = suite
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, (_, a))| a.clone())
+                    .reduce(|acc, a| acc.intersection(&a))
+                    .expect("n >= 2");
+                let rest_ctx = Analysis::new(rest);
+                fast || (!rest_ctx.is_empty() && rest_ctx.is_subset_of(direct_i.automaton()))
+            };
+            let reported = audit.member_diagnostics[i]
+                .iter()
+                .any(|d| d.code == "SUITE001");
+            assert_eq!(
+                reported, expected,
+                "seed {seed}: SUITE001 on member {i} disagrees with the folded conjunction"
+            );
+        }
+
+        // 5. Dominance edges are strict containments between
+        //    representatives with nothing strictly in between.
+        for &(a, b) in &audit.dominance {
+            assert!(audit.subsumption[a][b] && !audit.subsumption[b][a]);
+            assert!(!reps.iter().any(|&c| {
+                audit.subsumption[a][c]
+                    && !audit.subsumption[c][a]
+                    && audit.subsumption[c][b]
+                    && !audit.subsumption[b][c]
+            }));
+        }
+    }
+}
+
+/// `--jobs N` never changes the report, only the wall time: the same
+/// suites audited with 1, 2 and 4 workers produce identical reports.
+#[test]
+fn worker_count_does_not_change_the_report() {
+    let sigma = sigma();
+    for seed in (0..200u64).step_by(5) {
+        let suite = random_suite(seed, &sigma);
+        let strip = |mut a: SuiteAudit| {
+            a.stats = AnalysisStats::default();
+            a
+        };
+        let sequential = strip(
+            audit_suite(
+                &suite,
+                &AuditOptions {
+                    jobs: 1,
+                    ..AuditOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        for jobs in [2, 4] {
+            let parallel = strip(
+                audit_suite(
+                    &suite,
+                    &AuditOptions {
+                        jobs,
+                        ..AuditOptions::default()
+                    },
+                )
+                .unwrap(),
+            );
+            assert_eq!(parallel, sequential, "seed {seed}, jobs {jobs}");
+        }
+    }
+}
+
+/// A duplicate-heavy suite is decided entirely by the canonical-hash
+/// prefilter: every pair hash-equal, zero oracle calls.
+#[test]
+fn duplicate_heavy_suite_never_reaches_the_oracle() {
+    let sigma = sigma();
+    let mut rng = StdRng::seed_from_u64(7);
+    let (aut, _) = random_streett(&mut rng, &sigma, 6, 1, 0.4);
+    let suite: Vec<(String, OmegaAutomaton)> =
+        (0..10).map(|i| (format!("copy{i}"), aut.clone())).collect();
+    let audit = audit_suite(&suite, &AuditOptions::default()).unwrap();
+    assert_eq!(audit.prefilter.pairs, 45);
+    assert_eq!(audit.prefilter.hash_decided, 45);
+    assert_eq!(
+        audit.prefilter.oracle_calls, 0,
+        "identical copies must never reach the inclusion oracle"
+    );
+    for i in 1..10 {
+        assert_eq!(audit.representative[i], 0);
+        assert!(audit.member_diagnostics[i]
+            .iter()
+            .any(|d| d.code == "SUITE002"));
+    }
+}
+
+/// The PR's acceptance scenario: a 20-property suite (15 mutual
+/// exclusions plus 5 progress properties spanning the hierarchy) audits
+/// clean; injecting one redundant member, one α-renamed duplicate and
+/// one conflicting member reports exactly those three findings, with
+/// nothing on the 20 original members.
+#[test]
+fn twenty_property_scenario_reports_injections_exactly() {
+    let sigma = Alphabet::of_propositions(["p0", "p1", "p2", "p3", "p4", "p5"]).unwrap();
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for i in 0..6 {
+        for j in i + 1..6 {
+            sources.push((format!("mutex-{i}{j}"), format!("G !(p{i} & p{j})")));
+        }
+    }
+    sources.push(("eventually-0".into(), "F p0".into()));
+    sources.push(("response-01".into(), "G (p0 -> F p1)".into()));
+    sources.push(("quiescence-5".into(), "F G !p5".into()));
+    sources.push(("obligation-34".into(), "G !p3 | F p4".into()));
+    sources.push(("fair-merge-12".into(), "G F p1 -> G F p2".into()));
+    assert_eq!(sources.len(), 20);
+
+    let compile = |src: &str| Property::parse(&sigma, src).expect(src);
+    let properties: Vec<(String, Property)> = sources
+        .iter()
+        .map(|(name, src)| (name.clone(), compile(src)))
+        .collect();
+    let items: Vec<(&str, &Property)> = properties.iter().map(|(n, p)| (n.as_str(), p)).collect();
+    let opts = AuditOptions::default();
+    let baseline = audit_properties(items.iter().copied(), &opts).expect("one alphabet");
+    assert_eq!(
+        baseline.all_diagnostics(),
+        vec![],
+        "the seeded 20-property suite must audit clean"
+    );
+    assert!(
+        baseline.histogram.len() >= 4,
+        "the suite spans the hierarchy"
+    );
+
+    // Injections: a union of two members (redundant), a commuted mutex
+    // (α-equivalent duplicate), and the negation of the quiescence
+    // member (conflicting pair).
+    let injected: Vec<(String, Property)> = vec![
+        (
+            "either-mutex".into(),
+            compile("G !(p0 & p1) | G !(p2 & p3)"),
+        ),
+        ("mutex-01-again".into(), compile("G !(p1 & p0)")),
+        ("churn-5".into(), compile("G F p5")),
+    ];
+    let all: Vec<(&str, &Property)> = items
+        .iter()
+        .copied()
+        .chain(injected.iter().map(|(n, p)| (n.as_str(), p)))
+        .collect();
+    let report = audit_properties(all.iter().copied(), &opts).expect("one alphabet");
+    for i in 0..20 {
+        assert_eq!(
+            report.member_diagnostics[i],
+            vec![],
+            "original member {:?} must stay silent",
+            report.names[i]
+        );
+    }
+    let member_codes = |i: usize| -> Vec<&'static str> {
+        report.member_diagnostics[i]
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    };
+    assert_eq!(
+        member_codes(20),
+        ["SUITE001"],
+        "the union member is redundant"
+    );
+    assert_eq!(
+        member_codes(21),
+        ["SUITE002"],
+        "the commuted mutex is a duplicate"
+    );
+    assert_eq!(
+        report.representative[21], 0,
+        "the duplicate joins mutex-01's language class"
+    );
+    assert_eq!(
+        member_codes(22),
+        [] as [&str; 0],
+        "the conflict is a suite-level finding"
+    );
+    let suite_codes: Vec<&'static str> = report.suite_diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(suite_codes, ["SUITE003"], "exactly one conflict");
+    let msg = &report.suite_diagnostics[0].message;
+    assert!(
+        msg.contains("\"quiescence-5\"") && msg.contains("\"churn-5\""),
+        "the conflict names the injected pair, got: {msg}"
+    );
+}
